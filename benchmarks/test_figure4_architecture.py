@@ -1,0 +1,76 @@
+"""F4 — Figure 4: the three-tier implementation.
+
+Paper claim: the application VM runs compiled code and is observed through
+the OS debug interface; the tool VM interprets reflection bytecode; the
+GUI runs on a third tier over TCP exchanging small packets.  Reproduction:
+drive a full breakpoint → inspect → resume → finish session through the
+TCP frontend, measure packet sizes, and verify the replay stayed faithful.
+"""
+
+import pytest
+
+from repro.api import record
+from repro.core import compare_runs
+from repro.debugger import Debugger, DebuggerClient, DebuggerServer, ReplaySession
+from repro.workloads import racy_bank
+from benchmarks.conftest import BENCH_CONFIG, knobs
+
+
+@pytest.mark.benchmark(group="figure4")
+def test_three_tier_session(benchmark, report):
+    recorded = record(racy_bank(), config=BENCH_CONFIG, **knobs(5))
+
+    session = ReplaySession(racy_bank(), recorded.trace, config=BENCH_CONFIG)
+    server = DebuggerServer(Debugger(session)).start()
+    try:
+        with DebuggerClient(server.address) as client:
+            client.request("break", method="Teller.run()V", bci=4)
+            stops = 0
+            while client.request("cont")["status"] == "breakpoint" and stops < 4:
+                client.request("backtrace")
+                client.request("threads")
+                client.request("print_static", class_name="Main", field="balance")
+                stops += 1
+            final = client.request("finish")
+            report.row(f"breakpoint stops served over TCP: {stops}")
+            report.row(
+                f"frontend traffic: {client.bytes_sent} B sent, "
+                f"{client.bytes_received} B received"
+            )
+            # 'small packets of data rather than large images'
+            assert client.bytes_received < 64_000
+            assert final["output"] == recorded.result.output_text
+    finally:
+        server.stop()
+
+    rep = compare_runs(recorded.result, session.result)
+    report.row(f"debugged replay faithful: {rep.faithful}")
+    assert rep.faithful
+
+    # benchmark one full protocol round trip against a fresh paused session
+    session2 = ReplaySession(racy_bank(), recorded.trace, config=BENCH_CONFIG)
+    server2 = DebuggerServer(Debugger(session2)).start()
+    try:
+        client2 = DebuggerClient(server2.address)
+        benchmark(lambda: client2.request("info"))
+        client2.close()
+    finally:
+        server2.stop()
+
+
+@pytest.mark.benchmark(group="figure4")
+def test_tool_tier_runs_bytecode_app_tier_runs_compiled(benchmark, report):
+    """The asymmetry Figure 4 draws: app VM executes machine code (compiled
+    micro-ops), tool VM interprets bytecode."""
+    recorded = record(racy_bank(), config=BENCH_CONFIG, **knobs(5))
+    session = ReplaySession(racy_bank(), recorded.trace, config=BENCH_CONFIG)
+    rm_app = session.vm.loader.resolve_method_any("Teller.run()V")
+    assert rm_app.code is not None and rm_app.code.ops  # compiled
+    # the tool interpreter consumed bytecode, never compiled code:
+    rm = session.resolve_method("Teller.run()V")
+    line = session.line_number_of(rm.method_id, 0)
+    assert line == rm.mdef.line_table[0]
+    assert session.interp.steps > 0
+    report.row(f"tool-VM bytecode steps for one query: {session.interp.steps}")
+    report.row(f"app-VM compiled ops in Teller.run: {len(rm_app.code.ops)}")
+    benchmark(lambda: session.line_number_of(rm.method_id, 0))

@@ -1,0 +1,109 @@
+"""B6 — perturbation: remote reflection preserves replay; in-process breaks it.
+
+Paper claim (§3): an in-process debugger's reflective queries change the
+JVM state (allocation, scheduling, class loading) and "it may no longer
+be possible to resume the deterministic execution"; remote reflection
+avoids all of it.  Both halves, measured.
+"""
+
+import pytest
+
+from repro.api import build_vm, record
+from repro.core import compare_runs
+from repro.core.controller import MODE_REPLAY, DejaVu
+from repro.debugger import Debugger, DebugController, ReplaySession
+from repro.vm.errors import ReplayDivergenceError
+from repro.workloads import racy_bank
+from benchmarks.conftest import BENCH_CONFIG, knobs
+
+
+@pytest.fixture(scope="module")
+def recorded():
+    return record(racy_bank(), config=BENCH_CONFIG, **knobs(5))
+
+
+@pytest.mark.benchmark(group="B6-perturbation")
+def test_remote_reflection_is_perturbation_free(benchmark, report, recorded):
+    def debug_heavily():
+        session = ReplaySession(racy_bank(), recorded.trace, config=BENCH_CONFIG)
+        dbg = Debugger(session)
+        dbg.break_("Teller.run()V", bci=4)
+        stops = 0
+        while dbg.cont()["status"] == "breakpoint" and stops < 8:
+            dbg.backtrace()
+            dbg.threads()
+            dbg.print_static("Main", "balance")
+            rm = session.resolve_method("Teller.run()V")
+            session.line_number_of(rm.method_id, 2)
+            stops += 1
+        session.clear_breakpoints()
+        result = session.run_to_completion()
+        return session, result, stops
+
+    session, result, stops = debug_heavily()
+    rep = compare_runs(recorded.result, result)
+    report.row(f"breakpoint stops with full inspection: {stops}")
+    report.row(f"ptrace reads performed: {session.port.reads}")
+    report.row(f"replay after debugging faithful: {rep.faithful}")
+    assert rep.faithful, rep.detail
+    benchmark.pedantic(debug_heavily, rounds=2, iterations=1)
+
+
+@pytest.mark.benchmark(group="B6-perturbation")
+def test_in_process_reflection_breaks_replay(benchmark, report, recorded):
+    """The counterfactual: run one reflective query *inside* the
+    application VM mid-replay (one string allocated in its heap) and the
+    replay can no longer be completed accurately."""
+
+    def perturb_and_resume():
+        vm = build_vm(racy_bank(), BENCH_CONFIG)
+        DejaVu(vm, MODE_REPLAY, trace=recorded.trace)
+        control = DebugController()
+        vm.engine.debug = control
+        vm.start("Main.main()V")
+        rm = vm.loader.resolve_method_any("Teller.run()V")
+        control.add_breakpoint(rm.method_id, 0)
+        vm.engine.run()
+        assert control.paused
+        # 'in-process reflection': compute a query result in the app heap
+        vm.loader.make_string("lineNumberOf(...) result")
+        control.clear_breakpoints()
+        control.resume()
+        try:
+            vm.engine.run()
+            vm.finish()
+            return "replay completed (UNDETECTED PERTURBATION)"
+        except ReplayDivergenceError as exc:
+            return f"replay diverged: {str(exc)[:60]}"
+
+    outcome = perturb_and_resume()
+    report.row(f"one in-process allocation at a breakpoint -> {outcome}")
+    assert outcome.startswith("replay diverged")
+    benchmark.pedantic(perturb_and_resume, rounds=2, iterations=1)
+
+
+@pytest.mark.benchmark(group="B6-perturbation")
+def test_intrusive_write_diverges_replay(benchmark, report, recorded):
+    """Footnote 3: a user-requested state modification through the
+    intrusive port irrevocably breaks accuracy (replay continues, but no
+    guarantee — here the balance witness catches it)."""
+    from repro.remote.ptrace import IntrusivePort
+
+    def tamper():
+        session = ReplaySession(racy_bank(), recorded.trace, config=BENCH_CONFIG)
+        session.add_breakpoint("Teller.run()V", bci=4)
+        session.resume()
+        port = IntrusivePort(session.vm)
+        rc, slot = session.vm.loader.resolve_static_field("Main.balance")
+        port.poke(rc.statics_addr + slot.offset, 10_000)
+        session.clear_breakpoints()
+        try:
+            result = session.run_to_completion()
+            return compare_runs(recorded.result, result).faithful, result.output_text
+        except ReplayDivergenceError as exc:
+            return False, f"(diverged online: {str(exc)[:40]})"
+
+    faithful, output = tamper()
+    report.row(f"after poking Main.balance=10000: faithful={faithful}, {output}")
+    assert not faithful
+    benchmark.pedantic(tamper, rounds=2, iterations=1)

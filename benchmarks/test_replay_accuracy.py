@@ -1,0 +1,83 @@
+"""B3 — replay accuracy sweep, with repeated execution as the contrast.
+
+Paper claim: accuracy is absolute — every recorded execution replays
+identically — while naive repeated execution reproduces nothing.  Also
+the Instant Replay failure mode: CREW logging cannot reproduce non-CREW
+races.
+"""
+
+import pytest
+
+from repro.api import record_and_replay
+from repro.baselines import (
+    instant_replay_record,
+    instant_replay_replay,
+    repeated_execution,
+)
+from repro.workloads import ALL_WORKLOADS, racy_bank
+from benchmarks.conftest import BENCH_CONFIG, knobs
+
+N_SEEDS = 6
+
+
+@pytest.mark.benchmark(group="B3-accuracy")
+def test_accuracy_sweep_all_workloads(benchmark, report):
+    total = faithful = 0
+    for name in sorted(ALL_WORKLOADS):
+        ok = 0
+        for seed in range(N_SEEDS):
+            _, _, rep = record_and_replay(
+                ALL_WORKLOADS[name](), config=BENCH_CONFIG, **knobs(seed, 30, 150)
+            )
+            ok += rep.faithful
+            total += 1
+            faithful += rep.faithful
+        report.row(f"{name:<18} {ok}/{N_SEEDS} replays faithful")
+        assert ok == N_SEEDS, name
+    report.row(f"TOTAL: {faithful}/{total} (accuracy must be absolute)")
+    benchmark.pedantic(
+        lambda: record_and_replay(racy_bank(), config=BENCH_CONFIG, **knobs(0)),
+        rounds=3,
+        iterations=1,
+    )
+
+
+@pytest.mark.benchmark(group="B3-accuracy")
+def test_repeated_execution_contrast(benchmark, report):
+    rep = benchmark.pedantic(
+        lambda: repeated_execution(lambda: racy_bank(), runs=10, config=BENCH_CONFIG),
+        rounds=1,
+        iterations=1,
+    )
+    report.row(
+        f"repeated execution of racy_bank: {rep.distinct_outputs} distinct "
+        f"outputs in {rep.runs} runs; divergence rate {rep.divergence_rate:.0%}"
+    )
+    report.row("DejaVu divergence rate over the same program: 0% (B3 sweep)")
+    assert rep.divergence_rate > 0.5
+
+
+@pytest.mark.benchmark(group="B3-accuracy")
+def test_instant_replay_non_crew_failure(benchmark, report):
+    """Instant Replay on the racy bank: zero CREW events to log, replay
+    outcome left to the timer."""
+    res, crew = instant_replay_record(
+        racy_bank(), config=BENCH_CONFIG, **knobs(9, 20, 90)
+    )
+    outputs = set()
+    for seed in range(6):
+        outputs.add(
+            instant_replay_replay(
+                racy_bank(), crew, config=BENCH_CONFIG, **knobs(100 + seed, 20, 90)
+            ).output_text
+        )
+    report.row(f"recorded outcome: {res.output_text}")
+    report.row(f"Instant-Replay 'replays' produced: {sorted(outputs)}")
+    assert len(outputs | {res.output_text}) > 1
+    benchmark.pedantic(
+        lambda: instant_replay_replay(
+            racy_bank(), crew, config=BENCH_CONFIG, **knobs(1, 20, 90)
+        ),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,85 @@
+"""B2 — trace sizes: DejaVu vs the §5 schemes.
+
+Paper claim: "a major drawback of such approaches is the overhead, in
+time and particularly in space, of capturing critical events"; DejaVu
+logs only preemptive switch points and environmental values.  Shape to
+preserve: DejaVu ≤ Russinovich–Cogswell (every dispatch, with identity)
+and DejaVu ≤ Recap (every shared read) on every workload; Instant Replay
+sits wherever the workload's monitor traffic puts it, but cannot replay
+the non-CREW workloads at all (B3 covers that).
+"""
+
+import pytest
+
+from repro.api import record
+from repro.baselines import instant_replay_record, rc_record, recap_record
+from repro.workloads import ALL_WORKLOADS
+from benchmarks.conftest import BENCH_CONFIG, knobs
+
+SEED = 13
+
+
+def survey(name):
+    factory = ALL_WORKLOADS[name]
+    sizes = {}
+    sizes["dejavu"] = record(
+        factory(), config=BENCH_CONFIG, **knobs(SEED)
+    ).trace.encoded_size_bytes
+    _, rc_trace, rc_stats = rc_record(factory(), config=BENCH_CONFIG, **knobs(SEED))
+    sizes["russinovich"] = rc_trace.encoded_size_bytes
+    _, crew = instant_replay_record(factory(), config=BENCH_CONFIG, **knobs(SEED))
+    sizes["instant_replay"] = crew.encoded_size_bytes
+    sizes["recap"] = recap_record(
+        factory(), config=BENCH_CONFIG, **knobs(SEED)
+    ).trace.encoded_size_bytes
+    return sizes
+
+
+@pytest.mark.benchmark(group="B2-trace-size")
+def test_trace_size_table(benchmark, report):
+    header = f"{'workload':<18}{'DejaVu':>9}{'R&C':>9}{'InstantR':>10}{'Recap':>9}"
+    report.row(header)
+    totals = dict.fromkeys(["dejavu", "russinovich", "instant_replay", "recap"], 0)
+    for name in sorted(ALL_WORKLOADS):
+        sizes = survey(name)
+        for k, v in sizes.items():
+            totals[k] += v
+        report.row(
+            f"{name:<18}{sizes['dejavu']:>9}{sizes['russinovich']:>9}"
+            f"{sizes['instant_replay']:>10}{sizes['recap']:>9}"
+        )
+        # the §5 shape: DejaVu never logs more than the schemes that log
+        # every dispatch / every read
+        assert sizes["dejavu"] <= sizes["russinovich"], name
+        assert sizes["dejavu"] <= sizes["recap"], name
+    report.row(
+        f"{'TOTAL':<18}{totals['dejavu']:>9}{totals['russinovich']:>9}"
+        f"{totals['instant_replay']:>10}{totals['recap']:>9}"
+    )
+    assert totals["dejavu"] < totals["russinovich"] < totals["recap"] or (
+        totals["dejavu"] < totals["russinovich"]
+        and totals["dejavu"] < totals["recap"]
+    )
+    benchmark.pedantic(lambda: survey("racy_bank"), rounds=2, iterations=1)
+
+
+@pytest.mark.benchmark(group="B2-trace-size")
+def test_trace_scales_with_preemption_rate_not_work(benchmark, report):
+    """DejaVu's trace grows with preemption frequency, not with the amount
+    of computation — the structural reason it beats event loggers."""
+    from repro.workloads import sorter
+    from repro.vm.timerdev import SeededJitterTimer
+
+    def size_with(lo, hi):
+        return record(
+            sorter(),
+            config=BENCH_CONFIG,
+            timer=SeededJitterTimer(1, lo, hi),
+        ).trace.encoded_size_bytes
+
+    rare = size_with(5_000, 10_000)
+    frequent = size_with(50, 100)
+    report.row(f"sorter trace bytes, rare preemption: {rare}")
+    report.row(f"sorter trace bytes, frequent preemption: {frequent}")
+    assert frequent > 5 * rare
+    benchmark.pedantic(lambda: size_with(500, 1000), rounds=2, iterations=1)

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Quickstart: record a non-deterministic multithreaded run, replay it exactly.
+
+The guest program is a racy bank: three teller threads perform unsynchronized
+``balance += 1`` updates, so the final balance depends on where the preemptive
+timer happened to fire — the classic "doesn't even fail reliably" bug.
+
+DejaVu records the non-deterministic events (preemptive switch points as
+yield-point deltas, clock reads, native results), then replays the execution
+deterministically: same output, same cycle count, same final heap, event for
+event.
+"""
+
+from repro.api import record, replay
+from repro.core import compare_runs
+from repro.vm import HostTimer, SeededJitterTimer
+from repro.vm.machine import VMConfig
+from repro.workloads import racy_bank
+
+
+def main() -> None:
+    program = racy_bank(tellers=3, deposits=40)
+    config = VMConfig(semispace_words=60_000)
+
+    print("== five ordinary runs (no DejaVu, jittery timer) ==")
+    outputs = set()
+    for seed in range(5):
+        from repro.api import build_vm
+
+        vm = build_vm(program, config, timer=SeededJitterTimer(seed, 40, 160))
+        result = vm.run(program.main)
+        outputs.add(result.output_text)
+        print(f"  run {seed}: {result.output_text}")
+    print(f"  -> {len(outputs)} distinct outcomes: the bug is not reproducible\n")
+
+    print("== record once under DejaVu ==")
+    # HostTimer draws preemption intervals from the host clock: genuine
+    # non-determinism, unknowable in advance.
+    session = record(program, config=config, timer=HostTimer(40, 160))
+    print(f"  recorded: {session.result.output_text}")
+    print(
+        f"  trace: {session.trace.n_switch_records} switch records, "
+        f"{session.trace.encoded_size_bytes} bytes"
+    )
+
+    print("\n== replay the trace, twice ==")
+    for i in (1, 2):
+        replayed = replay(program, session.trace, config=config)
+        report = compare_runs(session.result, replayed)
+        print(
+            f"  replay {i}: {replayed.output_text}  "
+            f"(faithful: {report.faithful} — {report.detail})"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Survey trace sizes: DejaVu vs the §5 related-work schemes.
+
+"A major drawback of such approaches is the overhead, in time and
+particularly in space, of capturing critical events and in generating
+traces."  This survey records the same workloads under four schemes and
+prints the bytes each one needs:
+
+* **DejaVu** — preemptive switch deltas + environmental values only;
+* **Russinovich–Cogswell** — every dispatch, with thread identity;
+* **Instant Replay** — every CREW (monitor) operation, versioned;
+* **Recap** — every shared-int read value (plus DejaVu's switch carrier).
+"""
+
+from repro.api import record
+from repro.baselines import instant_replay_record, rc_record, recap_record
+from repro.vm import SeededJitterClock, SeededJitterTimer
+from repro.vm.machine import Environment, VMConfig
+from repro.workloads import ALL_WORKLOADS
+
+CONFIG = VMConfig(semispace_words=80_000)
+SEED = 13
+
+
+def survey_one(name: str, factory) -> dict[str, int]:
+    def knobs():
+        return dict(
+            config=CONFIG,
+            timer=SeededJitterTimer(SEED, 40, 200),
+            clock=SeededJitterClock(SEED),
+            env=Environment(seed=SEED),
+        )
+
+    sizes: dict[str, int] = {}
+    sizes["dejavu"] = record(factory(), **knobs()).trace.encoded_size_bytes
+    _, rc_trace, _ = rc_record(factory(), **knobs())
+    sizes["russinovich"] = rc_trace.encoded_size_bytes
+    _, crew = instant_replay_record(factory(), **knobs())
+    sizes["instant_replay"] = crew.encoded_size_bytes
+    sizes["recap"] = recap_record(factory(), **knobs()).trace.encoded_size_bytes
+    return sizes
+
+
+def main() -> None:
+    header = f"{'workload':<18}{'DejaVu':>9}{'R&C':>9}{'InstantR':>10}{'Recap':>9}"
+    print(header)
+    print("-" * len(header))
+    totals = {"dejavu": 0, "russinovich": 0, "instant_replay": 0, "recap": 0}
+    for name, factory in ALL_WORKLOADS.items():
+        sizes = survey_one(name, factory)
+        for k, v in sizes.items():
+            totals[k] += v
+        print(
+            f"{name:<18}{sizes['dejavu']:>9}{sizes['russinovich']:>9}"
+            f"{sizes['instant_replay']:>10}{sizes['recap']:>9}"
+        )
+    print("-" * len(header))
+    print(
+        f"{'total (bytes)':<18}{totals['dejavu']:>9}{totals['russinovich']:>9}"
+        f"{totals['instant_replay']:>10}{totals['recap']:>9}"
+    )
+    print(
+        "\nDejaVu logs only what cannot be replayed from state: "
+        "preemptive switch points and environmental values."
+    )
+
+
+if __name__ == "__main__":
+    main()

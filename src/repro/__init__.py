@@ -1,0 +1,33 @@
+"""DejaVu on Pequeño — a perturbation-free deterministic replay platform.
+
+A from-scratch reproduction of Choi, Alpern, Ngo, Sridharan, Vlissides,
+*A Perturbation-Free Replay Platform for Cross-Optimized Multithreaded
+Applications* (IPDPS 2001).
+
+Package map:
+
+* :mod:`repro.vm`        — the Jalapeño-like virtual machine substrate
+* :mod:`repro.core`      — DejaVu: record/replay, symmetry, verification
+* :mod:`repro.remote`    — remote reflection (ptrace port, tool interpreter)
+* :mod:`repro.debugger`  — the three-tier debugger + time travel
+* :mod:`repro.lang`      — MiniJ, a small Java-like front end
+* :mod:`repro.tools`     — replay-based profiler / coverage / heap census
+* :mod:`repro.baselines` — the §5 related-work schemes
+* :mod:`repro.workloads` — guest programs
+* :mod:`repro.api`       — `GuestProgram` / `record` / `replay`
+* :mod:`repro.cli`       — ``python -m repro``
+
+Quickstart::
+
+    from repro.api import record, replay
+    from repro.core import assert_faithful_replay
+    from repro.workloads import racy_bank
+
+    session = record(racy_bank())
+    result = replay(racy_bank(), session.trace)
+    assert_faithful_replay(session.result, result)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,139 @@
+"""High-level convenience API: programs, recording, and replaying.
+
+Typical use (also ``examples/quickstart.py``)::
+
+    from repro.api import GuestProgram, record, replay
+    from repro.core import assert_faithful_replay
+    from repro.vm import SeededJitterTimer
+
+    program = GuestProgram.from_source(SOURCE)
+    session = record(program, timer=SeededJitterTimer(42))
+    result = replay(program, session.trace)
+    assert_faithful_replay(session.result, result)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.core.controller import MODE_RECORD, MODE_REPLAY, DejaVu
+from repro.core.symmetry import SymmetryConfig
+from repro.core.tracelog import TraceLog
+from repro.core.verify import ReplayReport, compare_runs
+from repro.vm.asm import assemble
+from repro.vm.classfile import ClassDef
+from repro.vm.machine import _DEFAULT, Environment, VirtualMachine, VMConfig
+from repro.vm.scheduler_types import RunResult
+from repro.vm.timerdev import TimerSource, WallClock
+
+
+@dataclass
+class GuestProgram:
+    """A runnable guest program: classes + entry point + native bindings."""
+
+    classdefs: list[ClassDef]
+    main: str = "Main.main()V"
+    #: extra natives: (qualname, implementation, is_nondeterministic)
+    natives: list[tuple[str, Callable, bool]] = field(default_factory=list)
+    name: str = "program"
+
+    @classmethod
+    def from_source(
+        cls,
+        source: str,
+        main: str = "Main.main()V",
+        natives: Iterable[tuple[str, Callable, bool]] | None = None,
+        name: str = "program",
+    ) -> "GuestProgram":
+        return cls(
+            classdefs=assemble(source, source=name),
+            main=main,
+            natives=list(natives or []),
+            name=name,
+        )
+
+
+def build_vm(
+    program: GuestProgram,
+    config: VMConfig | None = None,
+    *,
+    timer: TimerSource | None | object = _DEFAULT,
+    clock: WallClock | None = None,
+    env: Environment | None = None,
+) -> VirtualMachine:
+    """A fresh VM with *program* declared (VMs are single-run).
+
+    Leave *timer* unset for the VM's default; pass an explicit
+    :class:`TimerSource` to control preemption, or ``None`` to disable
+    the preemption timer entirely.
+    """
+    vm = VirtualMachine(config, timer=timer, clock=clock, env=env)
+    vm.declare(program.classdefs)
+    for qualname, fn, nondet in program.natives:
+        vm.register_native(qualname, fn, nondet=nondet)
+    return vm
+
+
+@dataclass
+class RecordedRun:
+    """Outcome of :func:`record`: the run's results plus its trace."""
+
+    result: RunResult
+    trace: TraceLog
+    stats: dict
+
+
+def record(
+    program: GuestProgram,
+    *,
+    config: VMConfig | None = None,
+    timer: TimerSource | None | object = _DEFAULT,
+    clock: WallClock | None = None,
+    env: Environment | None = None,
+    symmetry: SymmetryConfig | None = None,
+    **dejavu_kwargs,
+) -> RecordedRun:
+    """Execute *program* under DejaVu record mode; return results + trace.
+
+    Extra keyword arguments (e.g. ``switch_buffer_words``) are forwarded
+    to the :class:`DejaVu` controller.
+    """
+    vm = build_vm(program, config, timer=timer, clock=clock, env=env)
+    dejavu = DejaVu(vm, MODE_RECORD, symmetry=symmetry, **dejavu_kwargs)
+    result = vm.run(program.main)
+    trace = dejavu.trace()
+    trace.meta["program"] = program.name
+    return RecordedRun(result=result, trace=trace, stats=dict(dejavu.stats))
+
+
+def replay(
+    program: GuestProgram,
+    trace: TraceLog,
+    *,
+    config: VMConfig | None = None,
+    symmetry: SymmetryConfig | None = None,
+    **dejavu_kwargs,
+) -> RunResult:
+    """Re-execute *program* driven by *trace*; raises
+    :class:`~repro.vm.errors.ReplayDivergenceError` if replay diverges."""
+    vm = build_vm(program, config)
+    DejaVu(vm, MODE_REPLAY, trace=trace, symmetry=symmetry, **dejavu_kwargs)
+    return vm.run(program.main)
+
+
+def record_and_replay(
+    program: GuestProgram,
+    *,
+    config: VMConfig | None = None,
+    timer: TimerSource | None | object = _DEFAULT,
+    clock: WallClock | None = None,
+    env: Environment | None = None,
+    symmetry: SymmetryConfig | None = None,
+) -> tuple[RecordedRun, RunResult, ReplayReport]:
+    """Record once, replay once, and compare — the end-to-end check."""
+    session = record(
+        program, config=config, timer=timer, clock=clock, env=env, symmetry=symmetry
+    )
+    replayed = replay(program, session.trace, config=config, symmetry=symmetry)
+    return session, replayed, compare_runs(session.result, replayed)

@@ -1,0 +1,35 @@
+"""Related-work baselines (paper §5), implemented on the same VM.
+
+* :mod:`repro.baselines.repeated` — naive repeated execution: no trace at
+  all, and (measurably) no reproduction of non-deterministic behaviour.
+* :mod:`repro.baselines.russinovich` — Russinovich & Cogswell: log *every*
+  thread dispatch with the scheduled thread's identity and steer the
+  scheduler on replay, maintaining a record↔replay thread map — the
+  execution cost DejaVu avoids by replaying the thread package itself.
+* :mod:`repro.baselines.instant_replay` — LeBlanc & Mellor-Crummey's
+  Instant Replay: log versioned CREW (coarse, monitor-level) operations
+  only; replay enforces their order.  Works for CREW-disciplined
+  programs, demonstrably fails on data races outside monitors.
+* :mod:`repro.baselines.recap` — Pan & Linton's Recap: capture the effect
+  of **every read of shared memory locations** ("quite expensive") via a
+  bytecode-rewriting pass; the trace-size comparison's upper bar.
+"""
+
+from repro.baselines.instant_replay import (
+    instant_replay_record,
+    instant_replay_replay,
+)
+from repro.baselines.recap import recap_record, recap_replay, recap_transform
+from repro.baselines.repeated import repeated_execution
+from repro.baselines.russinovich import rc_record, rc_replay
+
+__all__ = [
+    "instant_replay_record",
+    "instant_replay_replay",
+    "rc_record",
+    "rc_replay",
+    "recap_record",
+    "recap_replay",
+    "recap_transform",
+    "repeated_execution",
+]

@@ -1,0 +1,185 @@
+"""Instant Replay (LeBlanc & Mellor-Crummey) on the Pequeño VM.
+
+Instant Replay assumes every shared object is accessed through a correct
+coarse-grained CREW operation and logs only those operations: per shared
+object, a version number; per access, a record.  Here the coarse
+operations are monitor acquisitions — record logs the global sequence of
+``(object serial, thread id)`` acquisitions, and replay *enforces* that
+sequence through an admission gate on the monitor table while the rest of
+the execution runs free (live timer — Instant Replay does not log
+preemption points).
+
+Two properties the paper claims, both demonstrated by the benchmarks:
+
+* for CREW-disciplined programs the *results* replay (the interleaving
+  between critical sections may differ — Instant Replay promises
+  equivalent computations, not cycle-identical executions);
+* "this approach will not work for applications that do not use the CREW
+  discipline" — a data race outside any monitor (``racy_bank``) replays
+  to a different answer.
+
+Object identity across runs uses first-acquisition serials.  If the
+replayed run's first-acquisition order diverges (it can, for non-CREW
+programs), serial binding itself goes wrong — one more way the scheme
+fails without the discipline it assumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.api import GuestProgram, build_vm
+from repro.vm.errors import ReplayDivergenceError
+from repro.vm.machine import _DEFAULT, VMConfig
+from repro.vm.scheduler_types import RunResult
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.vm.machine import VirtualMachine
+    from repro.vm.threads import GreenThread
+
+
+@dataclass
+class CrewTrace:
+    """The Instant Replay log: versioned coarse operations."""
+
+    #: (object serial, thread id) per acquisition, in global order
+    events: list[tuple[int, int]] = field(default_factory=list)
+    n_objects: int = 0
+
+    @property
+    def n_records(self) -> int:
+        return len(self.events)
+
+    @property
+    def encoded_size_bytes(self) -> int:
+        from repro.core.tracelog import encode_words
+
+        flat: list[int] = []
+        for serial, tid in self.events:
+            flat.extend((serial, tid))
+        return len(encode_words(flat))
+
+
+class _CrewRecorder:
+    def __init__(self, vm: "VirtualMachine"):
+        self.vm = vm
+        self.trace = CrewTrace()
+        self._serials: dict[int, int] = {}
+        vm.monitors.on_acquire = self._on_acquire
+        vm.extra_root_visitors.append(self._rekey)
+
+    def _serial_for(self, addr: int) -> int:
+        serial = self._serials.get(addr)
+        if serial is None:
+            serial = self.trace.n_objects
+            self.trace.n_objects += 1
+            self._serials[addr] = serial
+        return serial
+
+    def _on_acquire(self, addr: int, thread: "GreenThread") -> None:
+        self.trace.events.append((self._serial_for(addr), thread.tid))
+
+    def _rekey(self, fwd) -> None:
+        self._serials = {fwd(addr): s for addr, s in self._serials.items()}
+
+
+class _CrewEnforcer:
+    """Admission gate: only the recorded next (object, thread) may lock."""
+
+    def __init__(self, vm: "VirtualMachine", trace: CrewTrace):
+        self.vm = vm
+        self.trace = trace
+        self.cursor = 0
+        self._serials: dict[int, int] = {}
+        self._next_fresh = 0
+        self._waking = False
+        vm.monitors.acquire_gate = self._gate
+        vm.monitors.on_acquire = self._on_acquire
+        vm.extra_root_visitors.append(self._rekey)
+
+    def _expected(self) -> tuple[int, int] | None:
+        if self.cursor >= len(self.trace.events):
+            return None
+        return self.trace.events[self.cursor]
+
+    def _gate(self, addr: int, thread: "GreenThread") -> bool:
+        expected = self._expected()
+        if expected is None:
+            return True  # log exhausted: run free (and likely diverge)
+        exp_serial, exp_tid = expected
+        if thread.tid != exp_tid:
+            return False
+        serial = self._serials.get(addr)
+        if serial is None:
+            # an object acquired for the first time must match a
+            # first-acquisition (fresh-serial) record
+            return exp_serial == self._next_fresh
+        return serial == exp_serial
+
+    def _on_acquire(self, addr: int, thread: "GreenThread") -> None:
+        serial = self._serials.get(addr)
+        if serial is None:
+            serial = self._next_fresh
+            self._next_fresh += 1
+            self._serials[addr] = serial
+        expected = self._expected()
+        if expected is not None:
+            exp_serial, exp_tid = expected
+            if (serial, thread.tid) != (exp_serial, exp_tid):
+                raise ReplayDivergenceError(
+                    f"CREW order violated at event {self.cursor}: "
+                    f"recorded {(exp_serial, exp_tid)}, got {(serial, thread.tid)}"
+                )
+        self.cursor += 1
+        self._wake_admissible()
+
+    def _wake_admissible(self) -> None:
+        """After the cursor advances, a parked contender may have become
+        the expected one — hand free locks to newly admissible threads."""
+        if self._waking:
+            return
+        self._waking = True
+        try:
+            progress = True
+            while progress:
+                progress = False
+                for addr in list(self.vm.monitors.monitors):
+                    heir = self.vm.monitors.grant_if_free(addr)
+                    if heir is not None:
+                        self.vm.scheduler.make_ready(heir)
+                        progress = True
+        finally:
+            self._waking = False
+
+    def _rekey(self, fwd) -> None:
+        self._serials = {fwd(addr): s for addr, s in self._serials.items()}
+
+
+def instant_replay_record(
+    program: GuestProgram,
+    *,
+    config: VMConfig | None = None,
+    timer=_DEFAULT,
+    clock=None,
+    env=None,
+) -> tuple[RunResult, CrewTrace]:
+    vm = build_vm(program, config, timer=timer, clock=clock, env=env)
+    recorder = _CrewRecorder(vm)
+    result = vm.run(program.main)
+    return result, recorder.trace
+
+
+def instant_replay_replay(
+    program: GuestProgram,
+    trace: CrewTrace,
+    *,
+    config: VMConfig | None = None,
+    timer=_DEFAULT,
+    clock=None,
+    env=None,
+) -> RunResult:
+    """Re-execute enforcing the CREW order; everything else runs free."""
+    vm = build_vm(program, config, timer=timer, clock=clock, env=env)
+    _CrewEnforcer(vm, trace)
+    return vm.run(program.main)

@@ -1,0 +1,312 @@
+"""The command-line interface: ``python -m repro <command> ...``.
+
+Commands:
+
+* ``run program.jasm``            — execute a guest program
+* ``record program.jasm -o t.djv``— execute under DejaVu, save the trace
+* ``replay program.jasm t.djv``   — deterministically re-execute a trace
+* ``debug program.jasm t.djv``    — interactive debugger over a replay
+* ``serve program.jasm t.djv``    — TCP debugger server (Figure 4 tier 2)
+* ``profile program.jasm t.djv``  — exact profile of a recorded execution
+* ``coverage program.jasm t.djv`` — bytecode/line coverage of a trace
+* ``disasm program.jasm``         — verify + disassemble
+* ``trace-info t.djv``            — describe a saved trace
+
+Programs may be written in assembly (``.jasm``) or MiniJ (``.mj`` /
+``.minij``); the extension picks the front end.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.api import GuestProgram, build_vm, record as api_record, replay as api_replay
+from repro.core import TraceLog
+from repro.vm.errors import VMError
+from repro.vm.machine import Environment, VMConfig
+from repro.vm.timerdev import HostClock, HostTimer, SeededJitterClock, SeededJitterTimer
+
+
+def load_program(path: str, main: str) -> GuestProgram:
+    p = Path(path)
+    if not p.exists():
+        raise VMError(f"no such file: {path}")
+    text = p.read_text()
+    if p.suffix in (".mj", ".minij"):
+        from repro.lang import compile_source
+
+        return GuestProgram(classdefs=compile_source(text), main=main, name=p.stem)
+    if p.suffix == ".jasm":
+        return GuestProgram.from_source(text, main=main, name=p.stem)
+    raise VMError(f"unknown program type {p.suffix!r} (want .jasm, .mj, .minij)")
+
+
+def _knobs(args) -> dict:
+    if args.seed is None:
+        return dict(timer=HostTimer(), clock=HostClock())
+    return dict(
+        timer=SeededJitterTimer(args.seed, 40, 200),
+        clock=SeededJitterClock(args.seed),
+        env=Environment(seed=args.seed),
+    )
+
+
+def _config(args) -> VMConfig:
+    return VMConfig(semispace_words=args.heap)
+
+
+def _print_result(result, out=None) -> None:
+    out = out if out is not None else sys.stdout
+    print(result.output_text, file=out)
+    print(
+        f"-- cycles={result.cycles} switches={result.switches} "
+        f"gc={result.gc_count} threads={len(result.yieldpoints)}",
+        file=out,
+    )
+    if result.deadlocked:
+        print(f"-- DEADLOCK: threads {list(result.deadlocked)}", file=out)
+    for tid, kind, detail in result.traps:
+        print(f"-- trap in thread {tid}: {detail}", file=out)
+
+
+# ---------------------------------------------------------------------------
+# commands
+
+
+def cmd_run(args) -> int:
+    program = load_program(args.program, args.main)
+    vm = build_vm(program, _config(args), **_knobs(args))
+    _print_result(vm.run(program.main))
+    return 0
+
+
+def cmd_record(args) -> int:
+    program = load_program(args.program, args.main)
+    session = api_record(program, config=_config(args), **_knobs(args))
+    _print_result(session.result)
+    session.trace.save(args.out)
+    print(
+        f"-- trace: {session.trace.n_switch_records} switch records, "
+        f"{session.trace.n_value_words} value words, "
+        f"{session.trace.encoded_size_bytes} bytes -> {args.out}"
+    )
+    return 0
+
+
+def cmd_replay(args) -> int:
+    program = load_program(args.program, args.main)
+    trace = TraceLog.load(args.trace)
+    result = api_replay(program, trace, config=_config(args))
+    _print_result(result)
+    print("-- replay verified against the recorded END witnesses")
+    return 0
+
+
+def cmd_trace_info(args) -> int:
+    trace = TraceLog.load(args.trace)
+    print(f"program:        {trace.meta.get('program', '?')}")
+    print(f"switch records: {trace.n_switch_records}")
+    print(f"value words:    {trace.n_value_words}")
+    print(f"encoded bytes:  {trace.encoded_size_bytes}")
+    end = dict(trace.meta.get("end") or ())
+    for key in ("cycles", "switches", "gc_count", "output_len"):
+        if key in end:
+            print(f"{key + ':':<16}{end[key]}")
+    stats = dict(trace.meta.get("stats") or ())
+    if stats:
+        print("record stats:   " + ", ".join(f"{k}={v}" for k, v in sorted(stats.items())))
+    return 0
+
+
+def cmd_disasm(args) -> int:
+    from repro.vm import VirtualMachine
+    from repro.vm.bytecode import disassemble
+
+    program = load_program(args.program, args.main)
+    vm = VirtualMachine(_config(args))
+    vm.declare(program.classdefs)
+    for cd in program.classdefs:
+        vm.load(cd.name)
+        print(f".class {cd.name}" + (f" extends {cd.super_name}" if cd.super_name else ""))
+        for m in cd.methods:
+            flags = " static" if m.static else ""
+            if m.native:
+                print(f"  .native{flags} {m.name}{m.signature.spell()}")
+                continue
+            rm = vm.loader.resolve_method_any(f"{cd.name}.{m.key}")
+            print(f"  .method{flags} {m.name}{m.signature.spell()}  "
+                  f"; {len(rm.code.ops)} machine ops, {rm.code.n_yieldpoints} yield points")
+            print(disassemble(m.code, m.line_table))
+        print()
+    return 0
+
+
+def cmd_profile(args) -> int:
+    from repro.tools import ReplayProfiler
+
+    program = load_program(args.program, args.main)
+    trace = TraceLog.load(args.trace)
+    report = ReplayProfiler(program, trace, _config(args)).run()
+    print(report.format(args.top))
+    return 0
+
+
+def cmd_coverage(args) -> int:
+    from repro.tools import ReplayCoverage
+
+    program = load_program(args.program, args.main)
+    trace = TraceLog.load(args.trace)
+    print(ReplayCoverage(program, trace, _config(args)).run().format())
+    return 0
+
+
+def cmd_serve(args) -> int:
+    from repro.debugger import Debugger, DebuggerServer, ReplaySession
+
+    program = load_program(args.program, args.main)
+    trace = TraceLog.load(args.trace)
+    session = ReplaySession(program, trace, config=_config(args))
+    server = DebuggerServer(Debugger(session), port=args.port).start()
+    print(f"debugger serving on {server.address[0]}:{server.address[1]}")
+    print("press Ctrl-C to stop")
+    try:
+        import time
+
+        while True:
+            time.sleep(0.5)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    return 0
+
+
+def cmd_debug(args) -> int:
+    """A small interactive (or scripted) debugger REPL."""
+    from repro.debugger import Debugger, ReplaySession
+
+    program = load_program(args.program, args.main)
+    trace = TraceLog.load(args.trace)
+    session = ReplaySession(program, trace, config=_config(args))
+    dbg = Debugger(session)
+    print("dejavu debugger — commands: break M [bci] | cont | step [mode] | bt | "
+          "threads | static Cls field | lines M | output | info | finish | quit")
+    while True:
+        try:
+            line = input("(djv) ") if sys.stdin.isatty() else sys.stdin.readline()
+        except EOFError:
+            break
+        if not line:
+            break
+        parts = line.split()
+        if not parts:
+            continue
+        cmd, *rest = parts
+        try:
+            if cmd == "quit":
+                break
+            elif cmd == "break":
+                bci = int(rest[1]) if len(rest) > 1 else 0
+                print(dbg.break_(rest[0], bci=bci))
+            elif cmd == "cont":
+                print(dbg.cont())
+            elif cmd == "step":
+                print(dbg.step(rest[0] if rest else "into"))
+            elif cmd == "bt":
+                for frame in dbg.backtrace():
+                    print(f"  {frame['method']} @bci {frame['bci']} (line {frame['line']})")
+            elif cmd == "threads":
+                for t in dbg.threads():
+                    print(f"  tid {t['tid']}: {t['state']}")
+            elif cmd == "static":
+                print(dbg.print_static(rest[0], rest[1])["value"])
+            elif cmd == "lines":
+                listing = dbg.source(rest[0])
+                for row in listing["code"]:
+                    print(f"  {row['bci']:4d}: {row['instr']:<30s} ; line {row['line']}")
+            elif cmd == "output":
+                print(dbg.output()["output"])
+            elif cmd == "info":
+                print(dbg.info())
+            elif cmd == "finish":
+                print(dbg.finish())
+            else:
+                print(f"unknown command {cmd!r}")
+        except Exception as exc:
+            print(f"error: {exc}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="DejaVu deterministic replay platform"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, trace_arg=False):
+        p.add_argument("program", help="guest program (.jasm / .mj / .minij)")
+        if trace_arg:
+            p.add_argument("trace", help="recorded trace (.djv)")
+        p.add_argument("--main", default="Main.main()V")
+        p.add_argument("--heap", type=int, default=400_000, help="semispace words")
+        p.add_argument(
+            "--seed",
+            type=int,
+            default=None,
+            help="seeded non-determinism (default: host timer/clock)",
+        )
+
+    p = sub.add_parser("run", help="execute a guest program")
+    common(p)
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("record", help="execute under DejaVu, save the trace")
+    common(p)
+    p.add_argument("-o", "--out", default="run.djv")
+    p.set_defaults(fn=cmd_record)
+
+    p = sub.add_parser("replay", help="re-execute a recorded trace")
+    common(p, trace_arg=True)
+    p.set_defaults(fn=cmd_replay)
+
+    p = sub.add_parser("debug", help="interactive debugger over a replay")
+    common(p, trace_arg=True)
+    p.set_defaults(fn=cmd_debug)
+
+    p = sub.add_parser("serve", help="TCP debugger server over a replay")
+    common(p, trace_arg=True)
+    p.add_argument("--port", type=int, default=0)
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser("profile", help="perturbation-free profile of a trace")
+    common(p, trace_arg=True)
+    p.add_argument("--top", type=int, default=10)
+    p.set_defaults(fn=cmd_profile)
+
+    p = sub.add_parser("coverage", help="bytecode/line coverage of a trace")
+    common(p, trace_arg=True)
+    p.set_defaults(fn=cmd_coverage)
+
+    p = sub.add_parser("disasm", help="verify and disassemble a program")
+    common(p)
+    p.set_defaults(fn=cmd_disasm)
+
+    p = sub.add_parser("trace-info", help="describe a saved trace")
+    p.add_argument("trace")
+    p.set_defaults(fn=cmd_trace_info)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = make_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except VMError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1

@@ -1,0 +1,29 @@
+"""DejaVu: the deterministic record/replay platform (the paper's core).
+
+Public surface:
+
+* :class:`repro.core.controller.DejaVu` — the record/replay controller
+  attached to a :class:`repro.vm.VirtualMachine`;
+* :class:`repro.core.controller.SymmetryConfig` — the symmetric-
+  instrumentation knobs (each individually ablatable, §2.4);
+* :class:`repro.core.tracelog.TraceLog` — a recorded execution;
+* :mod:`repro.core.verify` — replay accuracy checking.
+
+The convenience API (record a program / replay a trace in one call) lives
+in :mod:`repro.api`.
+"""
+
+from repro.core.controller import MODE_RECORD, MODE_REPLAY, DejaVu, SymmetryConfig
+from repro.core.tracelog import TraceLog
+from repro.core.verify import ReplayReport, assert_faithful_replay, compare_runs
+
+__all__ = [
+    "DejaVu",
+    "MODE_RECORD",
+    "MODE_REPLAY",
+    "ReplayReport",
+    "SymmetryConfig",
+    "TraceLog",
+    "assert_faithful_replay",
+    "compare_runs",
+]

@@ -1,0 +1,413 @@
+"""The DejaVu controller: record and replay of non-deterministic events.
+
+The controller attaches to a :class:`~repro.vm.machine.VirtualMachine` and
+interposes on exactly three funnels:
+
+1. **yield points** — every compiled yield point calls
+   :meth:`DejaVu.at_yieldpoint`, which executes the Figure-2
+   instrumentation (structurally identical in record and replay mode);
+2. **wall-clock reads** — :meth:`clock_read` records/replays every value;
+3. **non-deterministic natives** — :meth:`native_call` records/replays
+   return values and callback (upcall) parameters, per §2.5.
+
+Everything else — synchronization, GC, allocation, monitor hand-offs —
+replays because the thread package and heap are themselves deterministic
+state machines once these three funnels are pinned.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.core import events as ev
+from repro.core.symmetry import SymmetryConfig, SymmetryManager
+from repro.core.tracelog import TraceBuffer, TraceLog
+from repro.vm.errors import ReplayDivergenceError, VMError
+from repro.vm.memory import BOOT_DEJAVU
+from repro.vm.native import BLOCK, NativeCall, NativeResult
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.vm.loader import RuntimeMethod
+    from repro.vm.machine import VirtualMachine
+    from repro.vm.native import NativeDef
+    from repro.vm.threads import GreenThread
+
+MODE_RECORD = "record"
+MODE_REPLAY = "replay"
+
+#: default guest-buffer capacities (words)
+SWITCH_BUFFER_WORDS = 256
+VALUE_BUFFER_WORDS = 512
+
+
+class DejaVu:
+    """One record or replay session bound to one VM."""
+
+    def __init__(
+        self,
+        vm: "VirtualMachine",
+        mode: str,
+        trace: TraceLog | None = None,
+        symmetry: SymmetryConfig | None = None,
+        switch_buffer_words: int = SWITCH_BUFFER_WORDS,
+        value_buffer_words: int = VALUE_BUFFER_WORDS,
+    ):
+        if mode not in (MODE_RECORD, MODE_REPLAY):
+            raise VMError(f"bad DejaVu mode {mode!r}")
+        if mode == MODE_REPLAY and trace is None:
+            raise VMError("replay mode requires a trace")
+        if vm.dejavu is not None:
+            raise VMError("VM already has a DejaVu attached")
+        self.vm = vm
+        self.mode = mode
+        self.symmetry_config = symmetry or SymmetryConfig()
+        self.sym = SymmetryManager(self, self.symmetry_config)
+
+        self.switch_buf = TraceBuffer(vm, switch_buffer_words)
+        self.value_buf = TraceBuffer(vm, value_buffer_words, boot_slot=BOOT_DEJAVU)
+        self.switch_buf.on_drain = self.sym.on_drain
+        self.value_buf.on_drain = self.sym.on_drain
+
+        # record-side sinks
+        self._switch_sink: list[int] = []
+        self._value_sink: list[int] = []
+        # replay-side sources and cursors
+        self._trace = trace
+        self._switch_cursor = 0
+        self._value_cursor = 0
+
+        # Figure 2 state
+        self.nyp = 0
+        self.liveclock = True
+        self.threadswitch_bit = False
+        self._replay_nyp: int | None = None
+
+        self.stats = {
+            "switch_records": 0,
+            "clock_records": 0,
+            "native_records": 0,
+            "upcall_records": 0,
+            "internal_yieldpoints": 0,
+        }
+        self._finished = False
+        vm.dejavu = self
+
+    # ------------------------------------------------------------------
+
+    @property
+    def recording(self) -> bool:
+        return self.mode == MODE_RECORD
+
+    @property
+    def replaying(self) -> bool:
+        return self.mode == MODE_REPLAY
+
+    # ------------------------------------------------------------------
+    # raw word I/O (always with the logical clock paused)
+
+    def _put_switch(self, word: int) -> None:
+        self.switch_buf.put(word, self._switch_sink)
+
+    def _put_value(self, word: int) -> None:
+        self.value_buf.put(word, self._value_sink)
+
+    def _take_switch(self) -> int | None:
+        assert self._trace is not None
+        word, self._switch_cursor = self.switch_buf.take(
+            self._trace.switches, self._switch_cursor
+        )
+        return word
+
+    def _take_value(self) -> int:
+        assert self._trace is not None
+        word, self._value_cursor = self.value_buf.take(
+            self._trace.values, self._value_cursor
+        )
+        if word is None:
+            raise ReplayDivergenceError(
+                "value trace exhausted", position=self._value_cursor
+            )
+        return word
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    def on_run_start(self) -> None:
+        """DejaVu initialisation, before the application's first event."""
+        self.sym.init_actions()
+        if self.replaying:
+            self.vm.engine.timer_enabled = False  # hw bit is ignored anyway
+            prev = self.liveclock
+            self.liveclock = False
+            try:
+                self._replay_nyp = self._take_switch()
+            finally:
+                self.liveclock = prev
+
+    def on_run_end(self) -> None:
+        if self._finished:
+            return
+        self._finished = True
+        prev = self.liveclock
+        self.liveclock = False
+        try:
+            if self.recording:
+                self.switch_buf.flush(self._switch_sink)
+                self.value_buf.flush(self._value_sink)
+        finally:
+            self.liveclock = prev
+        # leave byte-identical heaps behind in both modes
+        self.switch_buf.zero()
+        self.value_buf.zero()
+        if self.recording:
+            self._end_meta = self._make_end_meta()
+        else:
+            self._verify_end()
+
+    def _make_end_meta(self) -> dict:
+        vm = self.vm
+        return {
+            "cycles": vm.engine.cycles,
+            "switches": vm.scheduler.switch_count,
+            "yieldpoints": tuple(
+                (t.tid, t.yieldpoints) for t in vm.scheduler.threads
+            ),
+            "heap_digest": vm.heap_digest(),
+            "output_len": len(vm.output),
+            "gc_count": vm.collector.collections,
+        }
+
+    def _verify_end(self) -> None:
+        """Replay-side accuracy check against the recorded END witnesses."""
+        assert self._trace is not None
+        want = self._trace.meta.get("end")
+        if want is None:
+            return
+        want = dict(want)
+        got = self._make_end_meta()
+        for key, expected in want.items():
+            actual = got.get(key)
+            if actual != expected:
+                raise ReplayDivergenceError(
+                    f"end-of-run mismatch on {key}: recorded {expected!r}, "
+                    f"replayed {actual!r}"
+                )
+        leftover_switches = len(self._trace.switches) - self._switch_cursor
+        in_buffer = self.switch_buf._fill - self.switch_buf._pos
+        # one pre-fetched delta that never fired is fine (the run ended
+        # before the next preemption); more than that means lost events —
+        # but _replay_nyp holds the prefetched one, so any unconsumed
+        # buffered/stream words are a divergence.
+        if leftover_switches > 0 or in_buffer > 0:
+            raise ReplayDivergenceError(
+                f"{leftover_switches + in_buffer} switch records never consumed"
+            )
+
+    def trace(self) -> TraceLog:
+        """The recorded trace (record mode, after the run completes)."""
+        if not self.recording:
+            raise VMError("trace() is only available in record mode")
+        if not self._finished:
+            raise VMError("trace() is only available after the run completes")
+        log = TraceLog(
+            switches=list(self._switch_sink),
+            values=list(self._value_sink),
+        )
+        log.meta["end"] = tuple(sorted(self._end_meta.items()))
+        log.meta["stats"] = tuple(sorted(self.stats.items()))
+        return log
+
+    # ------------------------------------------------------------------
+    # Figure 2: the yield-point instrumentation
+
+    def at_yieldpoint(self, thread: "GreenThread", tag: int) -> None:
+        """Executed at every compiled yield point, in either mode.
+
+        The two halves below are transliterations of Figure 2-(A) and
+        2-(B); note they are *structurally identical* — same guard, same
+        clock pause, same switch-bit epilogue — which is the symmetric-
+        instrumentation property."""
+        self.sym.stack_check(thread)
+        engine = self.vm.engine
+        live = self.liveclock if self.symmetry_config.liveclock else True
+        if self.recording:
+            if live:
+                self.liveclock = False  # pause the clock
+                self.nyp += 1
+                if engine.hw_bit:  # preemption required by system clock
+                    self._record_thread_switch(self.nyp)
+                    self.nyp = 0  # initialize the counter for the next switch
+                    self.threadswitch_bit = True  # set the software switch bit
+                self.liveclock = True  # resume the clock
+        else:
+            if live:
+                self.liveclock = False  # pause the clock
+                if self._replay_nyp is not None:
+                    self._replay_nyp -= 1
+                    if self._replay_nyp == 0:  # preemption performed during record
+                        self._replay_nyp = self._replay_thread_switch()
+                        self.threadswitch_bit = True  # set the software switch bit
+                self.liveclock = True  # resume the clock
+        if self.threadswitch_bit:
+            self.threadswitch_bit = False
+            self._perform_thread_switch()
+
+    def _record_thread_switch(self, nyp: int) -> None:
+        self._put_switch(nyp)
+        self.stats["switch_records"] += 1
+
+    def _replay_thread_switch(self) -> int | None:
+        delta = self._take_switch()
+        return delta
+
+    def _perform_thread_switch(self) -> None:
+        engine = self.vm.engine
+        engine.hw_bit = False  # cleared by performThreadSwitch() (Figure 2)
+        self.vm.scheduler.preempt()
+
+    def internal_yieldpoint(self) -> None:
+        """A yield point inside DejaVu's own instrumentation (buffer I/O).
+
+        With the ``liveclock`` mechanism on, these never touch the logical
+        clock (the flag is False whenever we are inside instrumentation).
+        Ablated, they corrupt the nyp counts — record inflates deltas by
+        the write path's yield points, replay burns the countdown on the
+        read path's — and replay diverges."""
+        self.stats["internal_yieldpoints"] += 1
+        live = self.liveclock if self.symmetry_config.liveclock else True
+        if not live:
+            return
+        if self.recording:
+            self.nyp += 1
+        else:
+            if self._replay_nyp is not None:
+                self._replay_nyp -= 1
+                if self._replay_nyp == 0:
+                    self._replay_nyp = self._replay_thread_switch()
+                    self.threadswitch_bit = True
+
+    # ------------------------------------------------------------------
+    # wall-clock funnel
+
+    def clock_read(self) -> int:
+        prev = self.liveclock
+        self.liveclock = False
+        try:
+            if self.recording:
+                value = self.vm.clock.read()
+                self._put_value(ev.K_CLOCK)
+                self._put_value(value)
+                self.stats["clock_records"] += 1
+            else:
+                kind = self._take_value()
+                ev.expect_kind(kind, ev.K_CLOCK, self._value_cursor)
+                value = self._take_value()
+        finally:
+            self.liveclock = prev
+        self.vm.observer.emit("clock", value)
+        return value
+
+    # ------------------------------------------------------------------
+    # non-deterministic native funnel (§2.5)
+
+    def native_call(self, thread: "GreenThread", rm: "RuntimeMethod", nd: "NativeDef", args: list[int]):
+        if self.recording:
+            ctx = NativeCall(self.vm, thread, rm, args)
+            try:
+                raw = nd.fn(ctx)
+            finally:
+                ctx.release()
+            if raw is BLOCK:
+                raise VMError(
+                    f"non-deterministic native {rm.qualname} may not block"
+                )
+            result = raw if isinstance(raw, NativeResult) else NativeResult(
+                value=raw if isinstance(raw, int) else None
+            )
+            self._record_native(rm, result)
+        else:
+            result = self._replay_native(rm)
+        value = result.value if result.value is not None else 0
+        self.vm.observer.emit("native", rm.method_id, value, len(result.upcalls))
+        return result
+
+    def _record_native(self, rm: "RuntimeMethod", result: NativeResult) -> None:
+        prev = self.liveclock
+        self.liveclock = False
+        try:
+            if result.string_value is not None:
+                has_value = 2
+            elif result.value is not None:
+                has_value = 1
+            else:
+                has_value = 0
+            self._put_value(ev.K_NATIVE)
+            self._put_value(rm.method_id)
+            self._put_value(has_value)
+            if has_value == 2:
+                text = result.string_value
+                self._put_value(len(text))
+                for ch in text:
+                    self._put_value(ord(ch))
+            else:
+                self._put_value(result.value if result.value is not None else 0)
+            self._put_value(len(result.upcalls))
+            self.stats["native_records"] += 1
+            for ref, up_args in result.upcalls:
+                up_rm = self.vm.loader.resolve_static_method(ref)
+                self._put_value(ev.K_UPCALL)
+                self._put_value(up_rm.method_id)
+                self._put_value(len(up_args))
+                for a in up_args:
+                    self._put_value(a)
+                self.stats["upcall_records"] += 1
+        finally:
+            self.liveclock = prev
+
+    def _replay_native(self, rm: "RuntimeMethod") -> NativeResult:
+        prev = self.liveclock
+        self.liveclock = False
+        try:
+            kind = self._take_value()
+            ev.expect_kind(kind, ev.K_NATIVE, self._value_cursor)
+            mid = self._take_value()
+            if mid != rm.method_id:
+                raise ReplayDivergenceError(
+                    f"native call mismatch: recorded method id {mid}, "
+                    f"replay reached {rm.qualname} (id {rm.method_id})",
+                    position=self._value_cursor,
+                )
+            has_value = self._take_value()
+            string_value = None
+            value = 0
+            if has_value == 2:
+                n_chars = self._take_value()
+                string_value = "".join(
+                    chr(self._take_value()) for _ in range(n_chars)
+                )
+            else:
+                value = self._take_value()
+            n_upcalls = self._take_value()
+            upcalls = []
+            for _ in range(n_upcalls):
+                kind = self._take_value()
+                ev.expect_kind(kind, ev.K_UPCALL, self._value_cursor)
+                up_mid = self._take_value()
+                n_args = self._take_value()
+                up_args = tuple(self._take_value() for _ in range(n_args))
+                up_rm = self.vm.loader.method_by_id[up_mid]
+                upcalls.append((f"{up_rm.owner.name}.{up_rm.key}", up_args))
+            return NativeResult(
+                value=value if has_value == 1 else None,
+                string_value=string_value,
+                upcalls=upcalls,
+            )
+        finally:
+            self.liveclock = prev
+
+    # ------------------------------------------------------------------
+    # GC support
+
+    def visit_roots(self, fwd: Callable[[int], int]) -> None:
+        self.switch_buf.visit_roots(fwd)
+        self.value_buf.visit_roots(fwd)

@@ -1,0 +1,59 @@
+"""Trace record kinds and their word-level shapes.
+
+DejaVu logs *only* non-deterministic events (§2.1–2.3):
+
+=========  =====================================================  =========
+kind       meaning                                                payload
+=========  =====================================================  =========
+SWITCH     preemptive thread switch after ``nyp`` yield points    [nyp]
+CLOCK      one wall-clock read (scheduler or guest)               [millis]
+NATIVE     non-deterministic native call result                   [method_id,
+           (return value + callbacks regenerated on replay)        has_value,
+                                                                   value,
+                                                                   n_upcalls]
+UPCALL     one callback of the preceding NATIVE                   [method_id,
+                                                                   n_args,
+                                                                   args...]
+END        end-of-run accuracy witnesses                          [cycles,
+                                                                   switches,
+                                                                   n_threads,
+                                                                   yp_0..n-1]
+=========  =====================================================  =========
+
+Deterministic events — synchronization switches, GC, allocation, monitor
+hand-offs — are deliberately absent: replaying the thread package makes
+them reproduce for free, which is DejaVu's trace-size advantage over the
+critical-event loggers compared in §5.
+"""
+
+from __future__ import annotations
+
+from repro.vm.errors import ReplayDivergenceError
+
+K_SWITCH = 1
+K_CLOCK = 2
+K_NATIVE = 3
+K_UPCALL = 4
+K_END = 5
+
+KIND_NAMES = {
+    K_SWITCH: "SWITCH",
+    K_CLOCK: "CLOCK",
+    K_NATIVE: "NATIVE",
+    K_UPCALL: "UPCALL",
+    K_END: "END",
+}
+
+
+def kind_name(kind: int) -> str:
+    return KIND_NAMES.get(kind, f"?{kind}")
+
+
+def expect_kind(got: int, want: int, position: int) -> None:
+    """The replay-side type check: consuming a record of the wrong kind
+    means the replayed execution has already diverged."""
+    if got != want:
+        raise ReplayDivergenceError(
+            f"expected {kind_name(want)} record, found {kind_name(got)}",
+            position=position,
+        )

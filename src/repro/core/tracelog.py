@@ -1,0 +1,249 @@
+"""Trace encoding and the guest-heap trace buffers.
+
+A trace has **two independent word streams**, mirroring the paper's
+footnote 7 ("logging data for non-reproducible events such as reading the
+wall clock need be done independently of thread switch information"):
+
+* the **switch stream** — bare ``nyp`` yield-point deltas, one per
+  preemptive thread switch (Figure 2);
+* the **value stream** — tagged records for wall-clock reads, native-call
+  results and callback parameters (see :mod:`repro.core.events`).
+
+Streams are encoded to bytes with zig-zag varints.  In-flight words pass
+through **guest heap ``[I`` buffers** — the same array objects, allocated
+at the same points, in both record mode (instrumentation *writes*, flushes
+to the host when full) and replay mode (instrumentation *reads*, refills
+from the host when empty).  That is the paper's "symmetry in allocation":
+the buffers are DejaVu's biggest heap side effect, and making them
+identical in both modes keeps the allocation stream — hence GC timing,
+object addresses, and identity hashes — reproducible.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable
+
+from repro.vm.errors import VMError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.vm.machine import VirtualMachine
+
+MAGIC = b"DJVU"
+FORMAT_VERSION = 2
+
+
+# ---------------------------------------------------------------------------
+# varint primitives
+
+
+def zigzag(n: int) -> int:
+    return (n << 1) ^ (n >> 63) if n < 0 else n << 1
+
+
+def unzigzag(z: int) -> int:
+    return (z >> 1) ^ -(z & 1)
+
+
+def write_varint(out: bytearray, n: int) -> None:
+    z = zigzag(n)
+    while True:
+        b = z & 0x7F
+        z >>= 7
+        if z:
+            out.append(b | 0x80)
+        else:
+            out.append(b)
+            return
+
+
+def read_varint(data: bytes, pos: int) -> tuple[int, int]:
+    z = 0
+    shift = 0
+    while True:
+        if pos >= len(data):
+            raise VMError("truncated varint in trace")
+        b = data[pos]
+        pos += 1
+        z |= (b & 0x7F) << shift
+        if not (b & 0x80):
+            return unzigzag(z), pos
+        shift += 7
+
+
+def encode_words(words: list[int]) -> bytes:
+    out = bytearray()
+    for w in words:
+        write_varint(out, w)
+    return bytes(out)
+
+
+def decode_words(data: bytes) -> list[int]:
+    words = []
+    pos = 0
+    while pos < len(data):
+        w, pos = read_varint(data, pos)
+        words.append(w)
+    return words
+
+
+# ---------------------------------------------------------------------------
+# the persisted trace
+
+
+@dataclass
+class TraceLog:
+    """A complete recorded execution, ready to drive a replay."""
+
+    switches: list[int] = field(default_factory=list)
+    values: list[int] = field(default_factory=list)
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def encoded_size_bytes(self) -> int:
+        return len(encode_words(self.switches)) + len(encode_words(self.values))
+
+    @property
+    def n_switch_records(self) -> int:
+        return len(self.switches)
+
+    @property
+    def n_value_words(self) -> int:
+        return len(self.values)
+
+    def save(self, path: str | Path) -> None:
+        path = Path(path)
+        with path.open("wb") as f:
+            f.write(MAGIC)
+            f.write(FORMAT_VERSION.to_bytes(2, "little"))
+            meta_blob = repr(sorted(self.meta.items())).encode()
+            f.write(len(meta_blob).to_bytes(4, "little"))
+            f.write(meta_blob)
+            for payload in (encode_words(self.switches), encode_words(self.values)):
+                f.write(len(payload).to_bytes(8, "little"))
+                f.write(payload)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "TraceLog":
+        data = Path(path).read_bytes()
+        buf = io.BytesIO(data)
+        if buf.read(4) != MAGIC:
+            raise VMError(f"not a DejaVu trace: {path}")
+        version = int.from_bytes(buf.read(2), "little")
+        if version != FORMAT_VERSION:
+            raise VMError(f"unsupported trace version {version}")
+        meta_len = int.from_bytes(buf.read(4), "little")
+        meta = dict(eval(buf.read(meta_len).decode()))  # noqa: S307 - own format
+        streams = []
+        for _ in range(2):
+            payload_len = int.from_bytes(buf.read(8), "little")
+            payload = buf.read(payload_len)
+            if len(payload) != payload_len:
+                raise VMError("truncated trace payload")
+            streams.append(decode_words(payload))
+        return cls(switches=streams[0], values=streams[1], meta=meta)
+
+
+# ---------------------------------------------------------------------------
+# the guest-heap buffers
+
+
+class TraceBuffer:
+    """Word FIFO staged through a guest heap int array.
+
+    Record mode: ``put`` words; when the array fills, its contents drain to
+    the host-side word list (a "flush", which fires the lazy-class-load and
+    internal-yield-point side effects the symmetry rules govern).
+
+    Replay mode: ``take`` words; when the array empties, the next chunk of
+    the trace refills it (a "refill", the mirror-image side effect).
+    """
+
+    def __init__(self, vm: "VirtualMachine", capacity_words: int, *, boot_slot: int | None = None):
+        self.vm = vm
+        self.capacity = capacity_words
+        self.boot_slot = boot_slot
+        self.addr = 0
+        self._fill = 0  # valid words in the guest array
+        self._pos = 0  # read cursor (replay)
+        self.flushes = 0
+        self.refills = 0
+        #: side-effect hook invoked on every flush/refill (symmetry module)
+        self.on_drain: Callable[[str], None] | None = None
+
+    def allocate(self) -> None:
+        """Allocate the guest array (the 'symmetry in allocation' event)."""
+        if self.addr:
+            return
+        self.addr = self.vm.om.new_array("[I", self.capacity)
+        if self.boot_slot is not None:
+            self.vm.memory.boot_write(self.boot_slot, self.addr)
+
+    @property
+    def allocated(self) -> bool:
+        return self.addr != 0
+
+    # -- record side -------------------------------------------------------
+
+    def put(self, word: int, sink: list[int]) -> None:
+        if not self.addr:
+            self.allocate()
+        if self._fill >= self.capacity:
+            self.flush(sink)
+        self.vm.om.array_put(self.addr, self._fill, word)
+        self._fill += 1
+
+    def flush(self, sink: list[int]) -> None:
+        om = self.vm.om
+        for i in range(self._fill):
+            sink.append(om.array_get(self.addr, i))
+        self._fill = 0
+        self.flushes += 1
+        if self.on_drain is not None:
+            self.on_drain("flush")
+
+    # -- replay side -------------------------------------------------------
+
+    def take(self, source: list[int], cursor: int) -> tuple[int | None, int]:
+        """Pop the next word; returns (word | None-when-exhausted, cursor)."""
+        if not self.addr:
+            self.allocate()
+        if self._pos >= self._fill:
+            cursor = self._refill(source, cursor)
+            if self._fill == 0:
+                return None, cursor
+        word = self.vm.om.array_get(self.addr, self._pos)
+        self._pos += 1
+        return word, cursor
+
+    def _refill(self, source: list[int], cursor: int) -> int:
+        om = self.vm.om
+        n = min(self.capacity, len(source) - cursor)
+        for i in range(n):
+            om.array_put(self.addr, i, source[cursor + i])
+        self._fill = n
+        self._pos = 0
+        self.refills += 1
+        if self.on_drain is not None:
+            self.on_drain("refill")
+        return cursor + n
+
+    # -- shared -------------------------------------------------------------
+
+    def zero(self) -> None:
+        """Erase buffer contents (end of run) so record and replay leave
+        byte-identical heaps behind — the END heap-digest check depends
+        on this."""
+        if not self.addr:
+            return
+        om = self.vm.om
+        for i in range(self.capacity):
+            om.array_put(self.addr, i, 0)
+        self._fill = 0
+        self._pos = 0
+
+    def visit_roots(self, fwd: Callable[[int], int]) -> None:
+        if self.addr:
+            self.addr = fwd(self.addr)

@@ -1,0 +1,81 @@
+"""Replay accuracy verification.
+
+The paper's accuracy requirement is absolute: "the replayed code exhibits
+exactly the same behavior as the instrumented code".  §2 defines identical
+behaviour as (1) identical event sequences and (2) identical program
+states after corresponding events.  We check both:
+
+* the **event stream** — every observer event (thread switches with cycle
+  counts, outputs, clock values, native results, GCs, stack growths,
+  traps) must match position-by-position;
+* the **program state** — the final heap digest (a hash of every live
+  word, including addresses chosen by the allocator and collector), cycle
+  count, and per-thread logical clocks must match.
+
+In addition the replay engine performs *online* checks (record-kind and
+method-id mismatches raise :class:`ReplayDivergenceError` mid-run), so a
+diverging replay fails fast rather than producing a plausible-looking but
+wrong execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.vm.errors import ReplayDivergenceError
+from repro.vm.observer import first_divergence
+from repro.vm.scheduler_types import RunResult
+
+
+@dataclass
+class ReplayReport:
+    faithful: bool
+    detail: str
+    first_event_divergence: int | None = None
+    record_event: tuple | None = None
+    replay_event: tuple | None = None
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.faithful
+
+
+def compare_runs(recorded: RunResult, replayed: RunResult) -> ReplayReport:
+    """Full accuracy comparison between a record run and its replay."""
+    idx = first_divergence(recorded.events, replayed.events)
+    if idx is not None:
+        rec_ev = recorded.events[idx] if idx < len(recorded.events) else None
+        rep_ev = replayed.events[idx] if idx < len(replayed.events) else None
+        return ReplayReport(
+            faithful=False,
+            detail=(
+                f"event streams diverge at index {idx}: "
+                f"recorded {rec_ev!r}, replayed {rep_ev!r}"
+            ),
+            first_event_divergence=idx,
+            record_event=rec_ev,
+            replay_event=rep_ev,
+        )
+    if recorded.output != replayed.output:
+        return ReplayReport(False, "outputs differ")
+    if recorded.cycles != replayed.cycles:
+        return ReplayReport(
+            False,
+            f"cycle counts differ: {recorded.cycles} vs {replayed.cycles}",
+        )
+    if recorded.yieldpoints != replayed.yieldpoints:
+        return ReplayReport(False, "per-thread logical clocks differ")
+    if recorded.heap_digest != replayed.heap_digest:
+        return ReplayReport(
+            False,
+            "final heap digests differ (program states diverged even though "
+            "all observed events matched)",
+        )
+    if recorded.traps != replayed.traps:
+        return ReplayReport(False, "trap reports differ")
+    return ReplayReport(True, "replay is accurate")
+
+
+def assert_faithful_replay(recorded: RunResult, replayed: RunResult) -> None:
+    report = compare_runs(recorded, replayed)
+    if not report.faithful:
+        raise ReplayDivergenceError(report.detail)

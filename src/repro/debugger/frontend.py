@@ -1,0 +1,127 @@
+"""The third tier: a TCP server around the debugger core, plus a client.
+
+``DebuggerServer`` accepts one frontend connection at a time and serves
+protocol requests against its :class:`~repro.debugger.core.Debugger`.
+``DebuggerClient`` is the thin frontend side — what the paper's Swing GUI
+would be built on — exposing each protocol command as a method.
+
+The server runs on a background (host) thread; the guest VM only executes
+inside request handling, so the session stays single-threaded from the
+guest's point of view.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+from repro.debugger.core import Debugger
+from repro.debugger.protocol import COMMANDS, decode, dispatch, encode
+from repro.vm.errors import VMError
+
+
+class DebuggerServer:
+    def __init__(self, debugger: Debugger, host: str = "127.0.0.1", port: int = 0):
+        self.debugger = debugger
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind((host, port))
+        self._sock.listen(1)
+        self.address = self._sock.getsockname()
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+
+    def start(self) -> "DebuggerServer":
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+        return self
+
+    def _serve(self) -> None:
+        self._sock.settimeout(0.2)
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._sock.accept()
+            except TimeoutError:
+                continue
+            except OSError:
+                return
+            with conn:
+                self._serve_connection(conn)
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        buf = b""
+        conn.settimeout(0.2)
+        while not self._stop.is_set():
+            try:
+                chunk = conn.recv(4096)
+            except TimeoutError:
+                continue
+            except OSError:
+                return
+            if not chunk:
+                return
+            buf += chunk
+            while b"\n" in buf:
+                line, buf = buf.split(b"\n", 1)
+                if not line.strip():
+                    continue
+                try:
+                    request = decode(line)
+                except ValueError:
+                    conn.sendall(encode({"ok": False, "error": "bad json"}))
+                    continue
+                response = dispatch(self.debugger, request)
+                conn.sendall(encode(response))
+
+    def stop(self) -> None:
+        self._stop.set()
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover
+            pass
+        if self._thread is not None:
+            self._thread.join(timeout=2)
+
+
+class DebuggerClient:
+    """Thin frontend: one method per protocol command."""
+
+    def __init__(self, address: tuple[str, int], timeout: float = 10.0):
+        self._sock = socket.create_connection(address, timeout=timeout)
+        self._buf = b""
+        self._next_id = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    def close(self) -> None:
+        self._sock.close()
+
+    def __enter__(self) -> "DebuggerClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def request(self, cmd: str, **args):
+        self._next_id += 1
+        payload = encode({"id": self._next_id, "cmd": cmd, "args": args})
+        self._sock.sendall(payload)
+        self.bytes_sent += len(payload)
+        while b"\n" not in self._buf:
+            chunk = self._sock.recv(4096)
+            if not chunk:
+                raise VMError("debugger server closed the connection")
+            self._buf += chunk
+            self.bytes_received += len(chunk)
+        line, self._buf = self._buf.split(b"\n", 1)
+        response = decode(line)
+        if response.get("id") != self._next_id:
+            raise VMError("out-of-order debugger response")
+        if not response.get("ok"):
+            raise VMError(f"debugger error: {response.get('error')}")
+        return response.get("result")
+
+    def __getattr__(self, name: str):
+        if name in COMMANDS:
+            return lambda **args: self.request(name, **args)
+        raise AttributeError(name)

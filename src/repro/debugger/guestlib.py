@@ -1,0 +1,39 @@
+"""Guest-side debugger code, interpreted by the *tool* VM.
+
+``Debugger.lineNumberOf`` is the paper's Figure 3, assembled verbatim:
+it calls the mapped ``VM_Dictionary.getMethods()``, indexes the returned
+(remote) method table, and invokes the application VM's own
+``VM_Method.getLineNumberAt`` reflection method on the remote object.
+"""
+
+from __future__ import annotations
+
+from repro.vm.asm import assemble
+from repro.vm.classfile import ClassDef
+
+_DEBUGGER_SRC = """
+.class Debugger
+.method static lineNumberOf (II)I
+    ; VM_Method[] mtable = VM_Dictionary.getMethods();
+    invokestatic VM_Dictionary.getMethods()[LVM_Method;
+    astore 2
+    ; VM_Method candidate = mtable[methodNumber];
+    aload 2
+    iload 0
+    aaload
+    astore 3
+    ; int lineNumber = candidate.getLineNumberAt(offset);
+    aload 3
+    iload 1
+    invokevirtual VM_Method.getLineNumberAt(I)I
+    ireturn
+.end
+.method static methodCount ()I
+    invokestatic VM_Dictionary.getMethodCount()I
+    ireturn
+.end
+"""
+
+
+def debugger_classdefs() -> list[ClassDef]:
+    return assemble(_DEBUGGER_SRC, source="guestlib.Debugger")

@@ -1,0 +1,62 @@
+"""Wire protocol between debugger core and frontend: JSON lines over TCP.
+
+The paper's GUI runs on a third JVM and talks to the debugger JVM over
+TCP, minimising bandwidth by "transmitting small packets of data rather
+than large images".  Our packets are single-line JSON objects::
+
+    → {"id": 7, "cmd": "backtrace", "args": {}}
+    ← {"id": 7, "ok": true, "result": [...]}
+    ← {"id": 8, "ok": false, "error": "no such method"}
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable
+
+from repro.debugger.core import Debugger
+
+#: command name -> (method name on Debugger, allowed argument names)
+COMMANDS: dict[str, tuple[str, tuple[str, ...]]] = {
+    "break": ("break_", ("method", "bci", "line")),
+    "cont": ("cont", ()),
+    "step": ("step", ("mode",)),
+    "finish": ("finish", ()),
+    "backtrace": ("backtrace", ()),
+    "threads": ("threads", ()),
+    "print_static": ("print_static", ("class_name", "field")),
+    "inspect": ("inspect", ("addr",)),
+    "locals": ("locals", ()),
+    "line_number_of": ("line_number_of", ("method_id", "offset")),
+    "source": ("source", ("method",)),
+    "output": ("output", ()),
+    "info": ("info", ()),
+}
+
+
+def encode(message: dict) -> bytes:
+    return (json.dumps(message, separators=(",", ":")) + "\n").encode()
+
+
+def decode(line: bytes) -> dict:
+    return json.loads(line.decode())
+
+
+def dispatch(debugger: Debugger, request: dict) -> dict:
+    """Execute one request against the debugger core."""
+    req_id = request.get("id")
+    cmd = request.get("cmd")
+    args = request.get("args") or {}
+    spec = COMMANDS.get(cmd)
+    if spec is None:
+        return {"id": req_id, "ok": False, "error": f"unknown command {cmd!r}"}
+    method_name, allowed = spec
+    unknown = set(args) - set(allowed)
+    if unknown:
+        return {"id": req_id, "ok": False, "error": f"bad arguments {sorted(unknown)}"}
+    fn: Callable = getattr(debugger, method_name)
+    try:
+        result = fn(**args)
+    except Exception as exc:  # the server must survive bad queries
+        return {"id": req_id, "ok": False, "error": f"{type(exc).__name__}: {exc}"}
+    return {"id": req_id, "ok": True, "result": result}

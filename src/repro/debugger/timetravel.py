@@ -1,0 +1,160 @@
+"""Time-travel debugging on top of deterministic replay.
+
+The paper's §5 surveys checkpoint-based reverse executors (Igor, Recap,
+Boothe's bidirectional debugger).  DejaVu makes the capability almost
+free: because a trace pins the *entire* execution, "going back" is just
+replaying the same trace and stopping earlier.  This module adds that
+tool: a :class:`TimeTravelSession` that addresses execution positions by
+**cycle count** (the deterministic logical time of the engine) and can
+jump to any of them, forwards or backwards, by re-replaying from the
+start — the degenerate checkpoint scheme with a single checkpoint at
+time zero.
+
+Positions are stable: cycle N denotes the same machine state in every
+replay of the same trace (that is exactly DejaVu's accuracy guarantee, and
+the replay verifier enforces it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.debugger.session import ReplaySession
+from repro.vm.errors import VMError
+from repro.vm.machine import VMConfig
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.api import GuestProgram
+    from repro.core.tracelog import TraceLog
+
+
+@dataclass
+class TimePoint:
+    """One remembered moment of the execution."""
+
+    cycles: int
+    tid: int
+    method: str
+    bci: int
+    line: int
+
+
+class _CycleStop:
+    """A debug controller that pauses once a cycle target is reached."""
+
+    def __init__(self, target_cycles: int, engine):
+        self.target = target_cycles
+        self.engine = engine
+        self.paused = False
+        self.reason: tuple | None = None
+        self.breakpoints: set = set()  # controller protocol compatibility
+
+    def resume(self) -> None:
+        self.paused = False
+
+    def check(self, thread, frame, pc) -> bool:
+        if self.engine.cycles >= self.target:
+            self.paused = True
+            self.reason = ("timepoint", self.engine.cycles)
+            self.target = 1 << 62  # one-shot
+            return True
+        return False
+
+
+class TimeTravelSession:
+    """Forward/backward navigation over one recorded execution.
+
+    The session owns a *current* :class:`ReplaySession` positioned at some
+    cycle count; travelling backwards discards it and replays a fresh one
+    up to the earlier position.
+    """
+
+    def __init__(self, program: "GuestProgram", trace: "TraceLog", config: VMConfig | None = None):
+        self.program = program
+        self.trace = trace
+        self.config = config
+        self.session = ReplaySession(program, trace, config=config)
+        self.history: list[TimePoint] = []
+
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> int:
+        return self.session.vm.engine.cycles
+
+    def here(self) -> TimePoint:
+        """Describe the current position (remote-reflection data only)."""
+        frames = self.session.where()
+        thread = self.session.current_thread()
+        if frames:
+            top = frames[0]
+            return TimePoint(
+                cycles=self.now,
+                tid=thread.tid if thread else -1,
+                method=f"{top.class_name}.{top.method_name}",
+                bci=top.bci,
+                line=top.line,
+            )
+        return TimePoint(cycles=self.now, tid=-1, method="<no frame>", bci=-1, line=0)
+
+    def mark(self) -> TimePoint:
+        """Remember the current position for later travel."""
+        point = self.here()
+        self.history.append(point)
+        return point
+
+    # ------------------------------------------------------------------
+    # travel
+
+    def run_to_breakpoint(self, method_ref: str, bci: int = 0) -> str:
+        self.session.clear_breakpoints()
+        self.session.add_breakpoint(method_ref, bci)
+        return self.session.resume()
+
+    def goto_cycles(self, target: int) -> TimePoint:
+        """Position the session at the first safe point with cycles ≥ target,
+        travelling backwards by re-replaying when needed."""
+        if target < 0:
+            raise VMError(f"bad time target {target}")
+        if target < self.now or self.session.finished:
+            # backwards (or past the end): start a fresh replay
+            self.session = ReplaySession(self.program, self.trace, config=self.config)
+        if target > 0:
+            stopper = _CycleStop(target, self.session.vm.engine)
+            saved = self.session.control
+            self.session.vm.engine.debug = stopper
+            self.session.vm.engine.run()
+            self.session.vm.engine.debug = saved
+            saved.paused = stopper.paused
+            if not stopper.paused and not self.session.vm.completed:
+                raise VMError("replay stalled before reaching the time target")
+            if self.session.vm.completed and self.session.result is None:
+                self.session.result = self.session.vm.finish()
+        return self.here()
+
+    def back(self, cycles: int = 1) -> TimePoint:
+        """Travel *cycles* backwards (reverse-step at machine granularity)."""
+        return self.goto_cycles(max(0, self.now - cycles))
+
+    def goto(self, point: TimePoint) -> TimePoint:
+        """Return to a previously marked moment."""
+        landed = self.goto_cycles(point.cycles)
+        return landed
+
+    def reverse_to_last_mark(self) -> TimePoint:
+        if not self.history:
+            raise VMError("no marked time points")
+        return self.goto(self.history[-1])
+
+    # ------------------------------------------------------------------
+    # inspection passthrough (all perturbation-free)
+
+    def read_static(self, class_name: str, field: str):
+        return self.session.read_static(class_name, field)
+
+    def where(self):
+        return self.session.where()
+
+    def finish(self):
+        return self.session.run_to_completion()

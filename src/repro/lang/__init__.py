@@ -1,0 +1,39 @@
+"""MiniJ: a small Java-like language compiled to Pequeño bytecode.
+
+The paper's platform runs *Java* programs; our assembly-level workloads
+are the moral equivalent of javac output.  MiniJ closes the loop: a
+high-level front end (lexer → parser → type checker → code generator)
+whose output is exactly the class files the rest of the system consumes,
+so guest programs can be written the way the paper's examples are::
+
+    class Worker extends Thread {
+        int id;
+        void run() {
+            int i = 0;
+            while (i < 100) {
+                synchronized (Main.lock) {
+                    Main.counter = Main.counter + 1;
+                }
+                i = i + 1;
+            }
+        }
+    }
+
+Source line numbers flow through to the line tables that remote
+reflection (Figure 3) exposes, so the debugger shows MiniJ lines.
+"""
+
+from repro.lang.codegen import compile_classes, compile_source
+from repro.lang.errors import MiniJError, MiniJSyntaxError, MiniJTypeError
+from repro.lang.lexer import tokenize
+from repro.lang.parser import parse
+
+__all__ = [
+    "MiniJError",
+    "MiniJSyntaxError",
+    "MiniJTypeError",
+    "compile_classes",
+    "compile_source",
+    "parse",
+    "tokenize",
+]

@@ -1,0 +1,228 @@
+"""MiniJ abstract syntax.
+
+Types are represented as VM descriptors throughout ("I", "V", "LFoo;",
+"[I", ...), with MiniJ's ``boolean`` mapped onto ``I`` (0/1) to match the
+word-oriented ISA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+# ---------------------------------------------------------------------------
+# expressions
+
+
+@dataclass
+class Expr:
+    line: int = 0
+
+
+@dataclass
+class IntLit(Expr):
+    value: int = 0
+
+
+@dataclass
+class StrLit(Expr):
+    value: str = ""
+
+
+@dataclass
+class NullLit(Expr):
+    pass
+
+
+@dataclass
+class This(Expr):
+    pass
+
+
+@dataclass
+class Name(Expr):
+    """A bare identifier: a local, a parameter, or (qualifying a static
+    access) a class name — resolved during semantic analysis."""
+
+    ident: str = ""
+
+
+@dataclass
+class Member(Expr):
+    """``target.name`` — an instance field, a static field (when target is
+    a class name), or array ``.length``."""
+
+    target: Expr | None = None
+    name: str = ""
+
+
+@dataclass
+class Index(Expr):
+    array: Expr | None = None
+    index: Expr | None = None
+
+
+@dataclass
+class Call(Expr):
+    """``target.name(args)`` — virtual when target is a value, static when
+    target is a class name."""
+
+    target: Expr | None = None
+    name: str = ""
+    args: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class New(Expr):
+    class_name: str = ""
+
+
+@dataclass
+class NewArray(Expr):
+    elem_desc: str = ""
+    size: Expr | None = None
+
+
+@dataclass
+class Unary(Expr):
+    op: str = ""
+    operand: Expr | None = None
+
+
+@dataclass
+class Binary(Expr):
+    op: str = ""
+    left: Expr | None = None
+    right: Expr | None = None
+
+
+@dataclass
+class InstanceOf(Expr):
+    operand: Expr | None = None
+    class_name: str = ""
+
+
+# ---------------------------------------------------------------------------
+# statements
+
+
+@dataclass
+class Stmt:
+    line: int = 0
+
+
+@dataclass
+class Block(Stmt):
+    stmts: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class LocalDecl(Stmt):
+    desc: str = ""
+    name: str = ""
+    init: Expr | None = None
+
+
+@dataclass
+class Assign(Stmt):
+    """``target op= value`` where target is a Name, Member, or Index."""
+
+    target: Expr | None = None
+    op: str = "="  # '=', '+=', '-='
+    value: Expr | None = None
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr | None = None
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr | None = None
+    then: Stmt | None = None
+    els: Stmt | None = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr | None = None
+    body: Stmt | None = None
+
+
+@dataclass
+class For(Stmt):
+    init: Stmt | None = None
+    cond: Expr | None = None
+    update: Stmt | None = None
+    body: Stmt | None = None
+
+
+@dataclass
+class Return(Stmt):
+    value: Expr | None = None
+
+
+@dataclass
+class Sync(Stmt):
+    """``synchronized (lock) { ... }``"""
+
+    lock: Expr | None = None
+    body: Stmt | None = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+# ---------------------------------------------------------------------------
+# declarations
+
+
+@dataclass
+class FieldDecl:
+    name: str
+    desc: str
+    static: bool
+    line: int
+
+
+@dataclass
+class Param:
+    name: str
+    desc: str
+
+
+@dataclass
+class MethodDecl:
+    name: str
+    ret: str
+    params: list[Param]
+    body: Block | None  # None for native methods
+    static: bool
+    native: bool
+    line: int
+
+    @property
+    def sig(self) -> str:
+        return f"({''.join(p.desc for p in self.params)}){self.ret}"
+
+
+@dataclass
+class ClassDecl:
+    name: str
+    super_name: str
+    fields: list[FieldDecl]
+    methods: list[MethodDecl]
+    line: int
+
+
+@dataclass
+class Program:
+    classes: list[ClassDecl]

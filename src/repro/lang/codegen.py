@@ -1,0 +1,842 @@
+"""MiniJ semantic analysis + code generation.
+
+One type-directed pass lowers the AST onto :class:`MethodBuilder`; the VM
+verifier (:mod:`repro.vm.refmaps`) re-checks everything downstream, so a
+codegen bug cannot corrupt the heap — it surfaces as a VerifyError.
+
+Conventions:
+
+* ``boolean`` is ``I`` with values 0/1; ``!``, comparisons and the
+  short-circuit operators normalise through branches;
+* there are no constructors: ``new Foo()`` allocates zeroed fields
+  (initialise in an ordinary method if needed);
+* ``synchronized (e) { ... }`` evaluates ``e`` once; ``return``/``break``
+  /``continue`` may not jump out of the block (no exception-table
+  machinery to release the monitor);
+* classes may reference the core library (``Thread``, ``System``, ...)
+  and any extern class-file passed to :func:`compile_source`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lang import ast_nodes as A
+from repro.lang.errors import MiniJTypeError
+from repro.lang.parser import parse
+from repro.vm.builder import ClassBuilder, MethodBuilder
+from repro.vm.classfile import ClassDef
+from repro.vm.corelib import core_classdefs
+from repro.vm.descriptors import (
+    class_name,
+    element_type,
+    is_array,
+    is_reference,
+    parse_signature,
+)
+
+NULL_T = "N"
+
+
+# ---------------------------------------------------------------------------
+# the class universe (program classes + externs + core library)
+
+
+@dataclass
+class _MethodInfo:
+    owner: str
+    name: str
+    sig: str  # "(params)ret"
+    static: bool
+
+    @property
+    def ret(self) -> str:
+        return parse_signature(self.sig).ret
+
+    @property
+    def params(self) -> tuple[str, ...]:
+        return parse_signature(self.sig).params
+
+    @property
+    def ref(self) -> str:
+        return f"{self.owner}.{self.name}{self.sig}"
+
+
+@dataclass
+class _ClassInfo:
+    name: str
+    super_name: str | None
+    fields: dict[str, tuple[str, bool]] = field(default_factory=dict)  # name -> (desc, static)
+    methods: list[_MethodInfo] = field(default_factory=list)
+
+
+class _Universe:
+    def __init__(self, program: A.Program, externs: list[ClassDef]):
+        self.classes: dict[str, _ClassInfo] = {}
+        for cd in list(core_classdefs().values()) + list(externs):
+            self._add_classdef(cd)
+        for decl in program.classes:
+            if decl.name in self.classes:
+                raise MiniJTypeError(f"duplicate class {decl.name}", decl.line)
+            info = _ClassInfo(decl.name, decl.super_name)
+            for f in decl.fields:
+                if f.name in info.fields:
+                    raise MiniJTypeError(
+                        f"duplicate field {decl.name}.{f.name}", f.line
+                    )
+                info.fields[f.name] = (f.desc, f.static)
+            for m in decl.methods:
+                info.methods.append(_MethodInfo(decl.name, m.name, m.sig, m.static))
+            self.classes[decl.name] = info
+        # validate super chains exist and are acyclic
+        for decl in program.classes:
+            seen = set()
+            walk: str | None = decl.name
+            while walk is not None:
+                if walk in seen:
+                    raise MiniJTypeError(f"inheritance cycle at {walk}", decl.line)
+                seen.add(walk)
+                info = self.classes.get(walk)
+                if info is None:
+                    raise MiniJTypeError(
+                        f"unknown superclass {walk} of {decl.name}", decl.line
+                    )
+                walk = info.super_name
+
+    def _add_classdef(self, cd: ClassDef) -> None:
+        info = _ClassInfo(cd.name, cd.super_name)
+        for f in cd.fields:
+            info.fields[f.name] = (f.desc, f.static)
+        for m in cd.methods:
+            info.methods.append(
+                _MethodInfo(cd.name, m.name, m.signature.spell(), m.static)
+            )
+        self.classes[cd.name] = info
+
+    # -- queries -----------------------------------------------------------
+
+    def is_class(self, name: str) -> bool:
+        return name in self.classes
+
+    def supers(self, name: str):
+        walk: str | None = name
+        while walk is not None:
+            info = self.classes.get(walk)
+            if info is None:
+                return
+            yield info
+            walk = info.super_name
+
+    def is_subclass(self, name: str, ancestor: str) -> bool:
+        return any(info.name == ancestor for info in self.supers(name))
+
+    def find_field(self, cls: str, name: str) -> tuple[str, str, bool] | None:
+        """(declaring class, desc, static) or None."""
+        for info in self.supers(cls):
+            hit = info.fields.get(name)
+            if hit is not None:
+                return info.name, hit[0], hit[1]
+        return None
+
+    def assignable(self, src: str, dst: str) -> bool:
+        if src == dst:
+            return True
+        if src == NULL_T and is_reference(dst):
+            return True
+        if not (is_reference(src) and is_reference(dst)):
+            return False
+        if dst == "LObject;":
+            return True
+        if is_array(src) and is_array(dst):
+            es, ed = element_type(src), element_type(dst)
+            if es == "I" or ed == "I":
+                return es == ed
+            return self.assignable(es, ed)
+        if is_array(src) or is_array(dst):
+            return False
+        return self.is_subclass(class_name(src), class_name(dst))
+
+    def find_method(
+        self, cls: str, name: str, arg_types: list[str], line: int
+    ) -> _MethodInfo:
+        candidates = []
+        for info in self.supers(cls):
+            for m in info.methods:
+                if m.name != name or len(m.params) != len(arg_types):
+                    continue
+                if all(self.assignable(a, p) for a, p in zip(arg_types, m.params)):
+                    candidates.append(m)
+            if candidates:
+                break  # nearest declaring class wins
+        if not candidates:
+            raise MiniJTypeError(
+                f"no method {cls}.{name}({', '.join(arg_types)})", line
+            )
+        if len({m.sig for m in candidates}) > 1:
+            raise MiniJTypeError(f"ambiguous call {cls}.{name}(...)", line)
+        return candidates[0]
+
+
+# ---------------------------------------------------------------------------
+# per-method generation
+
+
+class _MethodGen:
+    def __init__(self, universe: _Universe, cls: A.ClassDecl, method: A.MethodDecl, mb: MethodBuilder):
+        self.u = universe
+        self.cls = cls
+        self.m = method
+        self.mb = mb
+        #: lexical scopes, innermost last; slots are never reused
+        self.scopes: list[dict[str, tuple[int, str]]] = [{}]
+        self.next_slot = 0
+        if not method.static:
+            self.scopes[0]["this"] = (0, f"L{cls.name};")
+            self.next_slot = 1
+        for p in method.params:
+            self._declare(p.name, p.desc, method.line)
+        self._label_n = 0
+        self._loop_stack: list[tuple[str, str]] = []  # (continue, break) labels
+        self._sync_depth = 0
+        self._tmp_a: int | None = None  # hidden temps for compound array ops
+        self._tmp_i: int | None = None
+
+    _COMPOUND = {
+        "+=": "iadd",
+        "-=": "isub",
+        "*=": "imul",
+        "/=": "idiv",
+        "%=": "irem",
+        "&=": "iand",
+        "|=": "ior",
+        "^=": "ixor",
+    }
+
+    def _emit_compound(self, op: str) -> None:
+        getattr(self.mb, self._COMPOUND[op])()
+
+    # -- small helpers --------------------------------------------------------
+
+    def _declare(self, name: str, desc: str, line: int) -> int:
+        if name in self.scopes[-1]:
+            raise MiniJTypeError(f"duplicate local {name!r}", line)
+        slot = self.next_slot
+        self.next_slot += 1
+        self.scopes[-1][name] = (slot, desc)
+        return slot
+
+    def _lookup(self, name: str) -> tuple[int, str] | None:
+        for scope in reversed(self.scopes):
+            hit = scope.get(name)
+            if hit is not None:
+                return hit
+        return None
+
+    def _is_local(self, name: str) -> bool:
+        return self._lookup(name) is not None
+
+    def _fresh(self, hint: str) -> str:
+        self._label_n += 1
+        return f"{hint}${self._label_n}"
+
+    def _temp_pair(self) -> tuple[int, int]:
+        if self._tmp_a is None:
+            self._tmp_a = self.next_slot
+            self._tmp_i = self.next_slot + 1
+            self.next_slot += 2
+        return self._tmp_a, self._tmp_i  # type: ignore[return-value]
+
+    def _need(self, cond: bool, msg: str, line: int) -> None:
+        if not cond:
+            raise MiniJTypeError(msg, line)
+
+    def _need_int(self, t: str, line: int, what: str = "operand") -> None:
+        self._need(t == "I", f"{what} must be int, found {_show(t)}", line)
+
+    def _need_ref(self, t: str, line: int, what: str = "operand") -> None:
+        self._need(
+            t == NULL_T or is_reference(t),
+            f"{what} must be a reference, found {_show(t)}",
+            line,
+        )
+
+    # -- entry ---------------------------------------------------------------
+
+    def generate(self) -> None:
+        body = self.m.body
+        assert body is not None
+        completes = self.gen_block(body)
+        if self.m.ret == "V":
+            if completes:
+                self.mb.line(self.m.line).ret()
+        elif completes:
+            raise MiniJTypeError(
+                f"method {self.cls.name}.{self.m.name} may complete "
+                "without returning a value",
+                self.m.line,
+            )
+
+    # -- statements ---------------------------------------------------------------
+
+    def gen_block(self, block: A.Block) -> bool:
+        """Returns whether control can reach the end of the block."""
+        self.scopes.append({})
+        try:
+            completes = True
+            for stmt in block.stmts:
+                completes = self.gen_stmt(stmt)
+            return completes
+        finally:
+            self.scopes.pop()
+
+    def gen_stmt(self, stmt: A.Stmt) -> bool:
+        """Generate *stmt*; returns whether it can complete normally."""
+        self.mb.line(stmt.line)
+        if isinstance(stmt, A.Block):
+            return self.gen_block(stmt)
+        if isinstance(stmt, A.LocalDecl):
+            self.gen_local_decl(stmt)
+            return True
+        if isinstance(stmt, A.Assign):
+            self.gen_assign(stmt)
+            return True
+        if isinstance(stmt, A.ExprStmt):
+            assert stmt.expr is not None
+            t = self.gen_expr(stmt.expr)
+            if t != "V":
+                self.mb.pop()
+            return True
+        if isinstance(stmt, A.If):
+            return self.gen_if(stmt)
+        if isinstance(stmt, A.While):
+            return self.gen_while(stmt)
+        if isinstance(stmt, A.For):
+            return self.gen_for(stmt)
+        if isinstance(stmt, A.Return):
+            self.gen_return(stmt)
+            return False
+        if isinstance(stmt, A.Sync):
+            return self.gen_sync(stmt)
+        if isinstance(stmt, A.Break):
+            self._need(bool(self._loop_stack), "break outside a loop", stmt.line)
+            self._need(
+                self._sync_depth == 0, "break out of synchronized is not supported", stmt.line
+            )
+            self.mb.goto(self._loop_stack[-1][1])
+            return False
+        if isinstance(stmt, A.Continue):
+            self._need(bool(self._loop_stack), "continue outside a loop", stmt.line)
+            self._need(
+                self._sync_depth == 0,
+                "continue out of synchronized is not supported",
+                stmt.line,
+            )
+            self.mb.goto(self._loop_stack[-1][0])
+            return False
+        raise MiniJTypeError(  # pragma: no cover
+            f"unhandled statement {type(stmt).__name__}", stmt.line
+        )
+
+    def gen_local_decl(self, stmt: A.LocalDecl) -> None:
+        if stmt.desc.startswith("L") and not self.u.is_class(class_name(stmt.desc)):
+            raise MiniJTypeError(f"unknown type {class_name(stmt.desc)}", stmt.line)
+        slot = self._declare(stmt.name, stmt.desc, stmt.line)
+        if stmt.init is not None:
+            t = self.gen_expr(stmt.init)
+            self._need(
+                self.u.assignable(t, stmt.desc),
+                f"cannot initialise {_show(stmt.desc)} from {_show(t)}",
+                stmt.line,
+            )
+        else:
+            if stmt.desc == "I":
+                self.mb.iconst(0)
+            else:
+                self.mb.aconst_null()
+        if stmt.desc == "I":
+            self.mb.istore(slot)
+        else:
+            self.mb.astore(slot)
+
+    def gen_assign(self, stmt: A.Assign) -> None:
+        target = stmt.target
+        value = stmt.value
+        assert target is not None and value is not None
+        compound = stmt.op != "="
+
+        if isinstance(target, A.Name):
+            hit = self._lookup(target.ident)
+            self._need(hit is not None, f"unknown local {target.ident!r}", stmt.line)
+            slot, desc = hit  # type: ignore[misc]
+            if compound:
+                self._need_int(desc, stmt.line, "compound-assignment target")
+                self.mb.iload(slot)
+                self._need_int(self.gen_expr(value), stmt.line, "value")
+                self._emit_compound(stmt.op)
+                self.mb.istore(slot)
+            else:
+                t = self.gen_expr(value)
+                self._need(
+                    self.u.assignable(t, desc),
+                    f"cannot assign {_show(t)} to {_show(desc)}",
+                    stmt.line,
+                )
+                self.mb.istore(slot) if desc == "I" else self.mb.astore(slot)
+            return
+
+        if isinstance(target, A.Member):
+            static_cls = self._class_qualifier(target.target)
+            if static_cls is not None:
+                hit = self.u.find_field(static_cls, target.name)
+                self._need(
+                    hit is not None and hit[2],
+                    f"no static field {static_cls}.{target.name}",
+                    stmt.line,
+                )
+                decl_cls, desc, _ = hit  # type: ignore[misc]
+                ref = f"{decl_cls}.{target.name}"
+                if compound:
+                    self._need_int(desc, stmt.line, "compound-assignment target")
+                    self.mb.getstatic(ref)
+                    self._need_int(self.gen_expr(value), stmt.line, "value")
+                    self._emit_compound(stmt.op)
+                else:
+                    t = self.gen_expr(value)
+                    self._need(
+                        self.u.assignable(t, desc),
+                        f"cannot assign {_show(t)} to {_show(desc)}",
+                        stmt.line,
+                    )
+                self.mb.putstatic(ref)
+                return
+            # instance field
+            assert target.target is not None
+            obj_t = self.gen_expr(target.target)
+            self._need_ref(obj_t, stmt.line, "field owner")
+            self._need(obj_t != NULL_T, "field store on null", stmt.line)
+            owner = class_name(obj_t) if not is_array(obj_t) else None
+            self._need(owner is not None, "arrays have no assignable fields", stmt.line)
+            hit = self.u.find_field(owner, target.name)  # type: ignore[arg-type]
+            self._need(
+                hit is not None and not hit[2],
+                f"no instance field {owner}.{target.name}",
+                stmt.line,
+            )
+            decl_cls, desc, _ = hit  # type: ignore[misc]
+            ref = f"{decl_cls}.{target.name}"
+            if compound:
+                self._need_int(desc, stmt.line, "compound-assignment target")
+                self.mb.dup().getfield(ref)
+                self._need_int(self.gen_expr(value), stmt.line, "value")
+                self._emit_compound(stmt.op)
+            else:
+                t = self.gen_expr(value)
+                self._need(
+                    self.u.assignable(t, desc),
+                    f"cannot assign {_show(t)} to {_show(desc)}",
+                    stmt.line,
+                )
+            self.mb.putfield(ref)
+            return
+
+        if isinstance(target, A.Index):
+            assert target.array is not None and target.index is not None
+            arr_t = self.gen_expr(target.array)
+            self._need(
+                arr_t == NULL_T or is_array(arr_t),
+                f"indexing a non-array {_show(arr_t)}",
+                stmt.line,
+            )
+            elem = element_type(arr_t) if is_array(arr_t) else NULL_T
+            ta, ti = self._temp_pair()
+            self.mb.astore(ta)
+            self._need_int(self.gen_expr(target.index), stmt.line, "array index")
+            self.mb.istore(ti)
+            self.mb.aload(ta).iload(ti)
+            if compound:
+                self._need_int(elem, stmt.line, "compound-assignment target")
+                self.mb.aload(ta).iload(ti).iaload()
+                self._need_int(self.gen_expr(value), stmt.line, "value")
+                self._emit_compound(stmt.op)
+                self.mb.iastore()
+            else:
+                t = self.gen_expr(value)
+                if elem == "I" or elem == NULL_T and t == "I":
+                    self._need_int(t, stmt.line, "array element value")
+                    self.mb.iastore()
+                else:
+                    self._need(
+                        self.u.assignable(t, elem if elem != NULL_T else "LObject;"),
+                        f"cannot store {_show(t)} into {_show(arr_t)}",
+                        stmt.line,
+                    )
+                    self.mb.aastore()
+            return
+
+        raise MiniJTypeError("bad assignment target", stmt.line)
+
+    def gen_if(self, stmt: A.If) -> bool:
+        assert stmt.cond is not None and stmt.then is not None
+        self._need_int(self.gen_expr(stmt.cond), stmt.line, "if condition")
+        els = self._fresh("else")
+        end = self._fresh("endif")
+        self.mb.ifeq(els if stmt.els is not None else end)
+        then_c = self.gen_stmt(stmt.then)
+        if stmt.els is None:
+            self.mb.label(end)
+            return True  # the false edge always reaches `end`
+        if then_c:
+            self.mb.goto(end)
+        self.mb.label(els)
+        else_c = self.gen_stmt(stmt.els)
+        if then_c:
+            self.mb.label(end)
+        return then_c or else_c
+
+    def gen_while(self, stmt: A.While) -> bool:
+        assert stmt.cond is not None and stmt.body is not None
+        top = self._fresh("loop")
+        end = self._fresh("endloop")
+        self.mb.label(top)
+        self.mb.line(stmt.line)
+        self._need_int(self.gen_expr(stmt.cond), stmt.line, "while condition")
+        self.mb.ifeq(end)
+        self._loop_stack.append((top, end))
+        body_c = self.gen_stmt(stmt.body)
+        self._loop_stack.pop()
+        if body_c:
+            self.mb.goto(top)
+        self.mb.label(end)
+        return True
+
+    def gen_for(self, stmt: A.For) -> bool:
+        assert stmt.body is not None
+        self.scopes.append({})  # the for-init variable scopes to the loop
+        if stmt.init is not None:
+            self.gen_stmt(stmt.init)
+        top = self._fresh("for")
+        cont = self._fresh("forcont")
+        end = self._fresh("endfor")
+        self.mb.label(top)
+        if stmt.cond is not None:
+            self.mb.line(stmt.line)
+            self._need_int(self.gen_expr(stmt.cond), stmt.line, "for condition")
+            self.mb.ifeq(end)
+        self._loop_stack.append((cont, end))
+        self.gen_stmt(stmt.body)
+        self._loop_stack.pop()
+        self.mb.label(cont)
+        if stmt.update is not None:
+            self.gen_stmt(stmt.update)
+        self.mb.goto(top)
+        self.mb.label(end)
+        self.scopes.pop()
+        return True
+
+    def gen_return(self, stmt: A.Return) -> None:
+        self._need(
+            self._sync_depth == 0,
+            "return out of synchronized is not supported",
+            stmt.line,
+        )
+        if self.m.ret == "V":
+            self._need(stmt.value is None, "void method returns a value", stmt.line)
+            self.mb.ret()
+            return
+        self._need(stmt.value is not None, "missing return value", stmt.line)
+        t = self.gen_expr(stmt.value)  # type: ignore[arg-type]
+        self._need(
+            self.u.assignable(t, self.m.ret),
+            f"cannot return {_show(t)} from a {_show(self.m.ret)} method",
+            stmt.line,
+        )
+        if self.m.ret == "I":
+            self.mb.ireturn()
+        else:
+            self.mb.areturn()
+
+    def gen_sync(self, stmt: A.Sync) -> bool:
+        assert stmt.lock is not None and stmt.body is not None
+        t = self.gen_expr(stmt.lock)
+        self._need_ref(t, stmt.line, "synchronized target")
+        slot = self._declare(self._fresh("$lock"), t if t != NULL_T else "LObject;", stmt.line)
+        self.mb.astore(slot)
+        self.mb.aload(slot).monitorenter()
+        self._sync_depth += 1
+        body_c = self.gen_stmt(stmt.body)
+        self._sync_depth -= 1
+        self.mb.aload(slot).monitorexit()
+        return body_c
+
+    # -- expressions ------------------------------------------------------------
+
+    def _class_qualifier(self, target: A.Expr | None) -> str | None:
+        """If *target* is a bare name that is a class (and not shadowed by
+        a local), this is a static qualifier."""
+        if isinstance(target, A.Name) and not self._is_local(target.ident):
+            if self.u.is_class(target.ident):
+                return target.ident
+        return None
+
+    def gen_expr(self, expr: A.Expr) -> str:
+        if isinstance(expr, A.IntLit):
+            self.mb.iconst(expr.value)
+            return "I"
+        if isinstance(expr, A.StrLit):
+            self.mb.ldc(expr.value)
+            return "LString;"
+        if isinstance(expr, A.NullLit):
+            self.mb.aconst_null()
+            return NULL_T
+        if isinstance(expr, A.This):
+            self._need(not self.m.static, "'this' in a static method", expr.line)
+            self.mb.aload(0)
+            return f"L{self.cls.name};"
+        if isinstance(expr, A.Name):
+            hit = self._lookup(expr.ident)
+            if hit is None:
+                if self.u.is_class(expr.ident):
+                    raise MiniJTypeError(
+                        f"class name {expr.ident!r} used as a value", expr.line
+                    )
+                raise MiniJTypeError(f"unknown name {expr.ident!r}", expr.line)
+            slot, desc = hit
+            self.mb.iload(slot) if desc == "I" else self.mb.aload(slot)
+            return desc
+        if isinstance(expr, A.Member):
+            return self.gen_member(expr)
+        if isinstance(expr, A.Index):
+            return self.gen_index(expr)
+        if isinstance(expr, A.Call):
+            return self.gen_call(expr)
+        if isinstance(expr, A.New):
+            self._need(
+                self.u.is_class(expr.class_name),
+                f"unknown class {expr.class_name}",
+                expr.line,
+            )
+            self.mb.new(expr.class_name)
+            return f"L{expr.class_name};"
+        if isinstance(expr, A.NewArray):
+            assert expr.size is not None
+            self._need_int(self.gen_expr(expr.size), expr.line, "array size")
+            if expr.elem_desc == "I":
+                self.mb.newarray()
+            else:
+                self._need(
+                    self.u.is_class(class_name(expr.elem_desc)),
+                    f"unknown class {class_name(expr.elem_desc)}",
+                    expr.line,
+                )
+                self.mb.anewarray(expr.elem_desc)
+            return "[" + expr.elem_desc
+        if isinstance(expr, A.Unary):
+            return self.gen_unary(expr)
+        if isinstance(expr, A.Binary):
+            return self.gen_binary(expr)
+        if isinstance(expr, A.InstanceOf):
+            assert expr.operand is not None
+            t = self.gen_expr(expr.operand)
+            self._need_ref(t, expr.line, "instanceof operand")
+            self._need(
+                self.u.is_class(expr.class_name),
+                f"unknown class {expr.class_name}",
+                expr.line,
+            )
+            self.mb.instanceof(expr.class_name)
+            return "I"
+        raise MiniJTypeError(f"unhandled expression {type(expr).__name__}", expr.line)
+
+    def gen_member(self, expr: A.Member) -> str:
+        static_cls = self._class_qualifier(expr.target)
+        if static_cls is not None:
+            hit = self.u.find_field(static_cls, expr.name)
+            self._need(
+                hit is not None and hit[2],
+                f"no static field {static_cls}.{expr.name}",
+                expr.line,
+            )
+            decl_cls, desc, _ = hit  # type: ignore[misc]
+            self.mb.getstatic(f"{decl_cls}.{expr.name}")
+            return desc
+        assert expr.target is not None
+        t = self.gen_expr(expr.target)
+        if (t == NULL_T or is_array(t)) and expr.name == "length":
+            self.mb.arraylength()
+            return "I"
+        self._need_ref(t, expr.line, "field owner")
+        self._need(
+            t != NULL_T and not is_array(t),
+            f"{_show(t)} has no field {expr.name!r}",
+            expr.line,
+        )
+        hit = self.u.find_field(class_name(t), expr.name)
+        self._need(
+            hit is not None and not hit[2],
+            f"no instance field {class_name(t)}.{expr.name}",
+            expr.line,
+        )
+        decl_cls, desc, _ = hit  # type: ignore[misc]
+        self.mb.getfield(f"{decl_cls}.{expr.name}")
+        return desc
+
+    def gen_index(self, expr: A.Index) -> str:
+        assert expr.array is not None and expr.index is not None
+        t = self.gen_expr(expr.array)
+        self._need(
+            t == NULL_T or is_array(t), f"indexing a non-array {_show(t)}", expr.line
+        )
+        self._need_int(self.gen_expr(expr.index), expr.line, "array index")
+        elem = element_type(t) if is_array(t) else NULL_T
+        if elem == "I":
+            self.mb.iaload()
+            return "I"
+        self.mb.aaload()
+        return elem if elem != NULL_T else NULL_T
+
+    def gen_call(self, expr: A.Call) -> str:
+        static_cls = self._class_qualifier(expr.target)
+        if static_cls is not None:
+            arg_types = [self.gen_expr(a) for a in expr.args]
+            m = self.u.find_method(static_cls, expr.name, arg_types, expr.line)
+            self._need(
+                m.static, f"{m.owner}.{m.name} is not static", expr.line
+            )
+            self.mb.invokestatic(m.ref)
+            return m.ret
+        assert expr.target is not None
+        t = self.gen_expr(expr.target)
+        self._need_ref(t, expr.line, "call receiver")
+        self._need(
+            t != NULL_T and not is_array(t),
+            f"{_show(t)} has no methods",
+            expr.line,
+        )
+        arg_types = [self.gen_expr(a) for a in expr.args]
+        m = self.u.find_method(class_name(t), expr.name, arg_types, expr.line)
+        self._need(not m.static, f"{m.owner}.{m.name} is static", expr.line)
+        self.mb.invokevirtual(m.ref)
+        return m.ret
+
+    def gen_unary(self, expr: A.Unary) -> str:
+        assert expr.operand is not None
+        if expr.op == "-":
+            self._need_int(self.gen_expr(expr.operand), expr.line)
+            self.mb.ineg()
+            return "I"
+        if expr.op == "~":
+            self._need_int(self.gen_expr(expr.operand), expr.line)
+            self.mb.iconst(-1).ixor()
+            return "I"
+        if expr.op == "!":
+            self._need_int(self.gen_expr(expr.operand), expr.line)
+            yes = self._fresh("not1")
+            end = self._fresh("notend")
+            self.mb.ifeq(yes).iconst(0).goto(end).label(yes).iconst(1).label(end)
+            return "I"
+        raise MiniJTypeError(f"unknown unary {expr.op}", expr.line)
+
+    _ARITH = {
+        "+": "iadd",
+        "-": "isub",
+        "*": "imul",
+        "/": "idiv",
+        "%": "irem",
+        "&": "iand",
+        "|": "ior",
+        "^": "ixor",
+        "<<": "ishl",
+        ">>": "ishr",
+        ">>>": "iushr",
+    }
+    _CMP = {
+        "<": "if_icmplt",
+        "<=": "if_icmple",
+        ">": "if_icmpgt",
+        ">=": "if_icmpge",
+    }
+
+    def gen_binary(self, expr: A.Binary) -> str:
+        assert expr.left is not None and expr.right is not None
+        op = expr.op
+        if op in ("&&", "||"):
+            return self.gen_shortcircuit(expr)
+        if op in self._ARITH:
+            self._need_int(self.gen_expr(expr.left), expr.line, f"left of {op}")
+            self._need_int(self.gen_expr(expr.right), expr.line, f"right of {op}")
+            getattr(self.mb, self._ARITH[op])()
+            return "I"
+        if op in self._CMP or op in ("==", "!="):
+            lt = self.gen_expr(expr.left)
+            rt = self.gen_expr(expr.right)
+            yes = self._fresh("cmp1")
+            end = self._fresh("cmpend")
+            if op in self._CMP:
+                self._need_int(lt, expr.line, f"left of {op}")
+                self._need_int(rt, expr.line, f"right of {op}")
+                getattr(self.mb, self._CMP[op])(yes)
+            else:
+                both_int = lt == "I" and rt == "I"
+                both_ref = (lt == NULL_T or is_reference(lt)) and (
+                    rt == NULL_T or is_reference(rt)
+                )
+                self._need(
+                    both_int or both_ref,
+                    f"cannot compare {_show(lt)} with {_show(rt)}",
+                    expr.line,
+                )
+                if both_int:
+                    self.mb.if_icmpeq(yes) if op == "==" else self.mb.if_icmpne(yes)
+                else:
+                    self.mb.if_acmpeq(yes) if op == "==" else self.mb.if_acmpne(yes)
+            self.mb.iconst(0).goto(end).label(yes).iconst(1).label(end)
+            return "I"
+        raise MiniJTypeError(f"unknown operator {op}", expr.line)
+
+    def gen_shortcircuit(self, expr: A.Binary) -> str:
+        assert expr.left is not None and expr.right is not None
+        end = self._fresh("scend")
+        out = self._fresh("scout")
+        if expr.op == "&&":
+            self._need_int(self.gen_expr(expr.left), expr.line, "left of &&")
+            self.mb.ifeq(out)  # false -> 0
+            self._need_int(self.gen_expr(expr.right), expr.line, "right of &&")
+            self.mb.ifeq(out)
+            self.mb.iconst(1).goto(end).label(out).iconst(0).label(end)
+        else:
+            self._need_int(self.gen_expr(expr.left), expr.line, "left of ||")
+            self.mb.ifne(out)  # true -> 1
+            self._need_int(self.gen_expr(expr.right), expr.line, "right of ||")
+            self.mb.ifne(out)
+            self.mb.iconst(0).goto(end).label(out).iconst(1).label(end)
+        return "I"
+
+
+def _show(t: str) -> str:
+    return {"I": "int", "V": "void", NULL_T: "null"}.get(t, t)
+
+
+# ---------------------------------------------------------------------------
+# entry points
+
+
+def compile_classes(program: A.Program, externs: list[ClassDef] | None = None) -> list[ClassDef]:
+    universe = _Universe(program, list(externs or []))
+    out: list[ClassDef] = []
+    for decl in program.classes:
+        cb = ClassBuilder(decl.name, super_name=decl.super_name)
+        for f in decl.fields:
+            cb.field(f.name, f.desc, static=f.static)
+        for m in decl.methods:
+            if m.native:
+                cb.native_method(m.name, m.sig, static=m.static)
+                continue
+            mb = cb.method(m.name, m.sig, static=m.static)
+            _MethodGen(universe, decl, m, mb).generate()
+        out.append(cb.build())
+    return out
+
+
+def compile_source(source: str, externs: list[ClassDef] | None = None) -> list[ClassDef]:
+    """MiniJ source text → class files, ready for ``VirtualMachine.declare``."""
+    return compile_classes(parse(source), externs)

@@ -1,0 +1,28 @@
+"""MiniJ error taxonomy."""
+
+from __future__ import annotations
+
+from repro.vm.errors import VMError
+
+
+class MiniJError(VMError):
+    """Base for all MiniJ front-end errors."""
+
+    def __init__(self, message: str, line: int | None = None, col: int | None = None):
+        self.line = line
+        self.col = col
+        where = ""
+        if line is not None:
+            where = f"line {line}"
+            if col is not None:
+                where += f":{col}"
+            where += ": "
+        super().__init__(f"{where}{message}")
+
+
+class MiniJSyntaxError(MiniJError):
+    """Lexing or parsing failure."""
+
+
+class MiniJTypeError(MiniJError):
+    """Semantic analysis failure (unknown names, type mismatches, ...)."""

@@ -1,0 +1,162 @@
+"""The MiniJ lexer.
+
+Token kinds: ``ident``, ``int``, ``string``, ``punct``, ``kw``, ``eof``.
+Comments: ``//`` to end of line and ``/* ... */`` (non-nesting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lang.errors import MiniJSyntaxError
+
+KEYWORDS = frozenset(
+    {
+        "class",
+        "extends",
+        "static",
+        "native",
+        "int",
+        "void",
+        "boolean",
+        "if",
+        "else",
+        "while",
+        "for",
+        "return",
+        "new",
+        "null",
+        "this",
+        "true",
+        "false",
+        "synchronized",
+        "instanceof",
+        "break",
+        "continue",
+    }
+)
+
+#: multi-character punctuation, longest first
+_PUNCT3 = (">>>",)
+_PUNCT2 = ("==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--")
+_PUNCT1 = "+-*/%<>=!&|^(){}[];,.~"
+
+_ESCAPES = {"n": "\n", "t": "\t", "r": "\r", '"': '"', "\\": "\\", "0": "\0"}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'ident' | 'int' | 'string' | 'punct' | 'kw' | 'eof'
+    text: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Token({self.kind},{self.text!r}@{self.line}:{self.col})"
+
+
+def tokenize(source: str) -> list[Token]:
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def error(msg: str) -> MiniJSyntaxError:
+        return MiniJSyntaxError(msg, line, col)
+
+    while i < n:
+        c = source[i]
+        if c == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        if c in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise error("unterminated block comment")
+            skipped = source[i : end + 2]
+            line += skipped.count("\n")
+            if "\n" in skipped:
+                col = len(skipped) - skipped.rfind("\n")
+            else:
+                col += len(skipped)
+            i = end + 2
+            continue
+        if c.isdigit():
+            start = i
+            if source.startswith("0x", i) or source.startswith("0X", i):
+                i += 2
+                while i < n and source[i] in "0123456789abcdefABCDEF":
+                    i += 1
+            else:
+                while i < n and source[i].isdigit():
+                    i += 1
+            text = source[start:i]
+            tokens.append(Token("int", text, line, col))
+            col += i - start
+            continue
+        if c.isalpha() or c == "_":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            text = source[start:i]
+            kind = "kw" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line, col))
+            col += i - start
+            continue
+        if c == '"':
+            start_line, start_col = line, col
+            i += 1
+            col += 1
+            out: list[str] = []
+            while True:
+                if i >= n or source[i] == "\n":
+                    raise MiniJSyntaxError("unterminated string", start_line, start_col)
+                ch = source[i]
+                if ch == '"':
+                    i += 1
+                    col += 1
+                    break
+                if ch == "\\":
+                    if i + 1 >= n:
+                        raise MiniJSyntaxError("bad escape", line, col)
+                    esc = source[i + 1]
+                    if esc not in _ESCAPES:
+                        raise MiniJSyntaxError(f"bad escape \\{esc}", line, col)
+                    out.append(_ESCAPES[esc])
+                    i += 2
+                    col += 2
+                else:
+                    out.append(ch)
+                    i += 1
+                    col += 1
+            tokens.append(Token("string", "".join(out), start_line, start_col))
+            continue
+        matched = None
+        for group in (_PUNCT3, _PUNCT2):
+            for p in group:
+                if source.startswith(p, i):
+                    matched = p
+                    break
+            if matched:
+                break
+        if matched is None and c in _PUNCT1:
+            matched = c
+        if matched is None:
+            raise error(f"unexpected character {c!r}")
+        tokens.append(Token("punct", matched, line, col))
+        i += len(matched)
+        col += len(matched)
+
+    tokens.append(Token("eof", "", line, col))
+    return tokens

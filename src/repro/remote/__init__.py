@@ -1,0 +1,35 @@
+"""Remote reflection (§3): perturbation-free inspection across VMs.
+
+* :class:`repro.remote.ptrace.DebugPort` — the OS-debug-interface stand-in:
+  raw, **read-only** word access into another VM's memory.  The target VM
+  executes no code on the debugger's behalf.
+* :class:`repro.remote.remote_object.RemoteObject` — the proxy for an
+  object living in the remote VM; field/array access computes remote
+  addresses from the tool VM's (identical) class layouts and peeks the
+  values through the port.
+* :class:`repro.remote.mapping.MappedMethods` — the user-specified list of
+  reflection methods whose invocation in the tool VM is intercepted to
+  return remote objects (e.g. ``VM_Dictionary.getMethods``).
+* :class:`repro.remote.interp_ext.ToolInterpreter` — "a standard Java
+  interpreter extended to implement remote reflection": a bytecode
+  interpreter for the tool VM in which the reference bytecodes operate
+  transparently on remote objects.
+* :class:`repro.remote.reflector.RemoteReflector` — a host-side facade
+  over the same machinery, used by the debugger core.
+"""
+
+from repro.remote.interp_ext import ToolInterpreter
+from repro.remote.mapping import MappedMethods, default_mappings
+from repro.remote.ptrace import DebugPort
+from repro.remote.reflector import RemoteReflector
+from repro.remote.remote_object import RemoteObject, RemoteResolver
+
+__all__ = [
+    "DebugPort",
+    "MappedMethods",
+    "RemoteObject",
+    "RemoteReflector",
+    "RemoteResolver",
+    "ToolInterpreter",
+    "default_mappings",
+]

@@ -1,0 +1,97 @@
+"""Mapped methods (§3.1): where remote objects come from.
+
+"To set up the association between the two JVMs, the user specifies a
+list of reflection methods that are said to be *mapped*: when they are
+executed in the tool JVM, they return a remote object that represents the
+actual object in the remote JVM."
+
+A mapping binds a method qualname to a resolver function that computes
+the remote address (typically by following boot-record roots through raw
+memory).  The default list maps the ``VM_Dictionary`` accessors — enough
+to reach every piece of reflection metadata, and from there (Figure 3)
+every method's line table.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.remote.remote_object import RemoteObject, RemoteResolver
+from repro.vm.errors import VMError
+from repro.vm.memory import BOOT_THREADS
+
+#: a mapping resolver returns a remote value: int, None, or RemoteObject
+MappingFn = Callable[[RemoteResolver], object]
+
+
+class MappedMethods:
+    def __init__(self) -> None:
+        self._mappings: dict[str, MappingFn] = {}
+
+    def map(self, qualname: str, fn: MappingFn) -> None:
+        self._mappings[qualname] = fn
+
+    def lookup(self, qualname: str) -> MappingFn | None:
+        return self._mappings.get(qualname)
+
+    def __contains__(self, qualname: str) -> bool:
+        return qualname in self._mappings
+
+    def names(self) -> list[str]:
+        return sorted(self._mappings)
+
+
+def _dict_static_field(resolver: RemoteResolver, field: str):
+    holder = resolver.dictionary_addr()
+    rc = resolver.loader.classes["VM_Dictionary"]
+    assert rc.statics_layout is not None
+    slot = rc.statics_layout.field_by_name[field]
+    word = resolver.port.peek(holder + slot.offset)
+    if slot.desc == "I":
+        return word
+    if word == 0:
+        return None
+    return RemoteObject(resolver, word)
+
+
+def _remote_methods(resolver: RemoteResolver):
+    return _dict_static_field(resolver, "methods")
+
+
+def _remote_classes(resolver: RemoteResolver):
+    return _dict_static_field(resolver, "classes")
+
+
+def _remote_method_count(resolver: RemoteResolver):
+    return _dict_static_field(resolver, "methodCount")
+
+
+def _remote_threads(resolver: RemoteResolver):
+    addr = resolver.port.boot(BOOT_THREADS)
+    if addr == 0:
+        raise VMError("remote VM has no thread table yet")
+    return RemoteObject(resolver, addr)
+
+
+def default_mappings() -> MappedMethods:
+    """The standard mapped-method list for a DejaVu debugger."""
+    mm = MappedMethods()
+    mm.map("VM_Dictionary.getMethods()[LVM_Method;", _remote_methods)
+    mm.map("VM_Dictionary.getClasses()[LVM_Class;", _remote_classes)
+    mm.map("VM_Dictionary.getMethodCount()I", _remote_method_count)
+    return mm
+
+
+def remote_thread_table(resolver: RemoteResolver) -> RemoteObject:
+    """The remote Thread[] (used by the debugger's thread viewer)."""
+    result = _remote_threads(resolver)
+    assert isinstance(result, RemoteObject)
+    return result
+
+
+__all__ = [
+    "MappedMethods",
+    "MappingFn",
+    "default_mappings",
+    "remote_thread_table",
+]

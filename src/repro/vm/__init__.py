@@ -1,0 +1,55 @@
+"""Pequeño: a Jalapeño-like virtual machine substrate.
+
+The VM provides everything the DejaVu replay platform depends on:
+
+* a JVM-flavoured bytecode ISA with a text assembler and a builder DSL,
+* a baseline compiler that inlines yield points (and, when DejaVu is
+  attached, its record/replay instrumentation) into method prologues and
+  loop backedges — the paper's "cross-optimization",
+* a word-addressable heap with a type-accurate semispace copying collector
+  driven by reference maps computed by abstract interpretation,
+* a quasi-preemptive green-thread package whose state is itself replayed
+  by DejaVu,
+* per-object monitors (``monitorenter``/``exit``, ``wait``/``notify``),
+* a virtual timer device and pluggable wall-clock sources (the sources of
+  non-determinism), and
+* a JNI-like native interface whose results DejaVu records and replays.
+"""
+
+from repro.vm.machine import VirtualMachine, VMConfig
+from repro.vm.asm import assemble, assemble_file
+from repro.vm.builder import ClassBuilder
+from repro.vm.errors import (
+    AssemblyError,
+    LinkError,
+    ReplayDivergenceError,
+    VerifyError,
+    VMError,
+    VMTrap,
+)
+from repro.vm.timerdev import (
+    FixedTimer,
+    HostClock,
+    HostTimer,
+    SeededJitterClock,
+    SeededJitterTimer,
+)
+
+__all__ = [
+    "AssemblyError",
+    "ClassBuilder",
+    "FixedTimer",
+    "HostClock",
+    "HostTimer",
+    "LinkError",
+    "ReplayDivergenceError",
+    "SeededJitterClock",
+    "SeededJitterTimer",
+    "VMConfig",
+    "VMError",
+    "VMTrap",
+    "VerifyError",
+    "VirtualMachine",
+    "assemble",
+    "assemble_file",
+]

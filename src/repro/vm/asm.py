@@ -1,0 +1,264 @@
+"""The text assembler: ``.jasm`` source → :class:`ClassDef` list.
+
+Syntax (one instruction or directive per line; ``;`` starts a comment)::
+
+    .class Account
+    .super Object
+    .field balance I
+    .field static nextId I
+
+    .method static main ()V
+        iconst 3
+        invokestatic Account.run(I)V
+        return
+    .end
+
+    .native static now ()I
+
+Labels are identifiers followed by ``:`` on their own line (or before an
+instruction).  ``ldc "text"`` interns a string constant.  Source line
+numbers are recorded automatically in each method's line table (the table
+that ``VM_Method.getLineNumberAt`` exposes through reflection — Figure 3);
+``.line N`` overrides the counter.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.vm.builder import ClassBuilder, MethodBuilder
+from repro.vm.bytecode import Op, OPERAND_KIND, OperandKind
+from repro.vm.classfile import ClassDef
+from repro.vm.descriptors import validate
+from repro.vm.errors import AssemblyError
+
+_MNEMONICS: dict[str, Op] = {op.name.lower(): op for op in Op}
+_LABEL_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_$]*):")
+_IDENT_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_$]*$")
+_STRING_RE = re.compile(r'"((?:[^"\\]|\\.)*)"')
+
+_ESCAPES = {"n": "\n", "t": "\t", '"': '"', "\\": "\\", "r": "\r", "0": "\0"}
+
+
+def _unescape(raw: str) -> str:
+    out: list[str] = []
+    i = 0
+    while i < len(raw):
+        c = raw[i]
+        if c == "\\" and i + 1 < len(raw):
+            nxt = raw[i + 1]
+            out.append(_ESCAPES.get(nxt, nxt))
+            i += 2
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def _parse_int(token: str, lineno: int, source: str) -> int:
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblyError(f"expected integer, got {token!r}", lineno, source) from None
+
+
+def _strip_comment(line: str) -> str:
+    """Remove a ``;`` comment, respecting string literals and descriptors.
+
+    A comment ``;`` must start the line or follow whitespace — the ``;``
+    inside ``(LString;)V`` is part of the descriptor, not a comment.
+    """
+    in_str = False
+    i = 0
+    while i < len(line):
+        c = line[i]
+        if c == '"' and (i == 0 or line[i - 1] != "\\"):
+            in_str = not in_str
+        elif c == ";" and not in_str and (i == 0 or line[i - 1] in " \t"):
+            return line[:i]
+        i += 1
+    return line
+
+
+class _Assembler:
+    def __init__(self, text: str, source: str):
+        self.lines = text.splitlines()
+        self.source = source
+        self.classes: list[ClassDef] = []
+        self.cb: ClassBuilder | None = None
+        self.mb: MethodBuilder | None = None
+        self.pending_super: str | None = None
+        self.line_override: int | None = None
+
+    def run(self) -> list[ClassDef]:
+        for lineno, raw in enumerate(self.lines, start=1):
+            line = _strip_comment(raw).strip()
+            if not line:
+                continue
+            try:
+                self._dispatch(line, lineno)
+            except AssemblyError:
+                raise
+            except Exception as exc:  # pragma: no cover - defensive
+                raise AssemblyError(str(exc), lineno, self.source) from exc
+        if self.mb is not None:
+            raise AssemblyError("unterminated .method (missing .end)", len(self.lines), self.source)
+        self._finish_class()
+        return self.classes
+
+    # ------------------------------------------------------------------
+
+    def _finish_class(self) -> None:
+        if self.cb is not None:
+            try:
+                self.classes.append(self.cb.build())
+            except AssemblyError:
+                raise
+            except Exception as exc:
+                raise AssemblyError(str(exc), source=self.source) from exc
+            self.cb = None
+
+    def _require_class(self, lineno: int) -> ClassBuilder:
+        if self.cb is None:
+            raise AssemblyError("directive outside of .class", lineno, self.source)
+        return self.cb
+
+    def _dispatch(self, line: str, lineno: int) -> None:
+        if line.startswith("."):
+            self._directive(line, lineno)
+            return
+        if self.mb is None:
+            raise AssemblyError(f"instruction outside of .method: {line!r}", lineno, self.source)
+        # labels (possibly several, possibly followed by an instruction)
+        while True:
+            m = _LABEL_RE.match(line)
+            if not m:
+                break
+            self.mb.label(m.group(1))
+            line = line[m.end() :].strip()
+            if not line:
+                return
+        self._instruction(line, lineno)
+
+    def _directive(self, line: str, lineno: int) -> None:
+        parts = line.split(None, 1)
+        head, rest = parts[0], (parts[1].strip() if len(parts) > 1 else "")
+        if head == ".class":
+            if self.mb is not None:
+                raise AssemblyError(".class inside .method", lineno, self.source)
+            self._finish_class()
+            if not _IDENT_RE.match(rest):
+                raise AssemblyError(f"bad class name {rest!r}", lineno, self.source)
+            self.cb = ClassBuilder(rest)
+        elif head == ".super":
+            cb = self._require_class(lineno)
+            if not _IDENT_RE.match(rest):
+                raise AssemblyError(f"bad super name {rest!r}", lineno, self.source)
+            cb._classdef.super_name = rest
+        elif head == ".field":
+            cb = self._require_class(lineno)
+            toks = rest.split()
+            static = False
+            if toks and toks[0] == "static":
+                static = True
+                toks = toks[1:]
+            if len(toks) != 2:
+                raise AssemblyError(f"bad .field {rest!r} (want: [static] name desc)", lineno, self.source)
+            cb.field(toks[0], toks[1], static=static)
+        elif head == ".method":
+            cb = self._require_class(lineno)
+            if self.mb is not None:
+                raise AssemblyError("nested .method", lineno, self.source)
+            toks = rest.split()
+            static = False
+            if toks and toks[0] == "static":
+                static = True
+                toks = toks[1:]
+            if len(toks) != 2:
+                raise AssemblyError(f"bad .method {rest!r} (want: [static] name (sig)ret)", lineno, self.source)
+            self.mb = cb.method(toks[0], toks[1], static=static)
+            self.line_override = None
+        elif head == ".native":
+            cb = self._require_class(lineno)
+            toks = rest.split()
+            static = True
+            if toks and toks[0] == "static":
+                toks = toks[1:]
+            elif toks and toks[0] == "virtual":
+                static = False
+                toks = toks[1:]
+            if len(toks) != 2:
+                raise AssemblyError(f"bad .native {rest!r}", lineno, self.source)
+            cb.native_method(toks[0], toks[1], static=static)
+        elif head == ".end":
+            if self.mb is None:
+                raise AssemblyError(".end outside of .method", lineno, self.source)
+            self.mb = None
+        elif head == ".line":
+            if self.mb is None:
+                raise AssemblyError(".line outside of .method", lineno, self.source)
+            self.line_override = _parse_int(rest, lineno, self.source)
+        else:
+            raise AssemblyError(f"unknown directive {head!r}", lineno, self.source)
+
+    def _instruction(self, line: str, lineno: int) -> None:
+        assert self.mb is not None
+        toks = line.split(None, 1)
+        mnemonic = toks[0].lower()
+        rest = toks[1].strip() if len(toks) > 1 else ""
+        op = _MNEMONICS.get(mnemonic)
+        if op is None:
+            raise AssemblyError(f"unknown mnemonic {mnemonic!r}", lineno, self.source)
+        kind = OPERAND_KIND[op]
+        self.mb.line(self.line_override if self.line_override is not None else lineno)
+        if kind is OperandKind.NONE:
+            if rest:
+                raise AssemblyError(f"{mnemonic} takes no operand", lineno, self.source)
+            self.mb.emit(op)
+        elif kind in (OperandKind.INT, OperandKind.LOCAL):
+            self.mb.emit(op, _parse_int(rest, lineno, self.source))
+        elif kind is OperandKind.LOCAL_INT:
+            sub = rest.split()
+            if len(sub) != 2:
+                raise AssemblyError(f"{mnemonic} wants two operands", lineno, self.source)
+            self.mb.emit(op, (_parse_int(sub[0], lineno, self.source), _parse_int(sub[1], lineno, self.source)))
+        elif kind is OperandKind.TARGET:
+            if not _IDENT_RE.match(rest):
+                raise AssemblyError(f"bad branch target {rest!r}", lineno, self.source)
+            self.mb.emit(op, rest)
+        elif kind is OperandKind.STRING:
+            m = _STRING_RE.match(rest)
+            if not m or m.end() != len(rest):
+                raise AssemblyError(f'ldc wants a quoted string, got {rest!r}', lineno, self.source)
+            self.mb.ldc(_unescape(m.group(1)))
+        elif kind is OperandKind.FIELD:
+            toks = rest.split()
+            if len(toks) == 1:
+                self.mb.emit(op, toks[0])
+            elif len(toks) == 2:
+                # JVM-style "Class.field desc" — the descriptor is checked
+                # against the declaration at link time.
+                try:
+                    validate(toks[1])
+                except Exception as exc:
+                    raise AssemblyError(str(exc), lineno, self.source) from exc
+                self.mb.emit(op, (toks[0], toks[1]))
+            else:
+                raise AssemblyError(f"bad field reference {rest!r}", lineno, self.source)
+        elif kind in (OperandKind.CLASS, OperandKind.METHOD, OperandKind.DESC):
+            if not rest:
+                raise AssemblyError(f"{mnemonic} wants an operand", lineno, self.source)
+            self.mb.emit(op, rest)
+        else:  # pragma: no cover - exhaustive
+            raise AssemblyError(f"unhandled operand kind {kind}", lineno, self.source)
+
+
+def assemble(text: str, source: str = "<string>") -> list[ClassDef]:
+    """Assemble *text*, returning the classes it defines (in order)."""
+    return _Assembler(text, source).run()
+
+
+def assemble_file(path: str | Path) -> list[ClassDef]:
+    path = Path(path)
+    return assemble(path.read_text(), str(path))

@@ -1,0 +1,301 @@
+"""A fluent Python DSL for constructing guest classes.
+
+The builder is the programmatic front end to the class-file model — the
+text assembler is implemented on top of it, and workloads written in Python
+use it directly::
+
+    cb = ClassBuilder("Counter")
+    cb.field("n", "I")
+    m = cb.method("bump", "(I)V")
+    m.aload(0).getfield("Counter.n").iload(1).iadd()
+    m.aload_self().swap().putfield("Counter.n")   # (illustrative)
+    m.ret()
+    classdef = cb.build()
+
+Branch targets are symbolic labels resolved when the method is finished.
+"""
+
+from __future__ import annotations
+
+from repro.vm.bytecode import Instr, Op, OPERAND_KIND, OperandKind
+from repro.vm.classfile import ClassDef, FieldDef, MethodDef, validate_classdef
+from repro.vm.descriptors import parse_signature
+from repro.vm.errors import VMError
+
+
+class MethodBuilder:
+    """Accumulates instructions for one method; supports symbolic labels."""
+
+    def __init__(self, owner: "ClassBuilder", name: str, sig: str, *, static: bool):
+        self._owner = owner
+        self._def = MethodDef(name=name, signature=parse_signature(sig), static=static)
+        self._labels: dict[str, int] = {}
+        self._fixups: list[tuple[int, str]] = []
+        self._current_line: int | None = None
+        self._finished = False
+
+    # -- structural ------------------------------------------------------
+
+    def label(self, name: str) -> "MethodBuilder":
+        """Define *name* at the next instruction index."""
+        if name in self._labels:
+            raise VMError(f"duplicate label {name!r} in {self._def.name}")
+        self._labels[name] = len(self._def.code)
+        return self
+
+    def line(self, n: int) -> "MethodBuilder":
+        """Set the source line recorded for subsequent instructions."""
+        self._current_line = n
+        return self
+
+    def emit(self, op: Op, arg: object = None) -> "MethodBuilder":
+        kind = OPERAND_KIND[op]
+        if kind is OperandKind.TARGET and isinstance(arg, str):
+            self._fixups.append((len(self._def.code), arg))
+            arg = -1  # patched in finish()
+        bci = len(self._def.code)
+        self._def.code.append(Instr(op, arg))
+        if self._current_line is not None:
+            self._def.line_table[bci] = self._current_line
+        return self
+
+    def finish(self) -> MethodDef:
+        if self._finished:
+            return self._def
+        code = self._def.code
+        for bci, label in self._fixups:
+            if label not in self._labels:
+                raise VMError(f"undefined label {label!r} in {self._def.name}")
+            code[bci] = Instr(code[bci].op, self._labels[label])
+        self._def.compute_max_locals()
+        self._finished = True
+        return self._def
+
+    @property
+    def here(self) -> int:
+        """Current instruction index (useful for manual targets)."""
+        return len(self._def.code)
+
+    # -- instruction helpers (one per opcode) ------------------------------
+
+    def nop(self):
+        return self.emit(Op.NOP)
+
+    def iconst(self, v: int):
+        return self.emit(Op.ICONST, v)
+
+    def ldc(self, text: str):
+        return self.emit(Op.LDC, self._owner._classdef.intern_string(text))
+
+    def aconst_null(self):
+        return self.emit(Op.ACONST_NULL)
+
+    def dup(self):
+        return self.emit(Op.DUP)
+
+    def pop(self):
+        return self.emit(Op.POP)
+
+    def swap(self):
+        return self.emit(Op.SWAP)
+
+    def iload(self, n: int):
+        return self.emit(Op.ILOAD, n)
+
+    def istore(self, n: int):
+        return self.emit(Op.ISTORE, n)
+
+    def aload(self, n: int):
+        return self.emit(Op.ALOAD, n)
+
+    def astore(self, n: int):
+        return self.emit(Op.ASTORE, n)
+
+    def iinc(self, n: int, delta: int):
+        return self.emit(Op.IINC, (n, delta))
+
+    def iadd(self):
+        return self.emit(Op.IADD)
+
+    def isub(self):
+        return self.emit(Op.ISUB)
+
+    def imul(self):
+        return self.emit(Op.IMUL)
+
+    def idiv(self):
+        return self.emit(Op.IDIV)
+
+    def irem(self):
+        return self.emit(Op.IREM)
+
+    def ineg(self):
+        return self.emit(Op.INEG)
+
+    def ishl(self):
+        return self.emit(Op.ISHL)
+
+    def ishr(self):
+        return self.emit(Op.ISHR)
+
+    def iushr(self):
+        return self.emit(Op.IUSHR)
+
+    def iand(self):
+        return self.emit(Op.IAND)
+
+    def ior(self):
+        return self.emit(Op.IOR)
+
+    def ixor(self):
+        return self.emit(Op.IXOR)
+
+    def goto(self, label: str):
+        return self.emit(Op.GOTO, label)
+
+    def ifeq(self, label: str):
+        return self.emit(Op.IFEQ, label)
+
+    def ifne(self, label: str):
+        return self.emit(Op.IFNE, label)
+
+    def iflt(self, label: str):
+        return self.emit(Op.IFLT, label)
+
+    def ifle(self, label: str):
+        return self.emit(Op.IFLE, label)
+
+    def ifgt(self, label: str):
+        return self.emit(Op.IFGT, label)
+
+    def ifge(self, label: str):
+        return self.emit(Op.IFGE, label)
+
+    def if_icmpeq(self, label: str):
+        return self.emit(Op.IF_ICMPEQ, label)
+
+    def if_icmpne(self, label: str):
+        return self.emit(Op.IF_ICMPNE, label)
+
+    def if_icmplt(self, label: str):
+        return self.emit(Op.IF_ICMPLT, label)
+
+    def if_icmple(self, label: str):
+        return self.emit(Op.IF_ICMPLE, label)
+
+    def if_icmpgt(self, label: str):
+        return self.emit(Op.IF_ICMPGT, label)
+
+    def if_icmpge(self, label: str):
+        return self.emit(Op.IF_ICMPGE, label)
+
+    def if_acmpeq(self, label: str):
+        return self.emit(Op.IF_ACMPEQ, label)
+
+    def if_acmpne(self, label: str):
+        return self.emit(Op.IF_ACMPNE, label)
+
+    def ifnull(self, label: str):
+        return self.emit(Op.IFNULL, label)
+
+    def ifnonnull(self, label: str):
+        return self.emit(Op.IFNONNULL, label)
+
+    def new(self, cls: str):
+        return self.emit(Op.NEW, cls)
+
+    def getfield(self, ref: str):
+        return self.emit(Op.GETFIELD, ref)
+
+    def putfield(self, ref: str):
+        return self.emit(Op.PUTFIELD, ref)
+
+    def getstatic(self, ref: str):
+        return self.emit(Op.GETSTATIC, ref)
+
+    def putstatic(self, ref: str):
+        return self.emit(Op.PUTSTATIC, ref)
+
+    def newarray(self):
+        return self.emit(Op.NEWARRAY)
+
+    def anewarray(self, elem_desc: str):
+        return self.emit(Op.ANEWARRAY, elem_desc)
+
+    def iaload(self):
+        return self.emit(Op.IALOAD)
+
+    def iastore(self):
+        return self.emit(Op.IASTORE)
+
+    def aaload(self):
+        return self.emit(Op.AALOAD)
+
+    def aastore(self):
+        return self.emit(Op.AASTORE)
+
+    def arraylength(self):
+        return self.emit(Op.ARRAYLENGTH)
+
+    def instanceof(self, cls: str):
+        return self.emit(Op.INSTANCEOF, cls)
+
+    def checkcast(self, cls: str):
+        return self.emit(Op.CHECKCAST, cls)
+
+    def invokestatic(self, ref: str):
+        return self.emit(Op.INVOKESTATIC, ref)
+
+    def invokevirtual(self, ref: str):
+        return self.emit(Op.INVOKEVIRTUAL, ref)
+
+    def ret(self):
+        return self.emit(Op.RETURN)
+
+    def ireturn(self):
+        return self.emit(Op.IRETURN)
+
+    def areturn(self):
+        return self.emit(Op.ARETURN)
+
+    def monitorenter(self):
+        return self.emit(Op.MONITORENTER)
+
+    def monitorexit(self):
+        return self.emit(Op.MONITOREXIT)
+
+
+class ClassBuilder:
+    """Accumulates fields and methods, producing a validated ClassDef."""
+
+    def __init__(self, name: str, super_name: str | None = "Object"):
+        self._classdef = ClassDef(name=name, super_name=super_name)
+        self._methods: list[MethodBuilder] = []
+        self._built = False
+
+    @property
+    def name(self) -> str:
+        return self._classdef.name
+
+    def field(self, name: str, desc: str, *, static: bool = False) -> "ClassBuilder":
+        self._classdef.fields.append(FieldDef(name=name, desc=desc, static=static))
+        return self
+
+    def method(self, name: str, sig: str, *, static: bool = False) -> MethodBuilder:
+        mb = MethodBuilder(self, name, sig, static=static)
+        self._methods.append(mb)
+        return mb
+
+    def native_method(self, name: str, sig: str, *, static: bool = True) -> "ClassBuilder":
+        self._classdef.methods.append(
+            MethodDef(name=name, signature=parse_signature(sig), static=static, native=True)
+        )
+        return self
+
+    def build(self) -> ClassDef:
+        if not self._built:
+            for mb in self._methods:
+                self._classdef.methods.append(mb.finish())
+            validate_classdef(self._classdef)
+            self._built = True
+        return self._classdef

@@ -1,0 +1,230 @@
+"""The bytecode instruction set.
+
+A method body is a sequence of :class:`Instr` — an opcode plus at most one
+operand.  Branch targets are instruction indices ("bci"); symbolic operands
+(class / field / method references) are resolved at link time.
+
+The ISA is a JVM subset covering everything the paper's examples exercise:
+integer arithmetic, objects, arrays, static and virtual calls, monitors,
+and conditional control flow.  ``long``/``float`` and structured exception
+handling are deliberately out of scope (see DESIGN.md substitutions).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class OperandKind(enum.Enum):
+    NONE = "none"
+    INT = "int"  # immediate integer
+    LOCAL = "local"  # local-variable slot index
+    LOCAL_INT = "local_int"  # (slot, delta) pair — IINC
+    TARGET = "target"  # branch target (instruction index)
+    CLASS = "class"  # class name
+    FIELD = "field"  # "Class.field"
+    METHOD = "method"  # "Class.method(sig)"
+    DESC = "desc"  # element type descriptor
+    STRING = "string"  # constant-pool string index
+
+
+class Op(enum.IntEnum):
+    NOP = 0
+    ICONST = 1
+    LDC = 2
+    ACONST_NULL = 3
+    DUP = 4
+    POP = 5
+    SWAP = 6
+
+    ILOAD = 10
+    ISTORE = 11
+    ALOAD = 12
+    ASTORE = 13
+    IINC = 14
+
+    IADD = 20
+    ISUB = 21
+    IMUL = 22
+    IDIV = 23
+    IREM = 24
+    INEG = 25
+    ISHL = 26
+    ISHR = 27
+    IUSHR = 28
+    IAND = 29
+    IOR = 30
+    IXOR = 31
+
+    GOTO = 40
+    IFEQ = 41
+    IFNE = 42
+    IFLT = 43
+    IFLE = 44
+    IFGT = 45
+    IFGE = 46
+    IF_ICMPEQ = 47
+    IF_ICMPNE = 48
+    IF_ICMPLT = 49
+    IF_ICMPLE = 50
+    IF_ICMPGT = 51
+    IF_ICMPGE = 52
+    IF_ACMPEQ = 53
+    IF_ACMPNE = 54
+    IFNULL = 55
+    IFNONNULL = 56
+
+    NEW = 60
+    GETFIELD = 61
+    PUTFIELD = 62
+    GETSTATIC = 63
+    PUTSTATIC = 64
+    NEWARRAY = 65
+    ANEWARRAY = 66
+    IALOAD = 67
+    IASTORE = 68
+    AALOAD = 69
+    AASTORE = 70
+    ARRAYLENGTH = 71
+    INSTANCEOF = 72
+    CHECKCAST = 73
+
+    INVOKESTATIC = 80
+    INVOKEVIRTUAL = 81
+    RETURN = 82
+    IRETURN = 83
+    ARETURN = 84
+
+    MONITORENTER = 90
+    MONITOREXIT = 91
+
+
+OPERAND_KIND: dict[Op, OperandKind] = {
+    Op.NOP: OperandKind.NONE,
+    Op.ICONST: OperandKind.INT,
+    Op.LDC: OperandKind.STRING,
+    Op.ACONST_NULL: OperandKind.NONE,
+    Op.DUP: OperandKind.NONE,
+    Op.POP: OperandKind.NONE,
+    Op.SWAP: OperandKind.NONE,
+    Op.ILOAD: OperandKind.LOCAL,
+    Op.ISTORE: OperandKind.LOCAL,
+    Op.ALOAD: OperandKind.LOCAL,
+    Op.ASTORE: OperandKind.LOCAL,
+    Op.IINC: OperandKind.LOCAL_INT,
+    Op.IADD: OperandKind.NONE,
+    Op.ISUB: OperandKind.NONE,
+    Op.IMUL: OperandKind.NONE,
+    Op.IDIV: OperandKind.NONE,
+    Op.IREM: OperandKind.NONE,
+    Op.INEG: OperandKind.NONE,
+    Op.ISHL: OperandKind.NONE,
+    Op.ISHR: OperandKind.NONE,
+    Op.IUSHR: OperandKind.NONE,
+    Op.IAND: OperandKind.NONE,
+    Op.IOR: OperandKind.NONE,
+    Op.IXOR: OperandKind.NONE,
+    Op.GOTO: OperandKind.TARGET,
+    Op.IFEQ: OperandKind.TARGET,
+    Op.IFNE: OperandKind.TARGET,
+    Op.IFLT: OperandKind.TARGET,
+    Op.IFLE: OperandKind.TARGET,
+    Op.IFGT: OperandKind.TARGET,
+    Op.IFGE: OperandKind.TARGET,
+    Op.IF_ICMPEQ: OperandKind.TARGET,
+    Op.IF_ICMPNE: OperandKind.TARGET,
+    Op.IF_ICMPLT: OperandKind.TARGET,
+    Op.IF_ICMPLE: OperandKind.TARGET,
+    Op.IF_ICMPGT: OperandKind.TARGET,
+    Op.IF_ICMPGE: OperandKind.TARGET,
+    Op.IF_ACMPEQ: OperandKind.TARGET,
+    Op.IF_ACMPNE: OperandKind.TARGET,
+    Op.IFNULL: OperandKind.TARGET,
+    Op.IFNONNULL: OperandKind.TARGET,
+    Op.NEW: OperandKind.CLASS,
+    Op.GETFIELD: OperandKind.FIELD,
+    Op.PUTFIELD: OperandKind.FIELD,
+    Op.GETSTATIC: OperandKind.FIELD,
+    Op.PUTSTATIC: OperandKind.FIELD,
+    Op.NEWARRAY: OperandKind.NONE,
+    Op.ANEWARRAY: OperandKind.DESC,
+    Op.IALOAD: OperandKind.NONE,
+    Op.IASTORE: OperandKind.NONE,
+    Op.AALOAD: OperandKind.NONE,
+    Op.AASTORE: OperandKind.NONE,
+    Op.ARRAYLENGTH: OperandKind.NONE,
+    Op.INSTANCEOF: OperandKind.CLASS,
+    Op.CHECKCAST: OperandKind.CLASS,
+    Op.INVOKESTATIC: OperandKind.METHOD,
+    Op.INVOKEVIRTUAL: OperandKind.METHOD,
+    Op.RETURN: OperandKind.NONE,
+    Op.IRETURN: OperandKind.NONE,
+    Op.ARETURN: OperandKind.NONE,
+    Op.MONITORENTER: OperandKind.NONE,
+    Op.MONITOREXIT: OperandKind.NONE,
+}
+
+#: Opcodes that transfer control unconditionally (fall-through impossible).
+UNCONDITIONAL = frozenset({Op.GOTO, Op.RETURN, Op.IRETURN, Op.ARETURN})
+
+#: Conditional branches (fall through or jump).
+CONDITIONAL = frozenset(
+    {
+        Op.IFEQ,
+        Op.IFNE,
+        Op.IFLT,
+        Op.IFLE,
+        Op.IFGT,
+        Op.IFGE,
+        Op.IF_ICMPEQ,
+        Op.IF_ICMPNE,
+        Op.IF_ICMPLT,
+        Op.IF_ICMPLE,
+        Op.IF_ICMPGT,
+        Op.IF_ICMPGE,
+        Op.IF_ACMPEQ,
+        Op.IF_ACMPNE,
+        Op.IFNULL,
+        Op.IFNONNULL,
+    }
+)
+
+#: All branch opcodes (operand is a TARGET).
+BRANCHES = CONDITIONAL | frozenset({Op.GOTO})
+
+
+@dataclass(frozen=True)
+class Instr:
+    """One bytecode instruction: opcode + operand (shape per OPERAND_KIND)."""
+
+    op: Op
+    arg: object = None
+
+    def __repr__(self) -> str:
+        if self.arg is None:
+            return f"Instr({self.op.name})"
+        return f"Instr({self.op.name}, {self.arg!r})"
+
+
+def format_instr(instr: Instr) -> str:
+    """Render an instruction in assembler syntax."""
+    kind = OPERAND_KIND[instr.op]
+    name = instr.op.name.lower()
+    if kind is OperandKind.NONE:
+        return name
+    if kind is OperandKind.LOCAL_INT:
+        slot, delta = instr.arg  # type: ignore[misc]
+        return f"{name} {slot} {delta}"
+    return f"{name} {instr.arg}"
+
+
+def disassemble(code: list[Instr], lines: dict[int, int] | None = None) -> str:
+    """Render a method body, one instruction per line, with bci prefixes."""
+    out = []
+    for bci, instr in enumerate(code):
+        line = f"  {bci:4d}: {format_instr(instr)}"
+        if lines and bci in lines:
+            line += f"    ; line {lines[bci]}"
+        out.append(line)
+    return "\n".join(out)

@@ -1,0 +1,265 @@
+"""The baseline compiler: bytecode → machine code (micro-ops).
+
+Like Jalapeño's baseline compiler, this pass translates each bytecode into
+a short, fully resolved machine sequence and — the paper's central
+"cross-optimization" property — *inlines yield points into the compiled
+code*: one in every method prologue and one before every backward branch
+(loop backedge).  When DejaVu is attached, the yield-point micro-op IS the
+record/replay instrumentation site of Figure 2; there is no separate
+instrumentation layer that could be compiled differently between modes.
+
+Machine code is a list of ``(mop, a, b)`` tuples dispatched by the engine
+in :mod:`repro.vm.interp`.  Symbolic operands are resolved at compile time
+to offsets, :class:`RuntimeClass`/:class:`RuntimeMethod` objects, or
+vtable keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.vm.bytecode import BRANCHES, Instr, Op
+from repro.vm.errors import VMError
+from repro.vm.refmaps import field_ref
+
+# -- micro-op codes ----------------------------------------------------------
+
+M_NOP = 0
+M_ICONST = 1
+M_LDC = 2
+M_ACONST_NULL = 3
+M_DUP = 4
+M_POP = 5
+M_SWAP = 6
+M_ILOAD = 7
+M_ISTORE = 8
+M_ALOAD = 9
+M_ASTORE = 10
+M_IINC = 11
+
+M_IADD = 12
+M_ISUB = 13
+M_IMUL = 14
+M_IDIV = 15
+M_IREM = 16
+M_INEG = 17
+M_ISHL = 18
+M_ISHR = 19
+M_IUSHR = 20
+M_IAND = 21
+M_IOR = 22
+M_IXOR = 23
+
+M_GOTO = 24
+M_IFEQ = 25
+M_IFNE = 26
+M_IFLT = 27
+M_IFLE = 28
+M_IFGT = 29
+M_IFGE = 30
+M_IF_ICMPEQ = 31
+M_IF_ICMPNE = 32
+M_IF_ICMPLT = 33
+M_IF_ICMPLE = 34
+M_IF_ICMPGT = 35
+M_IF_ICMPGE = 36
+M_IF_ACMPEQ = 37
+M_IF_ACMPNE = 38
+M_IFNULL = 39
+M_IFNONNULL = 40
+
+M_NEW = 41
+M_GETFIELD = 42
+M_PUTFIELD = 43
+M_GETSTATIC = 44
+M_PUTSTATIC = 45
+M_NEWARRAY = 46
+M_ANEWARRAY = 47
+M_IALOAD = 48
+M_IASTORE = 49
+M_AALOAD = 50
+M_AASTORE = 51
+M_ARRAYLENGTH = 52
+M_INSTANCEOF = 53
+M_CHECKCAST = 54
+
+M_INVOKESTATIC = 55
+M_INVOKEVIRTUAL = 56
+M_RETURN = 57
+M_IRETURN = 58
+M_ARETURN = 59
+
+M_MONITORENTER = 60
+M_MONITOREXIT = 61
+
+M_YIELDPOINT = 62
+
+#: yield-point location tags (carried so tests/traces can tell them apart)
+YP_PROLOGUE = 0
+YP_BACKEDGE = 1
+
+_SIMPLE = {
+    Op.NOP: M_NOP,
+    Op.ACONST_NULL: M_ACONST_NULL,
+    Op.DUP: M_DUP,
+    Op.POP: M_POP,
+    Op.SWAP: M_SWAP,
+    Op.IADD: M_IADD,
+    Op.ISUB: M_ISUB,
+    Op.IMUL: M_IMUL,
+    Op.IDIV: M_IDIV,
+    Op.IREM: M_IREM,
+    Op.INEG: M_INEG,
+    Op.ISHL: M_ISHL,
+    Op.ISHR: M_ISHR,
+    Op.IUSHR: M_IUSHR,
+    Op.IAND: M_IAND,
+    Op.IOR: M_IOR,
+    Op.IXOR: M_IXOR,
+    Op.NEWARRAY: M_NEWARRAY,
+    Op.IALOAD: M_IALOAD,
+    Op.IASTORE: M_IASTORE,
+    Op.AALOAD: M_AALOAD,
+    Op.AASTORE: M_AASTORE,
+    Op.ARRAYLENGTH: M_ARRAYLENGTH,
+    Op.RETURN: M_RETURN,
+    Op.IRETURN: M_IRETURN,
+    Op.ARETURN: M_ARETURN,
+    Op.MONITORENTER: M_MONITORENTER,
+    Op.MONITOREXIT: M_MONITOREXIT,
+}
+
+_BRANCH = {
+    Op.GOTO: M_GOTO,
+    Op.IFEQ: M_IFEQ,
+    Op.IFNE: M_IFNE,
+    Op.IFLT: M_IFLT,
+    Op.IFLE: M_IFLE,
+    Op.IFGT: M_IFGT,
+    Op.IFGE: M_IFGE,
+    Op.IF_ICMPEQ: M_IF_ICMPEQ,
+    Op.IF_ICMPNE: M_IF_ICMPNE,
+    Op.IF_ICMPLT: M_IF_ICMPLT,
+    Op.IF_ICMPLE: M_IF_ICMPLE,
+    Op.IF_ICMPGT: M_IF_ICMPGT,
+    Op.IF_ICMPGE: M_IF_ICMPGE,
+    Op.IF_ACMPEQ: M_IF_ACMPEQ,
+    Op.IF_ACMPNE: M_IF_ACMPNE,
+    Op.IFNULL: M_IFNULL,
+    Op.IFNONNULL: M_IFNONNULL,
+}
+
+#: fixed per-frame overhead charged against the thread stack, in words
+#: (saved pc, method pointer, monitor bookkeeping, spill margin).
+FRAME_OVERHEAD_WORDS = 6
+
+
+@dataclass
+class MachineCode:
+    """Compiled body of one method."""
+
+    qualname: str
+    ops: list[tuple] = field(default_factory=list)
+    #: machine pc -> bytecode index (for GC maps, line numbers, debugger)
+    bci_of: list[int] = field(default_factory=list)
+    #: bytecode index -> first machine pc
+    pc_of_bci: list[int] = field(default_factory=list)
+    nlocals: int = 0
+    max_stack: int = 0
+    frame_words: int = 0
+    n_yieldpoints: int = 0
+
+    def bci_at(self, pc: int) -> int:
+        return self.bci_of[pc]
+
+
+def compile_method(loader, rc, rm) -> MachineCode:
+    """Baseline-compile *rm* of class *rc* (the loader's ``compile_fn``)."""
+    mdef = rm.mdef
+    if mdef.native:
+        raise VMError(f"cannot compile native method {rm.qualname}")
+    assert rm.maps is not None, "verify before compiling"
+
+    mc = MachineCode(qualname=rm.qualname)
+    mc.nlocals = mdef.max_locals
+    mc.max_stack = rm.maps.max_stack
+    mc.frame_words = mc.nlocals + mc.max_stack + FRAME_OVERHEAD_WORDS
+
+    ops = mc.ops
+    bci_of = mc.bci_of
+
+    def emit(bci: int, mop: int, a: object = None, b: object = None) -> None:
+        ops.append((mop, a, b))
+        bci_of.append(bci)
+
+    # method-prologue yield point (Jalapeño puts one in every prologue)
+    emit(0, M_YIELDPOINT, YP_PROLOGUE)
+    mc.n_yieldpoints += 1
+
+    fixups: list[tuple[int, int]] = []  # (machine pc, target bci)
+    mc.pc_of_bci = [0] * len(mdef.code)
+
+    for bci, instr in enumerate(mdef.code):
+        # a backward branch gets a yield point in front of it (loop backedge)
+        if instr.op in BRANCHES and int(instr.arg) <= bci:  # type: ignore[arg-type]
+            emit(bci, M_YIELDPOINT, YP_BACKEDGE)
+            mc.n_yieldpoints += 1
+        mc.pc_of_bci[bci] = len(ops)
+        _translate(loader, rc, instr, bci, ops, emit, fixups)
+
+    for pc, target_bci in fixups:
+        mop, _, b = ops[pc]
+        ops[pc] = (mop, mc.pc_of_bci[target_bci], b)
+    return mc
+
+
+def _translate(loader, rc, instr: Instr, bci: int, ops: list, emit, fixups) -> None:
+    op = instr.op
+    mop = _SIMPLE.get(op)
+    if mop is not None:
+        emit(bci, mop)
+        return
+    mop = _BRANCH.get(op)
+    if mop is not None:
+        fixups.append((len(ops), int(instr.arg)))  # type: ignore[arg-type]
+        emit(bci, mop, -1)
+        return
+    if op is Op.ICONST:
+        emit(bci, M_ICONST, int(instr.arg))  # type: ignore[arg-type]
+    elif op is Op.LDC:
+        emit(bci, M_LDC, rc, int(instr.arg))  # type: ignore[arg-type]
+    elif op in (Op.ILOAD, Op.ALOAD):
+        emit(bci, M_ILOAD if op is Op.ILOAD else M_ALOAD, int(instr.arg))  # type: ignore[arg-type]
+    elif op in (Op.ISTORE, Op.ASTORE):
+        emit(bci, M_ISTORE if op is Op.ISTORE else M_ASTORE, int(instr.arg))  # type: ignore[arg-type]
+    elif op is Op.IINC:
+        slot, delta = instr.arg  # type: ignore[misc]
+        emit(bci, M_IINC, slot, delta)
+    elif op is Op.NEW:
+        emit(bci, M_NEW, loader.ensure_layout(str(instr.arg)))
+    elif op in (Op.GETFIELD, Op.PUTFIELD):
+        ref, _ = field_ref(instr.arg)
+        slot = loader.resolve_instance_field(ref)
+        emit(bci, M_GETFIELD if op is Op.GETFIELD else M_PUTFIELD, slot.offset)
+    elif op in (Op.GETSTATIC, Op.PUTSTATIC):
+        ref, _ = field_ref(instr.arg)
+        holder_rc, slot = loader.resolve_static_field(ref)
+        emit(
+            bci,
+            M_GETSTATIC if op is Op.GETSTATIC else M_PUTSTATIC,
+            holder_rc,
+            slot.offset,
+        )
+    elif op is Op.ANEWARRAY:
+        emit(bci, M_ANEWARRAY, "[" + str(instr.arg))
+    elif op in (Op.INSTANCEOF, Op.CHECKCAST):
+        target = loader.ensure_layout(str(instr.arg))
+        emit(bci, M_INSTANCEOF if op is Op.INSTANCEOF else M_CHECKCAST, target)
+    elif op is Op.INVOKESTATIC:
+        rm = loader.resolve_static_method(str(instr.arg))
+        emit(bci, M_INVOKESTATIC, rm)
+    elif op is Op.INVOKEVIRTUAL:
+        key, proto = loader.resolve_virtual(str(instr.arg))
+        emit(bci, M_INVOKEVIRTUAL, key, proto)
+    else:  # pragma: no cover - exhaustive over the ISA
+        raise VMError(f"cannot compile opcode {op.name}")

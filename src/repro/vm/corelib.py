@@ -1,0 +1,264 @@
+"""The bootstrap guest runtime library.
+
+These classes exist in every VM instance, loaded in a fixed order before
+any user class (so class ids and heap metadata layout are identical in the
+application VM and the tool VM — a prerequisite for remote reflection).
+
+Notably, ``VM_Method.getLineNumberAt`` is *guest bytecode* implementing the
+exact method of the paper's Figure 3 — the tool VM interprets this same
+code against remote objects when the debugger asks for line numbers.
+"""
+
+from __future__ import annotations
+
+from repro.vm.builder import ClassBuilder
+from repro.vm.classfile import ClassDef
+
+#: Thread.state values mirrored into the guest Thread object.
+THREAD_NEW = 0
+THREAD_READY = 1
+THREAD_RUNNING = 2
+THREAD_BLOCKED = 3
+THREAD_WAITING = 4
+THREAD_SLEEPING = 5
+THREAD_TERMINATED = 6
+
+
+def _object() -> ClassDef:
+    cb = ClassBuilder("Object", super_name=None)
+    # Default constructor: new Object()-style init is a no-op.
+    cb.method("init", "()V").ret()
+    return cb.build()
+
+
+def _string() -> ClassDef:
+    cb = ClassBuilder("String")
+    cb.field("chars", "[I")
+    m = cb.method("length", "()I")
+    m.aload(0).getfield("String.chars").arraylength().ireturn()
+    m = cb.method("charAt", "(I)I")
+    m.aload(0).getfield("String.chars").iload(1).iaload().ireturn()
+    # equals(String): element-wise comparison — exercised by tests and rtl.
+    m = cb.method("equals", "(LString;)I")
+    m.aload(1).ifnull("no")
+    m.aload(0).getfield("String.chars").arraylength()
+    m.aload(1).getfield("String.chars").arraylength()
+    m.if_icmpne("no")
+    m.iconst(0).istore(2)
+    m.label("loop")
+    m.iload(2).aload(0).getfield("String.chars").arraylength().if_icmpge("yes")
+    m.aload(0).getfield("String.chars").iload(2).iaload()
+    m.aload(1).getfield("String.chars").iload(2).iaload()
+    m.if_icmpne("no")
+    m.iinc(2, 1).goto("loop")
+    m.label("yes").iconst(1).ireturn()
+    m.label("no").iconst(0).ireturn()
+    return cb.build()
+
+
+def _vm_class() -> ClassDef:
+    cb = ClassBuilder("VM_Class")
+    cb.field("name", "LString;")
+    cb.field("classId", "I")
+    cb.field("superId", "I")
+    cb.field("methods", "[LVM_Method;")
+    cb.field("statics", "LObject;")
+    m = cb.method("getName", "()LString;")
+    m.aload(0).getfield("VM_Class.name").areturn()
+    m = cb.method("getMethods", "()[LVM_Method;")
+    m.aload(0).getfield("VM_Class.methods").areturn()
+    return cb.build()
+
+
+def _vm_method() -> ClassDef:
+    cb = ClassBuilder("VM_Method")
+    cb.field("name", "LString;")
+    cb.field("descriptor", "LString;")
+    cb.field("declaring", "LVM_Class;")
+    cb.field("lineTable", "[I")
+    cb.field("methodId", "I")
+    cb.field("codeSize", "I")
+    m = cb.method("getName", "()LString;")
+    m.aload(0).getfield("VM_Method.name").areturn()
+    # Figure 3 of the paper, verbatim semantics:
+    #   public int getLineNumberAt(int offset) {
+    #       if (offset > lineTable.length) return 0;
+    #       return lineTable[offset];
+    #   }
+    m = cb.method("getLineNumberAt", "(I)I")
+    m.iload(1).aload(0).getfield("VM_Method.lineTable").arraylength()
+    m.if_icmpge("oob")
+    m.iload(1).iflt("oob")
+    m.aload(0).getfield("VM_Method.lineTable").iload(1).iaload().ireturn()
+    m.label("oob").iconst(0).ireturn()
+    return cb.build()
+
+
+def _vm_dictionary() -> ClassDef:
+    cb = ClassBuilder("VM_Dictionary")
+    cb.field("methods", "[LVM_Method;", static=True)
+    cb.field("classes", "[LVM_Class;", static=True)
+    cb.field("methodCount", "I", static=True)
+    cb.field("classCount", "I", static=True)
+    m = cb.method("getMethods", "()[LVM_Method;", static=True)
+    m.getstatic("VM_Dictionary.methods").areturn()
+    m = cb.method("getClasses", "()[LVM_Class;", static=True)
+    m.getstatic("VM_Dictionary.classes").areturn()
+    m = cb.method("getMethodCount", "()I", static=True)
+    m.getstatic("VM_Dictionary.methodCount").ireturn()
+    return cb.build()
+
+
+def _thread() -> ClassDef:
+    cb = ClassBuilder("Thread")
+    cb.field("tid", "I")
+    cb.field("state", "I")
+    cb.field("name", "LString;")
+    cb.field("stack", "[I")  # the heap-allocated activation stack (Jalapeño-style)
+    cb.field("shadow", "[I")  # shadow call stack: [depth, mid0, bci0, mid1, ...]
+    # run() is overridden by user thread subclasses; the base body is empty.
+    cb.method("run", "()V").ret()
+    m = cb.method("getTid", "()I")
+    m.aload(0).getfield("Thread.tid").ireturn()
+    # Natives implemented by the thread package (deterministic, not logged).
+    cb.native_method("start", "(LThread;)V")
+    cb.native_method("yield", "()V")
+    cb.native_method("sleep", "(I)V")
+    cb.native_method("join", "(LThread;)V")
+    cb.native_method("currentTid", "()I")
+    return cb.build()
+
+
+def _system() -> ClassDef:
+    cb = ClassBuilder("System")
+    # Deterministic output (captured; compared between record and replay).
+    cb.native_method("print", "(LString;)V")
+    cb.native_method("printInt", "(I)V")
+    cb.native_method("printChar", "(I)V")
+    # Non-deterministic environmental queries (logged and replayed by DejaVu).
+    cb.native_method("currentTimeMillis", "()I")
+    cb.native_method("randomInt", "(I)I")
+    cb.native_method("readInt", "()I")
+    cb.native_method("readLine", "()LString;")
+    # Deterministic services.
+    cb.native_method("identityHashCode", "(LObject;)I")
+    cb.native_method("arraycopy", "([II[III)V")
+    cb.native_method("gc", "()V")
+    # Monitor-condition natives (deterministic, part of the thread package).
+    cb.native_method("wait", "(LObject;)V")
+    cb.native_method("timedWait", "(LObject;I)V")
+    cb.native_method("notify", "(LObject;)V")
+    cb.native_method("notifyAll", "(LObject;)V")
+    cb.native_method("interrupt", "(LThread;)I")
+    cb.native_method("interrupted", "()I")
+    return cb.build()
+
+
+def _string_builder() -> ClassDef:
+    """Minimal growable char buffer used by workloads to format output."""
+    cb = ClassBuilder("StringBuilder")
+    cb.field("buf", "[I")
+    cb.field("len", "I")
+    m = cb.method("init", "()V")
+    m.aload(0).iconst(16).newarray().putfield("StringBuilder.buf")
+    m.aload(0).iconst(0).putfield("StringBuilder.len")
+    m.ret()
+    # ensure(extra): grow buf so len+extra fits.
+    m = cb.method("ensure", "(I)V")
+    m.aload(0).getfield("StringBuilder.len").iload(1).iadd()
+    m.aload(0).getfield("StringBuilder.buf").arraylength()
+    m.if_icmple("done")
+    # newbuf = new int[max(2*cap, len+extra)]
+    m.aload(0).getfield("StringBuilder.buf").arraylength().iconst(2).imul().istore(2)
+    m.aload(0).getfield("StringBuilder.len").iload(1).iadd().istore(3)
+    m.iload(2).iload(3).if_icmpge("useCap")
+    m.iload(3).istore(2)
+    m.label("useCap")
+    m.iload(2).newarray().astore(4)
+    m.aload(0).getfield("StringBuilder.buf").iconst(0)
+    m.aload(4).iconst(0)
+    m.aload(0).getfield("StringBuilder.len")
+    m.invokestatic("System.arraycopy([II[III)V")
+    m.aload(0).aload(4).putfield("StringBuilder.buf")
+    m.label("done").ret()
+    # appendChar(c)
+    m = cb.method("appendChar", "(I)V")
+    m.aload(0).iconst(1).invokevirtual("StringBuilder.ensure(I)V")
+    m.aload(0).getfield("StringBuilder.buf")
+    m.aload(0).getfield("StringBuilder.len")
+    m.iload(1).iastore()
+    m.aload(0).dup().getfield("StringBuilder.len").iconst(1).iadd()
+    m.putfield("StringBuilder.len")
+    m.ret()
+    # appendInt(v): decimal digits (handles negatives and zero).
+    m = cb.method("appendInt", "(I)V")
+    m.iload(1).ifne("nonzero")
+    m.aload(0).iconst(48).invokevirtual("StringBuilder.appendChar(I)V").ret()
+    m.label("nonzero")
+    m.iload(1).ifge("pos")
+    m.aload(0).iconst(45).invokevirtual("StringBuilder.appendChar(I)V")  # '-'
+    m.iload(1).ineg().istore(1)
+    m.label("pos")
+    # digits into a temp array, then reversed
+    m.iconst(12).newarray().astore(2)
+    m.iconst(0).istore(3)
+    m.label("digits")
+    m.iload(1).ifle("emit")
+    m.aload(2).iload(3).iload(1).iconst(10).irem().iconst(48).iadd().iastore()
+    m.iload(1).iconst(10).idiv().istore(1)
+    m.iinc(3, 1).goto("digits")
+    m.label("emit")
+    m.iload(3).iconst(1).isub().istore(4)
+    m.label("rev")
+    m.iload(4).iflt("fin")
+    m.aload(0).aload(2).iload(4).iaload().invokevirtual("StringBuilder.appendChar(I)V")
+    m.iinc(4, -1).goto("rev")
+    m.label("fin").ret()
+    # appendString(s)
+    m = cb.method("appendString", "(LString;)V")
+    m.iconst(0).istore(2)
+    m.label("loop")
+    m.iload(2).aload(1).invokevirtual("String.length()I").if_icmpge("done")
+    m.aload(0).aload(1).iload(2).invokevirtual("String.charAt(I)I")
+    m.invokevirtual("StringBuilder.appendChar(I)V")
+    m.iinc(2, 1).goto("loop")
+    m.label("done").ret()
+    # toStringObj(): materialise a String
+    m = cb.method("toStringObj", "()LString;")
+    m.new("String").astore(2)
+    m.aload(2)
+    m.aload(0).getfield("StringBuilder.len").newarray()
+    m.putfield("String.chars")
+    m.aload(0).getfield("StringBuilder.buf").iconst(0)
+    m.aload(2).getfield("String.chars").iconst(0)
+    m.aload(0).getfield("StringBuilder.len")
+    m.invokestatic("System.arraycopy([II[III)V")
+    m.aload(2).areturn()
+    return cb.build()
+
+
+#: Bootstrap load order — identical in every VM instance.
+CORE_CLASS_ORDER = [
+    "Object",
+    "String",
+    "VM_Method",
+    "VM_Class",
+    "VM_Dictionary",
+    "Thread",
+    "System",
+    "StringBuilder",
+]
+
+
+def core_classdefs() -> dict[str, ClassDef]:
+    defs = [
+        _object(),
+        _string(),
+        _vm_method(),
+        _vm_class(),
+        _vm_dictionary(),
+        _thread(),
+        _system(),
+        _string_builder(),
+    ]
+    return {cd.name: cd for cd in defs}

@@ -1,0 +1,120 @@
+"""Type descriptors and method signatures.
+
+Descriptors follow JVM spelling restricted to the types the VM supports:
+
+* ``I``           — 32-bit int (also used for chars and booleans)
+* ``V``           — void (return type only)
+* ``LName;``      — reference to an instance of class ``Name``
+* ``[I`` / ``[LName;`` / ``[[...`` — arrays
+
+A method signature is spelled ``(args)ret``, e.g. ``(I[ILBank;)V``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.vm.errors import VMError
+
+INT = "I"
+VOID = "V"
+
+
+class DescriptorError(VMError):
+    pass
+
+
+def is_reference(desc: str) -> bool:
+    """True if *desc* denotes a reference type (class or array)."""
+    return desc.startswith("L") or desc.startswith("[")
+
+
+def is_array(desc: str) -> bool:
+    return desc.startswith("[")
+
+
+def element_type(desc: str) -> str:
+    """Element descriptor of an array descriptor."""
+    if not is_array(desc):
+        raise DescriptorError(f"not an array descriptor: {desc!r}")
+    return desc[1:]
+
+
+def class_name(desc: str) -> str:
+    """Class name of an ``LName;`` descriptor."""
+    if not (desc.startswith("L") and desc.endswith(";")):
+        raise DescriptorError(f"not a class descriptor: {desc!r}")
+    return desc[1:-1]
+
+
+def object_desc(name: str) -> str:
+    return f"L{name};"
+
+
+def validate(desc: str, *, allow_void: bool = False) -> str:
+    """Validate a single field/param descriptor; returns it unchanged."""
+    rest = _parse_one(desc, 0, allow_void=allow_void)
+    if rest != len(desc):
+        raise DescriptorError(f"trailing junk in descriptor: {desc!r}")
+    return desc
+
+
+def _parse_one(text: str, pos: int, *, allow_void: bool = False) -> int:
+    """Parse one descriptor starting at *pos*; return the index just past it."""
+    if pos >= len(text):
+        raise DescriptorError(f"truncated descriptor: {text!r}")
+    c = text[pos]
+    if c == "I":
+        return pos + 1
+    if c == "V":
+        if not allow_void:
+            raise DescriptorError(f"void not allowed here: {text!r}")
+        return pos + 1
+    if c == "[":
+        return _parse_one(text, pos + 1)
+    if c == "L":
+        end = text.find(";", pos)
+        if end < 0:
+            raise DescriptorError(f"unterminated class descriptor: {text!r}")
+        if end == pos + 1:
+            raise DescriptorError(f"empty class name in descriptor: {text!r}")
+        return end + 1
+    raise DescriptorError(f"bad descriptor character {c!r} in {text!r}")
+
+
+@dataclass(frozen=True)
+class Signature:
+    """A parsed method signature: parameter descriptors and return type."""
+
+    params: tuple[str, ...]
+    ret: str
+
+    @property
+    def nargs(self) -> int:
+        return len(self.params)
+
+    def spell(self) -> str:
+        return f"({''.join(self.params)}){self.ret}"
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.spell()
+
+
+def parse_signature(text: str) -> Signature:
+    """Parse ``(params)ret`` into a :class:`Signature`."""
+    if not text.startswith("("):
+        raise DescriptorError(f"signature must start with '(': {text!r}")
+    close = text.find(")")
+    if close < 0:
+        raise DescriptorError(f"signature missing ')': {text!r}")
+    params: list[str] = []
+    pos = 1
+    while pos < close:
+        end = _parse_one(text, pos)
+        if end > close:
+            raise DescriptorError(f"parameter crosses ')': {text!r}")
+        params.append(text[pos:end])
+        pos = end
+    ret = text[close + 1 :]
+    validate(ret, allow_void=True)
+    return Signature(tuple(params), ret)

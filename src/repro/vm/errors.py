@@ -1,0 +1,72 @@
+"""Error taxonomy for the VM, the assembler and the replay platform."""
+
+from __future__ import annotations
+
+
+class VMError(Exception):
+    """Base class for all VM-level errors (host-visible, not guest traps)."""
+
+
+class AssemblyError(VMError):
+    """Raised by the assembler for malformed assembly input."""
+
+    def __init__(self, message: str, line: int | None = None, source: str | None = None):
+        self.line = line
+        self.source = source
+        where = ""
+        if source is not None:
+            where += f"{source}:"
+        if line is not None:
+            where += f"{line}: "
+        super().__init__(f"{where}{message}")
+
+
+class VerifyError(VMError):
+    """Raised by the bytecode verifier / reference-map builder."""
+
+    def __init__(self, message: str, method: str | None = None, offset: int | None = None):
+        self.method = method
+        self.offset = offset
+        where = ""
+        if method is not None:
+            where = f"{method}"
+            if offset is not None:
+                where += f"@{offset}"
+            where += ": "
+        super().__init__(f"{where}{message}")
+
+
+class LinkError(VMError):
+    """Raised at class-load/link time: missing classes, fields, methods."""
+
+
+class HeapExhaustedError(VMError):
+    """Raised when a semispace cannot satisfy an allocation even after GC."""
+
+
+class VMTrap(VMError):
+    """A guest-level trap (null dereference, bounds, div-by-zero, ...).
+
+    Traps terminate the offending guest thread deterministically.  ``kind``
+    is a short symbolic name used in trap reports so record and replay runs
+    can be compared event-by-event.
+    """
+
+    def __init__(self, kind: str, message: str = ""):
+        self.kind = kind
+        super().__init__(f"{kind}: {message}" if message else kind)
+
+
+class ReplayDivergenceError(VMError):
+    """Replay observed state inconsistent with the recorded execution.
+
+    This is the accuracy check failing: either the trace ran dry / had a
+    record of the wrong type at the consumption point, or the replay
+    verifier found differing event streams.
+    """
+
+    def __init__(self, message: str, position: int | None = None):
+        self.position = position
+        if position is not None:
+            message = f"at trace position {position}: {message}"
+        super().__init__(message)

@@ -1,0 +1,499 @@
+"""The execution engine: a micro-op dispatch loop with safe-point discipline.
+
+One engine drives all green threads of a VM.  The inner loop executes the
+current thread's compiled code until something requests a switch (yield
+point preemption, blocking, termination), then returns to the scheduler.
+
+Safe-point discipline (what makes the type-accurate GC sound):
+
+* a collection can only start inside an allocating micro-op or native;
+* every allocating handler stores the live ``pc`` into the frame *before*
+  allocating, so the reference maps consulted by the GC describe exactly
+  the operand stack the frame holds at that moment;
+* handlers never keep a popped reference in a Python temporary across an
+  allocation (natives get their reference arguments pinned as temp roots).
+
+The timer device is folded into the loop: each micro-op is one cycle, and
+when the cycle counter passes the armed deadline the
+``preemptive_hardware_bit`` is set — observed at the next yield point,
+exactly Jalapeño's quasi-preemption.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.vm import words
+from repro.vm.compiler import (
+    M_AALOAD,
+    M_AASTORE,
+    M_ACONST_NULL,
+    M_ALOAD,
+    M_ANEWARRAY,
+    M_ARETURN,
+    M_ARRAYLENGTH,
+    M_ASTORE,
+    M_CHECKCAST,
+    M_DUP,
+    M_GETFIELD,
+    M_GETSTATIC,
+    M_GOTO,
+    M_IADD,
+    M_IALOAD,
+    M_IAND,
+    M_IASTORE,
+    M_ICONST,
+    M_IDIV,
+    M_IFEQ,
+    M_IFGE,
+    M_IFGT,
+    M_IFLE,
+    M_IFLT,
+    M_IFNE,
+    M_IFNONNULL,
+    M_IFNULL,
+    M_IF_ACMPEQ,
+    M_IF_ACMPNE,
+    M_IF_ICMPEQ,
+    M_IF_ICMPGE,
+    M_IF_ICMPGT,
+    M_IF_ICMPLE,
+    M_IF_ICMPLT,
+    M_IF_ICMPNE,
+    M_IINC,
+    M_ILOAD,
+    M_IMUL,
+    M_INEG,
+    M_INSTANCEOF,
+    M_INVOKESTATIC,
+    M_INVOKEVIRTUAL,
+    M_IOR,
+    M_IREM,
+    M_IRETURN,
+    M_ISHL,
+    M_ISHR,
+    M_ISTORE,
+    M_ISUB,
+    M_IUSHR,
+    M_IXOR,
+    M_LDC,
+    M_MONITORENTER,
+    M_MONITOREXIT,
+    M_NEW,
+    M_NEWARRAY,
+    M_NOP,
+    M_POP,
+    M_PUTFIELD,
+    M_PUTSTATIC,
+    M_RETURN,
+    M_SWAP,
+    M_YIELDPOINT,
+)
+from repro.vm import corelib
+from repro.vm.errors import VMError, VMTrap
+from repro.vm.native import BLOCK, NativeResult
+from repro.vm.threads import Frame, GreenThread
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.vm.machine import VirtualMachine
+
+_NEVER = 1 << 62
+_NO_VALUE = object()
+
+
+class Engine:
+    def __init__(self, vm: "VirtualMachine"):
+        self.vm = vm
+        self.cycles = 0
+        self.hw_bit = False  # preemptive_hardware_bit (Figure 2)
+        self.timer_enabled = True
+        self.switch_pending = False
+        self._deadline = _NEVER
+        self._timer_armed = False
+        #: optional debug controller (breakpoints / stepping); host-side
+        #: only — attaching one perturbs nothing the guest can observe.
+        self.debug = None
+
+    # ------------------------------------------------------------------
+
+    def arm_timer(self) -> None:
+        timer = self.vm.timer
+        if self.timer_enabled and timer is not None:
+            self._deadline = self.cycles + timer.next_interval()
+        else:
+            self._deadline = _NEVER
+
+    def run(self) -> None:
+        """Run until completion, deadlock, or a debug pause.
+
+        With a debug controller attached, the loop returns whenever the
+        controller pauses; calling run() again resumes the paused thread
+        exactly where it stopped (``scheduler.current`` survives pauses).
+        """
+        vm = self.vm
+        scheduler = vm.scheduler
+        if not self._timer_armed:
+            self.arm_timer()
+            self._timer_armed = True
+        while True:
+            if self.debug is not None and self.debug.paused:
+                return
+            thread = scheduler.current
+            if thread is None:
+                thread = scheduler.schedule()
+            if thread is None:
+                return
+            self.switch_pending = False
+            try:
+                self._execute(thread)
+            except VMTrap as trap:
+                self._kill(thread, trap)
+
+    def _kill(self, thread: GreenThread, trap: VMTrap) -> None:
+        """A trap terminates the offending thread, deterministically.
+
+        Monitors the thread held are force-released (Java unwinds
+        ``synchronized`` sections when a thread dies), so one thread's
+        death cannot deadlock the rest of the program."""
+        vm = self.vm
+        vm.observer.emit("trap", thread.tid, trap.kind)
+        vm.trap_reports.append((thread.tid, trap.kind, str(trap)))
+        while thread.frames:
+            vm.scheduler.pop_frame(thread)
+        for heir in vm.monitors.release_all_owned_by(thread):
+            vm.scheduler.make_ready(heir)
+        vm.scheduler.on_terminate(thread)
+
+    # ------------------------------------------------------------------
+
+    def _execute(self, thread: GreenThread) -> None:  # noqa: C901 - the dispatch loop
+        vm = self.vm
+        om = vm.om
+        loader = vm.loader
+        scheduler = vm.scheduler
+        monitors = vm.monitors
+        max_cycles = vm.config.max_cycles
+
+        frame = thread.frames[-1]
+        ops = frame.code.ops
+        pc = frame.pc
+        stack = frame.stack
+        locals_ = frame.locals
+        cycles = self.cycles
+
+        def park() -> None:
+            """Spill loop-local state back before returning to the scheduler."""
+            frame.pc = pc
+            self.cycles = cycles
+            scheduler.shadow_sync_bci(thread)
+
+        debug = self.debug
+        while True:
+            if self.switch_pending:
+                park()
+                return
+            if debug is not None and debug.check(thread, frame, pc):
+                park()
+                return
+
+            mop, a, b = ops[pc]
+            cycles += 1
+            if cycles >= self._deadline:
+                self.hw_bit = True
+                self.cycles = cycles
+                self.arm_timer()
+            if cycles > max_cycles:
+                self.cycles = cycles
+                raise VMError(f"cycle budget exceeded ({max_cycles})")
+
+            if mop == M_YIELDPOINT:
+                thread.yieldpoints += 1
+                dejavu = vm.dejavu
+                if dejavu is not None:
+                    frame.pc = pc  # instrumentation may grow the stack (alloc)
+                    self.cycles = cycles
+                    dejavu.at_yieldpoint(thread, a)
+                elif self.hw_bit:
+                    self.hw_bit = False
+                    scheduler.preempt()
+                pc += 1
+                continue
+
+            if mop == M_ILOAD or mop == M_ALOAD:
+                stack.append(locals_[a])
+                pc += 1
+            elif mop == M_ICONST:
+                stack.append(a)
+                pc += 1
+            elif mop == M_ISTORE or mop == M_ASTORE:
+                locals_[a] = stack.pop()
+                pc += 1
+            elif mop == M_IINC:
+                locals_[a] = words.to_i32(locals_[a] + b)
+                pc += 1
+            elif mop == M_GOTO:
+                pc = a
+            elif mop == M_IFEQ:
+                pc = a if stack.pop() == 0 else pc + 1
+            elif mop == M_IFNE:
+                pc = a if stack.pop() != 0 else pc + 1
+            elif mop == M_IFLT:
+                pc = a if stack.pop() < 0 else pc + 1
+            elif mop == M_IFLE:
+                pc = a if stack.pop() <= 0 else pc + 1
+            elif mop == M_IFGT:
+                pc = a if stack.pop() > 0 else pc + 1
+            elif mop == M_IFGE:
+                pc = a if stack.pop() >= 0 else pc + 1
+            elif mop == M_IF_ICMPEQ or mop == M_IF_ACMPEQ:
+                y = stack.pop()
+                pc = a if stack.pop() == y else pc + 1
+            elif mop == M_IF_ICMPNE or mop == M_IF_ACMPNE:
+                y = stack.pop()
+                pc = a if stack.pop() != y else pc + 1
+            elif mop == M_IF_ICMPLT:
+                y = stack.pop()
+                pc = a if stack.pop() < y else pc + 1
+            elif mop == M_IF_ICMPLE:
+                y = stack.pop()
+                pc = a if stack.pop() <= y else pc + 1
+            elif mop == M_IF_ICMPGT:
+                y = stack.pop()
+                pc = a if stack.pop() > y else pc + 1
+            elif mop == M_IF_ICMPGE:
+                y = stack.pop()
+                pc = a if stack.pop() >= y else pc + 1
+            elif mop == M_IFNULL:
+                pc = a if stack.pop() == 0 else pc + 1
+            elif mop == M_IFNONNULL:
+                pc = a if stack.pop() != 0 else pc + 1
+
+            elif mop == M_IADD:
+                y = stack.pop()
+                stack[-1] = words.iadd(stack[-1], y)
+                pc += 1
+            elif mop == M_ISUB:
+                y = stack.pop()
+                stack[-1] = words.isub(stack[-1], y)
+                pc += 1
+            elif mop == M_IMUL:
+                y = stack.pop()
+                stack[-1] = words.imul(stack[-1], y)
+                pc += 1
+            elif mop == M_IDIV:
+                y = stack.pop()
+                try:
+                    stack[-1] = words.idiv(stack[-1], y)
+                except ZeroDivisionError:
+                    raise VMTrap("ArithmeticDivByZero") from None
+                pc += 1
+            elif mop == M_IREM:
+                y = stack.pop()
+                try:
+                    stack[-1] = words.irem(stack[-1], y)
+                except ZeroDivisionError:
+                    raise VMTrap("ArithmeticDivByZero") from None
+                pc += 1
+            elif mop == M_INEG:
+                stack[-1] = words.ineg(stack[-1])
+                pc += 1
+            elif mop == M_ISHL:
+                y = stack.pop()
+                stack[-1] = words.ishl(stack[-1], y)
+                pc += 1
+            elif mop == M_ISHR:
+                y = stack.pop()
+                stack[-1] = words.ishr(stack[-1], y)
+                pc += 1
+            elif mop == M_IUSHR:
+                y = stack.pop()
+                stack[-1] = words.iushr(stack[-1], y)
+                pc += 1
+            elif mop == M_IAND:
+                y = stack.pop()
+                stack[-1] = words.iand(stack[-1], y)
+                pc += 1
+            elif mop == M_IOR:
+                y = stack.pop()
+                stack[-1] = words.ior(stack[-1], y)
+                pc += 1
+            elif mop == M_IXOR:
+                y = stack.pop()
+                stack[-1] = words.ixor(stack[-1], y)
+                pc += 1
+
+            elif mop == M_GETFIELD:
+                stack[-1] = om.get_field(stack[-1], a)
+                pc += 1
+            elif mop == M_PUTFIELD:
+                value = stack.pop()
+                om.put_field(stack.pop(), a, value)
+                pc += 1
+            elif mop == M_GETSTATIC:
+                stack.append(om.get_field(a.statics_addr, b))
+                pc += 1
+            elif mop == M_PUTSTATIC:
+                om.put_field(a.statics_addr, b, stack.pop())
+                pc += 1
+
+            elif mop == M_IALOAD or mop == M_AALOAD:
+                idx = stack.pop()
+                stack[-1] = om.array_get(stack[-1], idx)
+                pc += 1
+            elif mop == M_IASTORE or mop == M_AASTORE:
+                value = stack.pop()
+                idx = stack.pop()
+                om.array_put(stack.pop(), idx, value)
+                pc += 1
+            elif mop == M_ARRAYLENGTH:
+                stack[-1] = om.array_length(stack[-1])
+                pc += 1
+
+            elif mop == M_NEW:
+                frame.pc = pc  # safe point: allocation may collect
+                stack.append(om.new_object(a.layout))
+                pc += 1
+            elif mop == M_NEWARRAY:
+                length = stack.pop()
+                frame.pc = pc
+                stack.append(om.new_array("[I", length))
+                pc += 1
+            elif mop == M_ANEWARRAY:
+                length = stack.pop()
+                frame.pc = pc
+                stack.append(om.new_array(a, length))
+                pc += 1
+
+            elif mop == M_LDC:
+                stack.append(om.array_get(a.constants_addr, b))
+                pc += 1
+            elif mop == M_ACONST_NULL:
+                stack.append(0)
+                pc += 1
+            elif mop == M_DUP:
+                stack.append(stack[-1])
+                pc += 1
+            elif mop == M_POP:
+                stack.pop()
+                pc += 1
+            elif mop == M_SWAP:
+                stack[-1], stack[-2] = stack[-2], stack[-1]
+                pc += 1
+            elif mop == M_NOP:
+                pc += 1
+
+            elif mop == M_INSTANCEOF:
+                ref = stack.pop()
+                stack.append(1 if ref and vm.is_instance(ref, a) else 0)
+                pc += 1
+            elif mop == M_CHECKCAST:
+                ref = stack[-1]
+                if ref and not vm.is_instance(ref, a):
+                    raise VMTrap(
+                        "ClassCast",
+                        f"{om.layout_of(ref).name} is not a {a.name}",
+                    )
+                pc += 1
+
+            elif mop == M_INVOKESTATIC or mop == M_INVOKEVIRTUAL:
+                if mop == M_INVOKESTATIC:
+                    rm = a
+                    nargs = rm.mdef.signature.nargs
+                else:
+                    proto = b
+                    nargs = proto.mdef.signature.nargs + 1
+                    receiver = stack[-nargs]
+                    if receiver == 0:
+                        raise VMTrap("NullPointer", f"invokevirtual {a} on null")
+                    rm = loader.vtable_lookup(
+                        om.memory.read(receiver),  # header word 0 = class id
+                        a,
+                    )
+                if nargs:
+                    args = stack[-nargs:]
+                    del stack[-nargs:]
+                else:
+                    args = []
+                frame.pc = pc + 1  # resume after the call (also: safe point)
+                self.cycles = cycles
+                if rm.native:
+                    result = vm.call_native(thread, rm, args)
+                    if result is BLOCK:
+                        pc += 1
+                        continue  # switch_pending is set; loop top parks
+                    if isinstance(result, NativeResult):
+                        if rm.mdef.signature.ret != "V":
+                            if result.string_value is not None:
+                                # materialise the guest String here, so the
+                                # allocation happens identically in record
+                                # and replay mode (§2.5 + symmetry)
+                                stack.append(loader.make_string(result.string_value))
+                            else:
+                                stack.append(
+                                    words.to_i32(result.value if result.value is not None else 0)
+                                )
+                        for ref, up_args in reversed(result.upcalls):
+                            up_rm = loader.resolve_static_method(ref)
+                            scheduler.shadow_sync_bci(thread)
+                            scheduler.push_frame(thread, Frame(up_rm, list(up_args)))
+                        if result.upcalls:
+                            frame = thread.frames[-1]
+                            ops = frame.code.ops
+                            pc = frame.pc
+                            stack = frame.stack
+                            locals_ = frame.locals
+                            continue
+                    elif rm.mdef.signature.ret != "V":
+                        stack.append(words.to_i32(result if result is not None else 0))
+                    pc += 1
+                else:
+                    scheduler.shadow_sync_bci(thread)
+                    callee = Frame(rm, args)
+                    scheduler.push_frame(thread, callee)
+                    frame = callee
+                    ops = frame.code.ops
+                    pc = 0
+                    stack = frame.stack
+                    locals_ = frame.locals
+
+            elif mop == M_RETURN or mop == M_IRETURN or mop == M_ARETURN:
+                value = stack.pop() if mop != M_RETURN else _NO_VALUE
+                scheduler.pop_frame(thread)
+                if not thread.frames:
+                    self.cycles = cycles
+                    scheduler.on_terminate(thread)
+                    return
+                frame = thread.frames[-1]
+                ops = frame.code.ops
+                pc = frame.pc
+                stack = frame.stack
+                locals_ = frame.locals
+                if value is not _NO_VALUE:
+                    stack.append(value)
+
+            elif mop == M_MONITORENTER:
+                ref = stack.pop()
+                if ref == 0:
+                    raise VMTrap("NullPointer", "monitorenter on null")
+                if not monitors.try_enter(ref, thread):
+                    # contended: park on the entry queue; the lock is handed
+                    # to us by a future monitorexit, and we resume *after*
+                    # this instruction already owning the lock.
+                    frame.pc = pc + 1
+                    self.cycles = cycles
+                    monitors.enqueue_contender(ref, thread)
+                    scheduler.block_current(corelib.THREAD_BLOCKED)
+                    scheduler.shadow_sync_bci(thread)
+                    return
+                pc += 1
+            elif mop == M_MONITOREXIT:
+                ref = stack.pop()
+                if ref == 0:
+                    raise VMTrap("NullPointer", "monitorexit on null")
+                heir = monitors.exit(ref, thread)
+                if heir is not None:
+                    scheduler.make_ready(heir)
+                pc += 1
+
+            else:  # pragma: no cover - exhaustive over micro-ops
+                raise VMError(f"unknown micro-op {mop}")

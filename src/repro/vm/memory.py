@@ -1,0 +1,133 @@
+"""Flat word-addressable memory with two semispaces and a boot record.
+
+Every guest-visible datum lives in this memory, which is what makes remote
+reflection real: a debugger attached through :class:`repro.remote.ptrace.
+DebugPort` reads these words and nothing else.
+
+Address map::
+
+    [0, BOOT_WORDS)                         boot record (GC roots, magic)
+    [BOOT_WORDS, BOOT_WORDS + semi)         semispace 0
+    [BOOT_WORDS + semi, BOOT_WORDS + 2semi) semispace 1
+
+Address 0 holds the boot magic and is never a valid object address, so the
+guest null reference is the integer 0.
+"""
+
+from __future__ import annotations
+
+from repro.vm.errors import VMError
+
+#: Boot-record slot indices.  The debugger reads these to find the roots.
+BOOT_MAGIC = 0
+BOOT_DICTIONARY = 1  # -> VM_Dictionary object
+BOOT_THREADS = 2  # -> Thread[] table
+BOOT_STRINGS = 3  # -> String[] intern table
+BOOT_DEJAVU = 4  # -> DejaVu trace buffer ([I), 0 when DejaVu inactive
+BOOT_GC_COUNT = 5  # number of collections performed
+BOOT_CLASS_COUNT = 6  # number of loaded classes
+BOOT_SHADOW = 7  # -> [I[] per-thread shadow stacks (parallel to threads)
+BOOT_WORDS = 16
+
+MAGIC = 0x7EC0_11AD  # "pequeño, 11AD" — checked by the debug port
+
+
+class MemoryFault(VMError):
+    """Out-of-range or unmapped access (host-level bug, not a guest trap)."""
+
+
+class Memory:
+    """The raw word store plus semispace bookkeeping."""
+
+    def __init__(self, semispace_words: int):
+        if semispace_words < 64:
+            raise VMError(f"semispace too small: {semispace_words}")
+        self.semi = semispace_words
+        self.words: list[int] = [0] * (BOOT_WORDS + 2 * semispace_words)
+        self.base = (BOOT_WORDS, BOOT_WORDS + semispace_words)
+        self.active = 0
+        self.bump = self.base[0]
+        self.limit = self.base[0] + semispace_words
+        self.words[BOOT_MAGIC] = MAGIC
+
+    # -- raw access --------------------------------------------------------
+
+    def read(self, addr: int) -> int:
+        try:
+            if addr < 0:
+                raise IndexError(addr)
+            return self.words[addr]
+        except IndexError:
+            raise MemoryFault(f"read out of range: {addr}") from None
+
+    def write(self, addr: int, value: int) -> None:
+        if not (0 <= addr < len(self.words)):
+            raise MemoryFault(f"write out of range: {addr}")
+        self.words[addr] = value
+
+    def read_range(self, addr: int, count: int) -> list[int]:
+        if count < 0 or addr < 0 or addr + count > len(self.words):
+            raise MemoryFault(f"range read out of range: {addr}+{count}")
+        return self.words[addr : addr + count]
+
+    # -- boot record --------------------------------------------------------
+
+    def boot_read(self, slot: int) -> int:
+        if not (0 <= slot < BOOT_WORDS):
+            raise MemoryFault(f"boot slot out of range: {slot}")
+        return self.words[slot]
+
+    def boot_write(self, slot: int, value: int) -> None:
+        if not (0 < slot < BOOT_WORDS):  # slot 0 (magic) is read-only
+            raise MemoryFault(f"boot slot out of range: {slot}")
+        self.words[slot] = value
+
+    # -- allocation ---------------------------------------------------------
+
+    def alloc(self, nwords: int) -> int | None:
+        """Bump-allocate *nwords* in the active semispace; None when full."""
+        if nwords <= 0:
+            raise MemoryFault(f"bad allocation size: {nwords}")
+        addr = self.bump
+        if addr + nwords > self.limit:
+            return None
+        self.bump = addr + nwords
+        # Fresh memory is zeroed by construction and by flip(); assert cheapness
+        return addr
+
+    @property
+    def free_words(self) -> int:
+        return self.limit - self.bump
+
+    @property
+    def used_words(self) -> int:
+        return self.bump - self.base[self.active]
+
+    def space_of(self, addr: int) -> int | None:
+        """Which semispace *addr* lies in (0/1), or None for the boot record."""
+        for which in (0, 1):
+            lo = self.base[which]
+            if lo <= addr < lo + self.semi:
+                return which
+        return None
+
+    def in_active(self, addr: int) -> bool:
+        return self.space_of(addr) == self.active
+
+    # -- GC support ----------------------------------------------------------
+
+    def begin_flip(self) -> int:
+        """Start a collection: return the to-space base for evacuation."""
+        return self.base[1 - self.active]
+
+    def finish_flip(self, new_bump: int) -> None:
+        """Complete a collection: to-space becomes active, old space zeroed."""
+        old = self.active
+        self.active = 1 - self.active
+        lo = self.base[self.active]
+        self.bump = new_bump
+        self.limit = lo + self.semi
+        old_lo = self.base[old]
+        # Zero the evacuated space so stale data can never leak back in
+        # (and so replay divergences show up as faults, not silent reads).
+        self.words[old_lo : old_lo + self.semi] = [0] * self.semi

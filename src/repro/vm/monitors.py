@@ -1,0 +1,263 @@
+"""Per-object monitors: the synchronization half of the thread package.
+
+Lock ownership and recursion live in the object header's status word
+(``(owner_tid + 1) << 8 | recursion``), so they survive garbage collection
+automatically and are visible to a remote debugger reading raw memory.
+Entry queues and wait sets are host-side, keyed by object address and
+re-keyed when the collector moves objects.
+
+The protocol is deliberately *handoff* style — on release, the lock is
+granted directly to the head of the entry queue — because the paper's
+replay correctness argument rests on the next-thread choice being a pure
+function of thread-package state (§2.2: "the data structure used by the
+thread package in selecting the next active thread will also be exactly
+reproduced").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.vm.errors import VMTrap
+from repro.vm.layout import ObjectModel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.vm.threads import GreenThread
+
+_OWNER_SHIFT = 8
+_RECURSION_MASK = (1 << _OWNER_SHIFT) - 1
+MAX_RECURSION = _RECURSION_MASK
+
+
+@dataclass
+class Monitor:
+    """Host-side queues for one contended/waited-on object."""
+
+    addr: int
+    entry: "deque[GreenThread]" = field(default_factory=deque)
+    waiters: "list[GreenThread]" = field(default_factory=list)
+
+    @property
+    def idle(self) -> bool:
+        return not self.entry and not self.waiters
+
+
+def pack_lock(owner_tid: int | None, recursion: int) -> int:
+    if owner_tid is None:
+        return 0
+    return ((owner_tid + 1) << _OWNER_SHIFT) | recursion
+
+
+def unpack_lock(word: int) -> tuple[int | None, int]:
+    if word == 0:
+        return None, 0
+    return (word >> _OWNER_SHIFT) - 1, word & _RECURSION_MASK
+
+
+class MonitorTable:
+    """All monitors of one VM; owns the lock words via the object model."""
+
+    def __init__(self, om: ObjectModel):
+        self.om = om
+        self.monitors: dict[int, Monitor] = {}
+        # statistics (exported to benchmarks)
+        self.acquisitions = 0
+        self.contentions = 0
+        self.notifies = 0
+        #: baseline hooks (repro.baselines.instant_replay): CREW-event
+        #: observation on acquisition, and an admission gate consulted
+        #: before any grant.  DejaVu uses neither.
+        self.on_acquire: "Callable[[int, GreenThread], None] | None" = None
+        self.acquire_gate: "Callable[[int, GreenThread], bool] | None" = None
+
+    def monitor(self, addr: int) -> Monitor:
+        mon = self.monitors.get(addr)
+        if mon is None:
+            mon = Monitor(addr)
+            self.monitors[addr] = mon
+        return mon
+
+    def _gc_sweep(self, addr: int) -> None:
+        mon = self.monitors.get(addr)
+        if mon is not None and mon.idle:
+            del self.monitors[addr]
+
+    # ------------------------------------------------------------------
+
+    def owner(self, addr: int) -> tuple[int | None, int]:
+        return unpack_lock(self.om.lock_word(addr))
+
+    def try_enter(self, addr: int, thread: "GreenThread") -> bool:
+        """Attempt to acquire; True on success, False when contended."""
+        owner, rec = self.owner(addr)
+        if owner is None:
+            if self.acquire_gate is not None and not self.acquire_gate(addr, thread):
+                self.contentions += 1
+                return False
+            self.om.set_lock_word(addr, pack_lock(thread.tid, 1))
+            self.acquisitions += 1
+            if self.on_acquire is not None:
+                self.on_acquire(addr, thread)
+            return True
+        if owner == thread.tid:
+            if rec >= MAX_RECURSION:
+                raise VMTrap("MonitorOverflow", f"recursion > {MAX_RECURSION}")
+            self.om.set_lock_word(addr, pack_lock(thread.tid, rec + 1))
+            self.acquisitions += 1
+            return True
+        self.contentions += 1
+        return False
+
+    def enqueue_contender(self, addr: int, thread: "GreenThread", recursion: int = 1) -> None:
+        """Park *thread* on the entry queue; it resumes owning the lock."""
+        thread.pending_recursion = recursion
+        self.monitor(addr).entry.append(thread)
+
+    def exit(self, addr: int, thread: "GreenThread") -> "GreenThread | None":
+        """Release one level; on full release hand off to the entry head.
+
+        Returns the thread that received the lock (now runnable), if any.
+        """
+        owner, rec = self.owner(addr)
+        if owner != thread.tid:
+            raise VMTrap("IllegalMonitorState", "monitorexit by non-owner")
+        if rec > 1:
+            self.om.set_lock_word(addr, pack_lock(thread.tid, rec - 1))
+            return None
+        return self._release_and_handoff(addr)
+
+    def _release_and_handoff(self, addr: int) -> "GreenThread | None":
+        mon = self.monitors.get(addr)
+        if mon is not None and mon.entry:
+            heir = None
+            if self.acquire_gate is not None:
+                # gated hand-off: pick the first queued contender the gate
+                # admits (baseline enforcement of a recorded CREW order)
+                for cand in mon.entry:
+                    if self.acquire_gate(addr, cand):
+                        heir = cand
+                        mon.entry.remove(cand)
+                        break
+            else:
+                heir = mon.entry.popleft()
+            if heir is not None:
+                self.om.set_lock_word(addr, pack_lock(heir.tid, heir.pending_recursion))
+                self.acquisitions += 1
+                if self.on_acquire is not None:
+                    self.on_acquire(addr, heir)
+                self._gc_sweep(addr)
+                return heir
+        self.om.set_lock_word(addr, 0)
+        if mon is not None:
+            self._gc_sweep(addr)
+        return None
+
+    def grant_if_free(self, addr: int) -> "GreenThread | None":
+        """If the lock is free but contenders queue (e.g. a timed wait
+        expired while nobody held the lock), hand it to the entry head."""
+        owner, _ = self.owner(addr)
+        if owner is None:
+            return self._release_and_handoff(addr)
+        return None
+
+    # ------------------------------------------------------------------
+    # wait / notify
+
+    def begin_wait(self, addr: int, thread: "GreenThread") -> "GreenThread | None":
+        """Fully release the lock and park *thread* in the wait set.
+
+        Returns the thread that inherited the lock, if any.  The caller
+        (the thread package) blocks *thread*; on notify it goes back
+        through the entry queue with its saved recursion.
+        """
+        owner, rec = self.owner(addr)
+        if owner != thread.tid:
+            raise VMTrap("IllegalMonitorState", "wait by non-owner")
+        thread.wait_recursion = rec
+        thread.waiting_on = addr
+        self.monitor(addr).waiters.append(thread)
+        return self._release_and_handoff(addr)
+
+    def notify_one(self, addr: int, thread: "GreenThread") -> "GreenThread | None":
+        """Move the first waiter (FIFO — deterministic) to the entry queue.
+
+        Returns the notified thread (still blocked until the lock is handed
+        to it), or None if no thread was waiting — the paper's footnote 4:
+        a notify succeeds iff some thread waits on the object.
+        """
+        owner, _ = self.owner(addr)
+        if owner != thread.tid:
+            raise VMTrap("IllegalMonitorState", "notify by non-owner")
+        mon = self.monitors.get(addr)
+        if mon is None or not mon.waiters:
+            return None
+        waiter = mon.waiters.pop(0)
+        self.notifies += 1
+        self._requeue_waiter(addr, waiter)
+        return waiter
+
+    def notify_all(self, addr: int, thread: "GreenThread") -> "list[GreenThread]":
+        owner, _ = self.owner(addr)
+        if owner != thread.tid:
+            raise VMTrap("IllegalMonitorState", "notifyAll by non-owner")
+        mon = self.monitors.get(addr)
+        if mon is None:
+            return []
+        moved = mon.waiters
+        mon.waiters = []
+        for waiter in moved:
+            self.notifies += 1
+            self._requeue_waiter(addr, waiter)
+        return moved
+
+    def _requeue_waiter(self, addr: int, waiter: "GreenThread") -> None:
+        waiter.waiting_on = 0
+        self.enqueue_contender(addr, waiter, recursion=waiter.wait_recursion)
+        waiter.wait_recursion = 0
+
+    def cancel_wait(self, addr: int, waiter: "GreenThread") -> bool:
+        """Remove *waiter* from the wait set (timed-wait expiry, interrupt).
+
+        Returns True if the waiter was still in the wait set; the caller
+        then re-queues it as a lock contender.
+        """
+        mon = self.monitors.get(addr)
+        if mon is None or waiter not in mon.waiters:
+            return False
+        mon.waiters.remove(waiter)
+        self._requeue_waiter(addr, waiter)
+        return True
+
+    # ------------------------------------------------------------------
+    # thread-death cleanup
+
+    def release_all_owned_by(self, thread: "GreenThread") -> "list[GreenThread]":
+        """Force-release every monitor *thread* holds (it is dying).
+
+        Java unwinds ``synchronized`` sections when a thread dies on an
+        exception; our traps do the same so one thread's death cannot
+        deadlock the others.  Returns the threads that inherited locks.
+        The heap walk is deterministic, so this replays exactly.
+        """
+        heirs: "list[GreenThread]" = []
+        for addr, _layout in self.om.walk_heap():
+            owner, _rec = unpack_lock(self.om.memory.read(addr + 1))
+            if owner == thread.tid:
+                heir = self._release_and_handoff(addr)
+                if heir is not None:
+                    heirs.append(heir)
+        return heirs
+
+    # ------------------------------------------------------------------
+    # GC support
+
+    def visit_roots(self, fwd: Callable[[int], int]) -> None:
+        """Re-key the monitor table after the collector moves objects."""
+        rekeyed: dict[int, Monitor] = {}
+        for addr, mon in self.monitors.items():
+            new_addr = fwd(addr)
+            mon.addr = new_addr
+            rekeyed[new_addr] = mon
+        self.monitors = rekeyed

@@ -1,0 +1,317 @@
+"""The native interface (the VM's JNI analogue).
+
+Native methods are host Python callables registered by qualified name.
+Following the paper's §2.5, natives affect the guest only through
+
+* **return values**, and
+* **callbacks** (here: *upcalls* — guest static methods the native asks
+  the engine to invoke with argument values it supplies),
+
+never through direct heap pointers.  Natives are classified:
+
+* **deterministic** natives (printing, ``arraycopy``, the thread package)
+  are part of the replayed state machine and execute in both record and
+  replay mode;
+* **non-deterministic** natives (clock, random, input, simulated network
+  I/O) have their return values and callback parameters *recorded* during
+  record mode and *regenerated* — without running the native — during
+  replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.vm import corelib
+from repro.vm.descriptors import is_reference
+from repro.vm.errors import VMTrap
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.vm.loader import RuntimeMethod
+    from repro.vm.machine import VirtualMachine
+    from repro.vm.threads import GreenThread
+
+
+class _Block:
+    """Sentinel: the native parked the current thread; no value is pushed."""
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<BLOCK>"
+
+
+BLOCK = _Block()
+
+
+@dataclass
+class NativeResult:
+    """A return value plus callbacks to run (in order) after the native.
+
+    ``string_value`` supports natives declared to return ``LString;``: the
+    text crosses the JNI boundary as data, and the *engine* materialises
+    the guest String object — identically in record and replay mode, which
+    keeps the allocation streams symmetric.
+    """
+
+    value: int | None = None
+    string_value: str | None = None
+    upcalls: list[tuple[str, tuple[int, ...]]] = field(default_factory=list)
+
+
+class NativeCall:
+    """Call context handed to a native implementation.
+
+    Reference arguments are registered as GC temp roots for the duration
+    of the call, so a native that allocates (directly or by triggering an
+    upcall) can keep using ``arg(i)`` safely.
+    """
+
+    def __init__(self, vm: "VirtualMachine", thread: "GreenThread", rm: "RuntimeMethod", args: list[int]):
+        self.vm = vm
+        self.thread = thread
+        self.rm = rm
+        self._tr_depth = len(vm.loader.temp_roots)
+        self._slots: list[int | None] = []
+        params = list(rm.mdef.signature.params)
+        if not rm.static:
+            params.insert(0, "ref")
+        for desc, value in zip(params, args):
+            if (desc == "ref" or is_reference(desc)) and value:
+                self._slots.append(vm.loader._tr_push(value))
+            else:
+                self._slots.append(None)
+        self._raw = list(args)
+
+    def arg(self, i: int) -> int:
+        slot = self._slots[i]
+        if slot is None:
+            return self._raw[i]
+        return self.vm.loader._tr_get(slot)
+
+    @property
+    def nargs(self) -> int:
+        return len(self._raw)
+
+    def release(self) -> None:
+        self.vm.loader._tr_reset(self._tr_depth)
+
+
+@dataclass
+class NativeDef:
+    qualname: str
+    fn: Callable[[NativeCall], object]
+    nondet: bool = False
+
+
+class NativeRegistry:
+    def __init__(self) -> None:
+        self._natives: dict[str, NativeDef] = {}
+
+    def register(self, qualname: str, fn: Callable[[NativeCall], object], *, nondet: bool = False) -> None:
+        self._natives[qualname] = NativeDef(qualname, fn, nondet)
+
+    def lookup(self, qualname: str) -> NativeDef:
+        nd = self._natives.get(qualname)
+        if nd is None:
+            raise VMTrap("UnsatisfiedLink", qualname)
+        return nd
+
+
+# ---------------------------------------------------------------------------
+# the core native set
+
+
+def install_core_natives(vm: "VirtualMachine") -> None:
+    reg = vm.natives
+    sched = vm.scheduler
+
+    # -- output (deterministic; captured and compared by the verifier) -----
+
+    def n_print(ctx: NativeCall):
+        text = vm.loader.read_string(ctx.arg(0))
+        vm.write_output(text)
+
+    def n_print_int(ctx: NativeCall):
+        vm.write_output(str(ctx.arg(0)))
+
+    def n_print_char(ctx: NativeCall):
+        vm.write_output(chr(ctx.arg(0) & 0x10FFFF))
+
+    reg.register("System.print(LString;)V", n_print)
+    reg.register("System.printInt(I)V", n_print_int)
+    reg.register("System.printChar(I)V", n_print_char)
+
+    # -- environmental queries (non-deterministic; logged/replayed) --------
+
+    def n_current_time(ctx: NativeCall):
+        return vm.read_clock()
+
+    def n_random_int(ctx: NativeCall):
+        bound = ctx.arg(0)
+        if bound <= 0:
+            raise VMTrap("IllegalArgument", f"randomInt({bound})")
+        return vm.env.random_int(bound)
+
+    def n_read_int(ctx: NativeCall):
+        return vm.env.read_int()
+
+    def n_read_line(ctx: NativeCall):
+        return NativeResult(string_value=vm.env.read_line())
+
+    # currentTimeMillis funnels through read_clock (already a CLOCK event),
+    # so it is registered as deterministic *at this layer*.
+    reg.register("System.currentTimeMillis()I", n_current_time)
+    reg.register("System.randomInt(I)I", n_random_int, nondet=True)
+    reg.register("System.readInt()I", n_read_int, nondet=True)
+    reg.register("System.readLine()LString;", n_read_line, nondet=True)
+
+    # -- deterministic services --------------------------------------------
+
+    def n_identity_hash(ctx: NativeCall):
+        return vm.om.identity_hash(ctx.arg(0))
+
+    def n_arraycopy(ctx: NativeCall):
+        src, src_pos, dst, dst_pos, length = (ctx.arg(i) for i in range(5))
+        om = vm.om
+        if length < 0:
+            raise VMTrap("ArrayBounds", f"arraycopy length {length}")
+        if src_pos < 0 or dst_pos < 0:
+            raise VMTrap("ArrayBounds", "negative arraycopy position")
+        if src_pos + length > om.array_length(src) or dst_pos + length > om.array_length(dst):
+            raise VMTrap("ArrayBounds", "arraycopy out of range")
+        if src == dst and src_pos < dst_pos:
+            rng = range(length - 1, -1, -1)  # overlap-safe
+        else:
+            rng = range(length)
+        for i in rng:
+            om.array_put(dst, dst_pos + i, om.array_get(src, src_pos + i))
+
+    def n_gc(ctx: NativeCall):
+        vm.collect()
+
+    reg.register("System.identityHashCode(LObject;)I", n_identity_hash)
+    reg.register("System.arraycopy([II[III)V", n_arraycopy)
+    reg.register("System.gc()V", n_gc)
+
+    # -- thread package (deterministic: part of the replayed state) --------
+
+    def n_thread_start(ctx: NativeCall):
+        target = ctx.arg(0)
+        if target == 0:
+            raise VMTrap("NullPointer", "Thread.start(null)")
+        layout = vm.om.layout_of(target)
+        rc = vm.loader.rc_by_id[layout.class_id]
+        run = rc.vtable.get("run()V")
+        if run is None or run.native:
+            raise VMTrap("IllegalThread", f"{rc.name} has no run()V")
+        sched.spawn(target, run, name=f"{rc.name}-{len(sched.threads)}")
+
+    def n_thread_yield(ctx: NativeCall):
+        # a voluntary switch: back of the ready queue, not a park
+        sched.preempt()
+
+    def n_thread_sleep(ctx: NativeCall):
+        millis = ctx.arg(0)
+        now = vm.read_clock()
+        sched.block_current(corelib.THREAD_SLEEPING, wakeup_time=now + max(0, millis))
+        return BLOCK
+
+    def n_thread_join(ctx: NativeCall):
+        target_addr = ctx.arg(0)
+        target = _thread_for(vm, target_addr)
+        if target is None or not target.alive:
+            return None
+        me = sched.current
+        assert me is not None
+        target.joiners.append(me)
+        sched.block_current(corelib.THREAD_BLOCKED)
+        return BLOCK
+
+    def n_current_tid(ctx: NativeCall):
+        assert sched.current is not None
+        return sched.current.tid
+
+    reg.register("Thread.start(LThread;)V", n_thread_start)
+    reg.register("Thread.yield()V", n_thread_yield)
+    reg.register("Thread.sleep(I)V", n_thread_sleep)
+    reg.register("Thread.join(LThread;)V", n_thread_join)
+    reg.register("Thread.currentTid()I", n_current_tid)
+
+    # -- monitor conditions ----------------------------------------------------
+
+    def n_wait(ctx: NativeCall):
+        obj = ctx.arg(0)
+        me = sched.current
+        assert me is not None
+        heir = vm.monitors.begin_wait(obj, me)
+        if heir is not None:
+            sched.make_ready(heir)
+        sched.block_current(corelib.THREAD_WAITING)
+        return BLOCK
+
+    def n_timed_wait(ctx: NativeCall):
+        obj = ctx.arg(0)
+        millis = ctx.arg(1)
+        me = sched.current
+        assert me is not None
+        now = vm.read_clock()
+        heir = vm.monitors.begin_wait(obj, me)
+        if heir is not None:
+            sched.make_ready(heir)
+        sched.block_current(corelib.THREAD_WAITING, wakeup_time=now + max(0, millis))
+        return BLOCK
+
+    def n_notify(ctx: NativeCall):
+        me = sched.current
+        assert me is not None
+        vm.monitors.notify_one(ctx.arg(0), me)
+
+    def n_notify_all(ctx: NativeCall):
+        me = sched.current
+        assert me is not None
+        vm.monitors.notify_all(ctx.arg(0), me)
+
+    def n_interrupt(ctx: NativeCall):
+        if ctx.arg(0) == 0:
+            raise VMTrap("NullPointer", "interrupt(null)")
+        target = _thread_for(vm, ctx.arg(0))
+        if target is None:
+            return 0  # a Thread object that was never started
+        target.interrupted = True
+        if target.state == corelib.THREAD_WAITING and target.waiting_on:
+            addr = target.waiting_on
+            if vm.monitors.cancel_wait(addr, target):
+                sched._set_state(target, corelib.THREAD_BLOCKED)
+                if target.wakeup_time is not None:
+                    target.wakeup_time = None
+                    if target in sched.timed:
+                        sched.timed.remove(target)
+                heir = vm.monitors.grant_if_free(addr)
+                if heir is not None:
+                    sched.make_ready(heir)
+                return 1
+        if target.state == corelib.THREAD_SLEEPING:
+            sched.make_ready(target)
+            return 1
+        return 0
+
+    def n_interrupted(ctx: NativeCall):
+        me = sched.current
+        assert me is not None
+        was = 1 if me.interrupted else 0
+        me.interrupted = False
+        return was
+
+    reg.register("System.wait(LObject;)V", n_wait)
+    reg.register("System.timedWait(LObject;I)V", n_timed_wait)
+    reg.register("System.notify(LObject;)V", n_notify)
+    reg.register("System.notifyAll(LObject;)V", n_notify_all)
+    reg.register("System.interrupt(LThread;)I", n_interrupt)
+    reg.register("System.interrupted()I", n_interrupted)
+
+
+def _thread_for(vm: "VirtualMachine", guest_addr: int):
+    for thread in vm.scheduler.threads:
+        if thread.guest_addr == guest_addr:
+            return thread
+    return None

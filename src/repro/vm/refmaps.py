@@ -1,0 +1,449 @@
+"""Bytecode verification and reference-map construction.
+
+Jalapeño's garbage collectors are *type-accurate*: at every safe point the
+collector knows exactly which stack slots and locals hold references
+("reference maps").  We obtain the same guarantee by abstract
+interpretation over the bytecode: a dataflow fixpoint computes, for every
+reachable instruction, the type of every operand-stack slot and local.
+
+The analysis doubles as a verifier — a method that type-checks here cannot
+corrupt the heap at runtime, and the GC may trust its maps at any bci
+(every bci is a safe point for our green-threaded uniprocessor VM: a thread
+is only ever suspended at a yield point, a call site, or an allocation
+site, all of which carry maps).
+
+Type lattice:  ``I`` (int) · ``N`` (null) · class/array descriptors ·
+``T`` (top = unusable).  ``N`` merges with any reference; distinct
+references merge to their least common superclass; int/reference conflicts
+merge to ``T``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.vm.bytecode import BRANCHES, CONDITIONAL, Op, UNCONDITIONAL
+from repro.vm.classfile import MethodDef
+from repro.vm.descriptors import (
+    Signature,
+    class_name,
+    element_type,
+    is_array,
+    is_reference,
+    object_desc,
+)
+from repro.vm.errors import VerifyError
+
+TOP = "T"
+NULL = "N"
+INT = "I"
+
+OBJECT_DESC = "LObject;"
+
+
+class Resolver(Protocol):
+    """What the analysis needs to know about the wider class universe."""
+
+    def field_desc(self, ref: str) -> tuple[str, bool]:
+        """Return (descriptor, is_static) for a ``Class.field`` reference."""
+        ...
+
+    def method_sig(self, ref: str) -> Signature:
+        """Return the signature for a ``Class.name(sig)ret`` reference."""
+        ...
+
+    def is_subclass(self, name: str, ancestor: str) -> bool: ...
+
+    def common_super(self, a: str, b: str) -> str:
+        """Least common superclass name of classes *a* and *b*."""
+        ...
+
+    def class_exists(self, name: str) -> bool: ...
+
+
+def field_ref(arg) -> tuple[str, str | None]:
+    """Decode a FIELD operand: ``"Class.field"`` or ``(ref, declared_desc)``."""
+    if isinstance(arg, tuple):
+        return arg[0], arg[1]
+    return str(arg), None
+
+
+def split_field_ref(ref: str) -> tuple[str, str]:
+    """``"Class.field"`` → ``("Class", "field")``."""
+    cls, dot, fld = ref.partition(".")
+    if not dot or not cls or not fld:
+        raise VerifyError(f"malformed field reference {ref!r}")
+    return cls, fld
+
+
+def split_method_ref(ref: str) -> tuple[str, str]:
+    """``"Class.name(sig)ret"`` → ``("Class", "name(sig)ret")``."""
+    cls, dot, rest = ref.partition(".")
+    if not dot or not cls or not rest:
+        raise VerifyError(f"malformed method reference {ref!r}")
+    return cls, rest
+
+
+def is_ref_type(t: str) -> bool:
+    return t == NULL or is_reference(t)
+
+
+def merge_types(a: str, b: str, resolver: Resolver) -> str:
+    if a == b:
+        return a
+    if a == TOP or b == TOP:
+        return TOP
+    if a == NULL and is_reference(b):
+        return b
+    if b == NULL and is_reference(a):
+        return a
+    if is_reference(a) and is_reference(b):
+        if is_array(a) and is_array(b):
+            ea, eb = element_type(a), element_type(b)
+            if ea == INT or eb == INT:
+                return OBJECT_DESC
+            merged = merge_types(ea, eb, resolver)
+            return OBJECT_DESC if merged in (TOP, INT) else "[" + merged
+        if is_array(a) or is_array(b):
+            return OBJECT_DESC
+        return object_desc(resolver.common_super(class_name(a), class_name(b)))
+    return TOP
+
+
+def assignable(src: str, dst: str, resolver: Resolver) -> bool:
+    """May a value of static type *src* flow where *dst* is expected?"""
+    if src == dst:
+        return True
+    if dst == INT or src == INT:
+        return False
+    if src == NULL and is_reference(dst):
+        return True
+    if not (is_reference(src) and is_reference(dst)):
+        return False
+    if dst == OBJECT_DESC:
+        return True
+    if is_array(src) and is_array(dst):
+        es, ed = element_type(src), element_type(dst)
+        if es == INT or ed == INT:
+            return es == ed
+        return assignable(es, ed, resolver)
+    if is_array(src) or is_array(dst):
+        return False
+    return resolver.is_subclass(class_name(src), class_name(dst))
+
+
+@dataclass
+class CodeMaps:
+    """Per-bci type states and derived GC reference maps for one method."""
+
+    method_key: str
+    #: locals types per bci; ``None`` for unreachable instructions.
+    local_types: list[tuple[str, ...] | None]
+    #: operand-stack types per bci (state *before* executing the bci).
+    stack_types: list[tuple[str, ...] | None]
+    max_stack: int
+
+    def ref_map(self, bci: int) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        """(local slot indices, stack slot indices) holding references at *bci*."""
+        locals_t = self.local_types[bci]
+        stack_t = self.stack_types[bci]
+        if locals_t is None or stack_t is None:
+            return ((), ())
+        lref = tuple(i for i, t in enumerate(locals_t) if is_ref_type(t))
+        sref = tuple(i for i, t in enumerate(stack_t) if is_ref_type(t))
+        return (lref, sref)
+
+    def reachable(self, bci: int) -> bool:
+        return self.stack_types[bci] is not None
+
+
+class _State:
+    __slots__ = ("locals", "stack")
+
+    def __init__(self, locals_: tuple[str, ...], stack: tuple[str, ...]):
+        self.locals = locals_
+        self.stack = stack
+
+
+def analyze_method(
+    owner: str,
+    method: MethodDef,
+    resolver: Resolver,
+) -> CodeMaps:
+    """Run the dataflow fixpoint; raises :class:`VerifyError` on ill-typed code."""
+    key = f"{owner}.{method.key}"
+    if method.native:
+        return CodeMaps(key, [], [], 0)
+    code = method.code
+    n = len(code)
+    nlocals = method.max_locals or method.compute_max_locals()
+
+    init_locals: list[str] = []
+    if not method.static:
+        init_locals.append(object_desc(owner))
+    init_locals.extend(method.signature.params)
+    init_locals.extend([TOP] * (nlocals - len(init_locals)))
+
+    in_states: list[_State | None] = [None] * n
+    in_states[0] = _State(tuple(init_locals), ())
+    worklist = [0]
+    max_stack = 0
+
+    def err(bci: int, msg: str) -> VerifyError:
+        return VerifyError(msg, method=key, offset=bci)
+
+    def flow(target: int, state: _State, bci: int) -> None:
+        nonlocal max_stack
+        if not (0 <= target < n):
+            raise err(bci, f"branch target {target} out of range")
+        max_stack = max(max_stack, len(state.stack))
+        existing = in_states[target]
+        if existing is None:
+            in_states[target] = _State(state.locals, state.stack)
+            worklist.append(target)
+            return
+        if len(existing.stack) != len(state.stack):
+            raise err(
+                bci,
+                f"stack depth mismatch flowing to {target}: "
+                f"{len(existing.stack)} vs {len(state.stack)}",
+            )
+        new_locals = tuple(
+            merge_types(a, b, resolver) for a, b in zip(existing.locals, state.locals)
+        )
+        new_stack = tuple(
+            merge_types(a, b, resolver) for a, b in zip(existing.stack, state.stack)
+        )
+        for i, t in enumerate(new_stack):
+            if t == TOP:
+                raise err(bci, f"stack slot {i} merges to unusable type at {target}")
+        if new_locals != existing.locals or new_stack != existing.stack:
+            in_states[target] = _State(new_locals, new_stack)
+            worklist.append(target)
+
+    while worklist:
+        bci = worklist.pop()
+        state = in_states[bci]
+        assert state is not None
+        instr = code[bci]
+        locals_ = list(state.locals)
+        stack = list(state.stack)
+
+        def pop(expect: str | None = None) -> str:
+            if not stack:
+                raise err(bci, f"stack underflow at {instr.op.name}")
+            t = stack.pop()
+            if expect == INT and t != INT:
+                raise err(bci, f"{instr.op.name} expects int, found {t}")
+            if expect == "ref" and not is_ref_type(t):
+                raise err(bci, f"{instr.op.name} expects reference, found {t}")
+            return t
+
+        def pop_assignable(dst: str) -> str:
+            t = pop()
+            if not assignable(t, dst, resolver):
+                raise err(bci, f"{instr.op.name}: {t} not assignable to {dst}")
+            return t
+
+        def push(t: str) -> None:
+            stack.append(t)
+
+        op = instr.op
+        next_bcis: list[int] = []
+
+        if op is Op.NOP:
+            pass
+        elif op is Op.ICONST:
+            push(INT)
+        elif op is Op.LDC:
+            push("LString;")
+        elif op is Op.ACONST_NULL:
+            push(NULL)
+        elif op is Op.DUP:
+            t = pop()
+            push(t)
+            push(t)
+        elif op is Op.POP:
+            pop()
+        elif op is Op.SWAP:
+            a = pop()
+            b = pop()
+            push(a)
+            push(b)
+        elif op is Op.ILOAD:
+            slot = int(instr.arg)  # type: ignore[arg-type]
+            if locals_[slot] != INT:
+                raise err(bci, f"iload from non-int slot {slot} ({locals_[slot]})")
+            push(INT)
+        elif op is Op.ISTORE:
+            pop(INT)
+            locals_[int(instr.arg)] = INT  # type: ignore[arg-type]
+        elif op is Op.ALOAD:
+            slot = int(instr.arg)  # type: ignore[arg-type]
+            if not is_ref_type(locals_[slot]):
+                raise err(bci, f"aload from non-ref slot {slot} ({locals_[slot]})")
+            push(locals_[slot])
+        elif op is Op.ASTORE:
+            t = pop("ref")
+            locals_[int(instr.arg)] = t  # type: ignore[arg-type]
+        elif op is Op.IINC:
+            slot, _delta = instr.arg  # type: ignore[misc]
+            if locals_[slot] != INT:
+                raise err(bci, f"iinc on non-int slot {slot}")
+        elif op in (
+            Op.IADD,
+            Op.ISUB,
+            Op.IMUL,
+            Op.IDIV,
+            Op.IREM,
+            Op.ISHL,
+            Op.ISHR,
+            Op.IUSHR,
+            Op.IAND,
+            Op.IOR,
+            Op.IXOR,
+        ):
+            pop(INT)
+            pop(INT)
+            push(INT)
+        elif op is Op.INEG:
+            pop(INT)
+            push(INT)
+        elif op in (Op.IFEQ, Op.IFNE, Op.IFLT, Op.IFLE, Op.IFGT, Op.IFGE):
+            pop(INT)
+        elif op in (
+            Op.IF_ICMPEQ,
+            Op.IF_ICMPNE,
+            Op.IF_ICMPLT,
+            Op.IF_ICMPLE,
+            Op.IF_ICMPGT,
+            Op.IF_ICMPGE,
+        ):
+            pop(INT)
+            pop(INT)
+        elif op in (Op.IF_ACMPEQ, Op.IF_ACMPNE):
+            pop("ref")
+            pop("ref")
+        elif op in (Op.IFNULL, Op.IFNONNULL):
+            pop("ref")
+        elif op is Op.GOTO:
+            pass
+        elif op is Op.NEW:
+            cls = str(instr.arg)
+            if not resolver.class_exists(cls):
+                raise err(bci, f"new of unknown class {cls}")
+            push(object_desc(cls))
+        elif op in (Op.GETFIELD, Op.PUTFIELD):
+            ref, want = field_ref(instr.arg)
+            cls, _ = split_field_ref(ref)
+            desc, static = resolver.field_desc(ref)
+            if static:
+                raise err(bci, f"{op.name} on static field {ref}")
+            if want is not None and want != desc:
+                raise err(bci, f"field {ref} declared {desc}, referenced as {want}")
+            if op is Op.PUTFIELD:
+                pop_assignable(desc)
+                pop_assignable(object_desc(cls))
+            else:
+                pop_assignable(object_desc(cls))
+                push(desc)
+        elif op in (Op.GETSTATIC, Op.PUTSTATIC):
+            ref, want = field_ref(instr.arg)
+            desc, static = resolver.field_desc(ref)
+            if not static:
+                raise err(bci, f"{op.name} on instance field {ref}")
+            if want is not None and want != desc:
+                raise err(bci, f"field {ref} declared {desc}, referenced as {want}")
+            if op is Op.PUTSTATIC:
+                pop_assignable(desc)
+            else:
+                push(desc)
+        elif op is Op.NEWARRAY:
+            pop(INT)
+            push("[I")
+        elif op is Op.ANEWARRAY:
+            elem = str(instr.arg)
+            pop(INT)
+            push("[" + elem)
+        elif op is Op.IALOAD:
+            pop(INT)
+            pop_assignable("[I")
+            push(INT)
+        elif op is Op.IASTORE:
+            pop(INT)
+            pop(INT)
+            pop_assignable("[I")
+        elif op is Op.AALOAD:
+            pop(INT)
+            arr = pop("ref")
+            if arr == NULL:
+                push(NULL)
+            elif is_array(arr) and is_reference(element_type(arr)):
+                push(element_type(arr))
+            elif arr == OBJECT_DESC:
+                push(OBJECT_DESC)
+            else:
+                raise err(bci, f"aaload on non-reference-array {arr}")
+        elif op is Op.AASTORE:
+            pop("ref")
+            pop(INT)
+            arr = pop("ref")
+            if arr != NULL and not (is_array(arr) and is_reference(element_type(arr))):
+                raise err(bci, f"aastore on non-reference-array {arr}")
+        elif op is Op.ARRAYLENGTH:
+            arr = pop("ref")
+            if arr != NULL and not is_array(arr) and arr != OBJECT_DESC:
+                raise err(bci, f"arraylength on non-array {arr}")
+            push(INT)
+        elif op is Op.INSTANCEOF:
+            pop("ref")
+            push(INT)
+        elif op is Op.CHECKCAST:
+            cls = str(instr.arg)
+            if not resolver.class_exists(cls):
+                raise err(bci, f"checkcast to unknown class {cls}")
+            pop("ref")
+            push(object_desc(cls))
+        elif op in (Op.INVOKESTATIC, Op.INVOKEVIRTUAL):
+            ref = str(instr.arg)
+            cls, _ = split_method_ref(ref)
+            sig = resolver.method_sig(ref)
+            for pdesc in reversed(sig.params):
+                pop_assignable(pdesc)
+            if op is Op.INVOKEVIRTUAL:
+                pop_assignable(object_desc(cls))
+            if sig.ret != "V":
+                push(sig.ret)
+        elif op is Op.RETURN:
+            if method.signature.ret != "V":
+                raise err(bci, "return in non-void method")
+        elif op is Op.IRETURN:
+            if method.signature.ret != INT:
+                raise err(bci, f"ireturn in method returning {method.signature.ret}")
+            pop(INT)
+        elif op is Op.ARETURN:
+            if not is_reference(method.signature.ret):
+                raise err(bci, f"areturn in method returning {method.signature.ret}")
+            pop_assignable(method.signature.ret)
+        elif op in (Op.MONITORENTER, Op.MONITOREXIT):
+            pop("ref")
+        else:  # pragma: no cover - exhaustive
+            raise err(bci, f"unhandled opcode {op.name}")
+
+        out = _State(tuple(locals_), tuple(stack))
+        max_stack = max(max_stack, len(stack))
+
+        if op in BRANCHES:
+            next_bcis.append(int(instr.arg))  # type: ignore[arg-type]
+        if op in CONDITIONAL or op not in UNCONDITIONAL:
+            if op not in UNCONDITIONAL:
+                if bci + 1 >= n:
+                    raise err(bci, "falls off end of method")
+                next_bcis.append(bci + 1)
+        for target in next_bcis:
+            flow(target, out, bci)
+
+    local_types = [in_states[i].locals if in_states[i] else None for i in range(n)]
+    stack_types = [in_states[i].stack if in_states[i] else None for i in range(n)]
+    return CodeMaps(key, local_types, stack_types, max_stack)

@@ -1,0 +1,30 @@
+"""Shared result types for VM runs (kept separate to avoid import cycles)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RunResult:
+    """Everything observable about one completed VM run."""
+
+    output: list[str] = field(default_factory=list)
+    cycles: int = 0
+    switches: int = 0
+    gc_count: int = 0
+    traps: list[tuple[int, str, str]] = field(default_factory=list)
+    yieldpoints: dict[int, int] = field(default_factory=dict)
+    heap_digest: str = ""
+    events: list[tuple] = field(default_factory=list)
+    deadlocked: tuple[int, ...] = ()
+
+    @property
+    def output_text(self) -> str:
+        return "".join(self.output)
+
+    def behavior_key(self) -> tuple:
+        """The canonical 'execution behaviour' witness (paper §2): event
+        sequence + program state.  Two runs with equal keys are identical
+        executions at the granularity DejaVu guarantees."""
+        return (tuple(self.events), self.heap_digest, self.cycles)

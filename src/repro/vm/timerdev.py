@@ -1,0 +1,133 @@
+"""The virtual timer device and wall-clock sources.
+
+These are the VM's two hardware-level sources of non-determinism:
+
+* the **timer** fires an interrupt after a (varying) number of executed
+  micro-ops; the interrupt sets ``preemptive_hardware_bit``, which the next
+  yield point observes — exactly Jalapeño's quasi-preemption;
+* the **wall clock** answers environmental queries (``currentTimeMillis``)
+  and drives ``sleep`` / timed ``wait`` expiration.
+
+Both come in a genuinely non-deterministic host flavour and a seeded
+synthetic flavour.  The synthetic flavour is still *non-deterministic from
+the guest's point of view* (the guest cannot predict it), but lets tests
+inject reproducible schedules.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Protocol
+
+
+class TimerSource(Protocol):
+    """Yields the number of micro-ops until the next timer interrupt."""
+
+    def next_interval(self) -> int: ...
+
+
+class WallClock(Protocol):
+    """A millisecond wall clock.  ``read`` may have side effects (advance)."""
+
+    def read(self) -> int: ...
+
+    def advance_to(self, millis: int) -> None:
+        """Hint that the VM is idle until *millis* (sleep/timed-wait)."""
+        ...
+
+
+class FixedTimer:
+    """Deterministic interrupts every *interval* micro-ops (for tests)."""
+
+    def __init__(self, interval: int = 1000):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.interval = interval
+
+    def next_interval(self) -> int:
+        return self.interval
+
+
+class SeededJitterTimer:
+    """Pseudo-random intervals in [lo, hi] from a private PRNG.
+
+    Reproducible given the seed, but unpredictable to the guest — the
+    standard way our tests model timer-interrupt non-determinism.
+    """
+
+    def __init__(self, seed: int, lo: int = 200, hi: int = 4000):
+        if not (0 < lo <= hi):
+            raise ValueError(f"bad interval bounds [{lo}, {hi}]")
+        self._rng = random.Random(seed)
+        self.lo = lo
+        self.hi = hi
+
+    def next_interval(self) -> int:
+        return self._rng.randint(self.lo, self.hi)
+
+
+class HostTimer:
+    """Interval derived from host-clock jitter: true non-determinism."""
+
+    def __init__(self, lo: int = 200, hi: int = 4000):
+        self.lo = lo
+        self.hi = hi
+
+    def next_interval(self) -> int:
+        jitter = time.perf_counter_ns() % (self.hi - self.lo + 1)
+        return self.lo + jitter
+
+
+class FixedClock:
+    """A clock that advances a fixed amount per read (fully deterministic).
+
+    Useful as a *control*: with a fixed clock and a fixed timer the VM is
+    deterministic even without DejaVu, which tests exploit.
+    """
+
+    def __init__(self, start: int = 0, step: int = 1):
+        self._now = start
+        self.step = step
+
+    def read(self) -> int:
+        self._now += self.step
+        return self._now
+
+    def advance_to(self, millis: int) -> None:
+        if millis > self._now:
+            self._now = millis
+
+
+class SeededJitterClock:
+    """Starts at *start*, advances by a pseudo-random amount per read."""
+
+    def __init__(self, seed: int, start: int = 1_000_000, lo: int = 0, hi: int = 7):
+        self._rng = random.Random(seed ^ 0x5EED_C10C)
+        self._now = start
+        self.lo = lo
+        self.hi = hi
+
+    def read(self) -> int:
+        self._now += self._rng.randint(self.lo, self.hi)
+        return self._now
+
+    def advance_to(self, millis: int) -> None:
+        if millis > self._now:
+            self._now = millis
+
+
+class HostClock:
+    """The real host clock, scaled so guest workloads see time move."""
+
+    def __init__(self, scale: float = 1.0):
+        self.scale = scale
+        self._origin = time.monotonic()
+
+    def read(self) -> int:
+        return int((time.monotonic() - self._origin) * 1000 * self.scale)
+
+    def advance_to(self, millis: int) -> None:
+        # Idle-wait until the host clock catches up (bounded politeness nap).
+        while self.read() < millis:
+            time.sleep(0.0005)

@@ -1,0 +1,83 @@
+"""32-bit word semantics.
+
+Guest integer arithmetic follows JVM ``int`` semantics: 32-bit two's
+complement with silent wraparound.  Heap memory cells hold Python ints but
+every value a guest program can observe is normalised through
+:func:`to_i32`.
+"""
+
+from __future__ import annotations
+
+I32_MIN = -(1 << 31)
+I32_MAX = (1 << 31) - 1
+U32_MASK = 0xFFFFFFFF
+
+
+def to_i32(value: int) -> int:
+    """Normalise *value* to signed 32-bit two's-complement."""
+    value &= U32_MASK
+    if value > I32_MAX:
+        value -= 1 << 32
+    return value
+
+
+def to_u32(value: int) -> int:
+    """Normalise *value* to unsigned 32-bit."""
+    return value & U32_MASK
+
+
+def iadd(a: int, b: int) -> int:
+    return to_i32(a + b)
+
+
+def isub(a: int, b: int) -> int:
+    return to_i32(a - b)
+
+
+def imul(a: int, b: int) -> int:
+    return to_i32(a * b)
+
+
+def idiv(a: int, b: int) -> int:
+    """JVM-style truncating division (rounds toward zero)."""
+    if b == 0:
+        raise ZeroDivisionError("integer division by zero")
+    q = abs(a) // abs(b)
+    if (a < 0) != (b < 0):
+        q = -q
+    return to_i32(q)
+
+
+def irem(a: int, b: int) -> int:
+    """JVM-style remainder: sign follows the dividend."""
+    if b == 0:
+        raise ZeroDivisionError("integer remainder by zero")
+    return to_i32(a - idiv(a, b) * b)
+
+
+def ineg(a: int) -> int:
+    return to_i32(-a)
+
+
+def ishl(a: int, b: int) -> int:
+    return to_i32(a << (b & 31))
+
+
+def ishr(a: int, b: int) -> int:
+    return to_i32(to_i32(a) >> (b & 31))
+
+
+def iushr(a: int, b: int) -> int:
+    return to_i32(to_u32(a) >> (b & 31))
+
+
+def iand(a: int, b: int) -> int:
+    return to_i32(a & b)
+
+
+def ior(a: int, b: int) -> int:
+    return to_i32(a | b)
+
+
+def ixor(a: int, b: int) -> int:
+    return to_i32(a ^ b)

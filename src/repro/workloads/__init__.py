@@ -1,0 +1,56 @@
+"""Guest workloads: the multithreaded programs the experiments run.
+
+Each module exposes ``program(...)`` factories returning
+:class:`repro.api.GuestProgram`.  The suite covers:
+
+* ``figure1`` — the paper's Figure 1 scenarios (A–D): schedule- and
+  clock-dependent divergence;
+* ``bank`` — racy read-modify-write on a shared balance (the debugging
+  target of the examples) and its synchronized fix;
+* ``producer_consumer`` — bounded buffer with ``wait``/``notify``;
+* ``philosophers`` — dining philosophers over object monitors;
+* ``server`` — the paper's motivating shape: a request queue fed by a
+  non-deterministic "network" native, a worker pool, timed waits;
+* ``sorter`` — CPU + allocation pressure (parallel sort/merge);
+* ``gc_churn`` — allocation churn, deep recursion (stack growth) and
+  identity-hash observation, the workload that makes symmetry ablations
+  visibly diverge;
+* ``readers_writers`` — a writers-priority read/write lock, written in
+  MiniJ (:mod:`repro.lang`) rather than assembly.
+"""
+
+from repro.workloads.bank import racy_bank, synced_bank
+from repro.workloads.figure1 import figure1_ab, figure1_cd
+from repro.workloads.gc_churn import gc_churn
+from repro.workloads.philosophers import philosophers
+from repro.workloads.producer_consumer import producer_consumer
+from repro.workloads.readers_writers import readers_writers
+from repro.workloads.server import server
+from repro.workloads.sorter import sorter
+
+ALL_WORKLOADS = {
+    "figure1_ab": lambda: figure1_ab(),
+    "figure1_cd": lambda: figure1_cd(),
+    "racy_bank": lambda: racy_bank(),
+    "synced_bank": lambda: synced_bank(),
+    "producer_consumer": lambda: producer_consumer(),
+    "philosophers": lambda: philosophers(),
+    "server": lambda: server(),
+    "sorter": lambda: sorter(),
+    "gc_churn": lambda: gc_churn(),
+    "readers_writers": lambda: readers_writers(),
+}
+
+__all__ = [
+    "ALL_WORKLOADS",
+    "readers_writers",
+    "figure1_ab",
+    "figure1_cd",
+    "gc_churn",
+    "philosophers",
+    "producer_consumer",
+    "racy_bank",
+    "server",
+    "sorter",
+    "synced_bank",
+]

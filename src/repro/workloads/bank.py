@@ -1,0 +1,129 @@
+"""The bank workload: a racy read-modify-write bug and its fix.
+
+``racy_bank`` is the debugging target of the examples: ``tellers`` threads
+each perform ``deposits`` unsynchronized ``balance += 1`` updates.  Under
+preemptive switching, updates are lost non-deterministically — the final
+balance varies run to run, and *which* update is lost depends on exactly
+where the timer fired.  This is the class of bug the paper motivates
+DejaVu with: it doesn't even fail reliably.
+
+``synced_bank`` is the same program with the update inside a monitor;
+its final balance is always ``tellers * deposits``.
+"""
+
+from __future__ import annotations
+
+from repro.api import GuestProgram
+
+
+def _source(tellers: int, deposits: int, synced: bool) -> str:
+    if synced:
+        update = """
+    getstatic Main.lock LObject;
+    monitorenter
+    getstatic Main.balance I
+    iconst 1
+    iadd
+    putstatic Main.balance I
+    getstatic Main.lock LObject;
+    monitorexit
+"""
+    else:
+        # The race: read balance, burn a few cycles holding the stale
+        # value in a local (widening the window), write it back + 1.
+        update = """
+    getstatic Main.balance I
+    istore 2
+    iconst 0
+    istore 3
+stall$:
+    iload 3
+    iconst 3
+    if_icmpge go$
+    iinc 3 1
+    goto stall$
+go$:
+    iload 2
+    iconst 1
+    iadd
+    putstatic Main.balance I
+"""
+    update = update.replace("$", "")
+    return f"""
+.class Teller
+.super Thread
+.method run ()V
+    iconst 0
+    istore 1
+loop:
+    iload 1
+    iconst {deposits}
+    if_icmpge done
+{update}
+    iinc 1 1
+    goto loop
+done:
+    return
+.end
+
+.class Main
+.field static balance I
+.field static lock LObject;
+.field static tellers [LThread;
+.method static main ()V
+    new Object
+    putstatic Main.lock LObject;
+    iconst {tellers}
+    anewarray LThread;
+    putstatic Main.tellers [LThread;
+    iconst 0
+    istore 0
+spawn:
+    iload 0
+    iconst {tellers}
+    if_icmpge started
+    getstatic Main.tellers [LThread;
+    iload 0
+    new Teller
+    aastore
+    getstatic Main.tellers [LThread;
+    iload 0
+    aaload
+    invokestatic Thread.start(LThread;)V
+    iinc 0 1
+    goto spawn
+started:
+    iconst 0
+    istore 0
+join:
+    iload 0
+    iconst {tellers}
+    if_icmpge joined
+    getstatic Main.tellers [LThread;
+    iload 0
+    aaload
+    invokestatic Thread.join(LThread;)V
+    iinc 0 1
+    goto join
+joined:
+    ldc "balance="
+    invokestatic System.print(LString;)V
+    getstatic Main.balance I
+    invokestatic System.printInt(I)V
+    return
+.end
+"""
+
+
+def racy_bank(tellers: int = 3, deposits: int = 40) -> GuestProgram:
+    """The buggy version: lost updates under preemption."""
+    return GuestProgram.from_source(
+        _source(tellers, deposits, synced=False), name="racy_bank"
+    )
+
+
+def synced_bank(tellers: int = 3, deposits: int = 40) -> GuestProgram:
+    """The fixed version: ``balance`` guarded by a monitor."""
+    return GuestProgram.from_source(
+        _source(tellers, deposits, synced=True), name="synced_bank"
+    )

@@ -1,0 +1,157 @@
+"""The paper's Figure 1: four non-deterministic execution examples.
+
+**A/B** — two threads race on unsynchronized globals ``x`` and ``y``::
+
+    T1:  y = 1;  x = y * 2;
+    T2:  y = x * 2;  y = y * 2;  print y;
+
+If T1 runs before T2 reads ``x`` (scenario A) the program prints **8**;
+if the preemptive switch lands before T1 executes (scenario B) it prints
+**0**.  The timer decides — exactly the Figure 1-(A)/(B) divergence.
+
+**C/D** — the program state after a wall-clock read decides whether a
+*deterministic* thread switch (a ``wait``) happens::
+
+    T1:  y = Date();  if (y < 15) o1.wait();  y = x + 100;  print y;
+    T2:  x = 1;  o1.notify();
+
+A small clock value (scenario C) takes the ``wait`` branch — T1 blocks,
+T2 runs, stores ``x`` and notifies — so T1 prints 101.  A large value
+(scenario D) skips the wait; whether T1 sees ``x == 0`` or ``1`` depends
+on the preemption again.
+"""
+
+from __future__ import annotations
+
+from repro.api import GuestProgram
+
+_AB_SOURCE = """
+.class T1
+.super Thread
+.method run ()V
+    iconst 1
+    putstatic Main.y I          ; y = 1
+    getstatic Main.y I
+    iconst 2
+    imul
+    putstatic Main.x I          ; x = y * 2
+    return
+.end
+
+.class T2
+.super Thread
+.method run ()V
+    getstatic Main.x I
+    iconst 2
+    imul
+    putstatic Main.y I          ; y = x * 2
+    getstatic Main.y I
+    iconst 2
+    imul
+    putstatic Main.y I          ; y = y * 2
+    getstatic Main.y I
+    invokestatic System.printInt(I)V
+    return
+.end
+
+.class Main
+.field static x I
+.field static y I
+.method static main ()V
+    new T1
+    astore 1
+    new T2
+    astore 2
+    aload 1
+    invokestatic Thread.start(LThread;)V
+    aload 2
+    invokestatic Thread.start(LThread;)V
+    aload 1
+    invokestatic Thread.join(LThread;)V
+    aload 2
+    invokestatic Thread.join(LThread;)V
+    return
+.end
+"""
+
+_CD_SOURCE = """
+.class T1
+.super Thread
+.method run ()V
+    invokestatic System.currentTimeMillis()I
+    putstatic Main.y I                       ; y = Date()
+    getstatic Main.y I
+    getstatic Main.threshold I
+    if_icmpge skipwait                       ; if (y < threshold)
+    getstatic Main.o1 LObject;
+    monitorenter
+    getstatic Main.o1 LObject;
+    invokestatic System.wait(LObject;)V      ;     o1.wait()
+    getstatic Main.o1 LObject;
+    monitorexit
+skipwait:
+    getstatic Main.x I
+    iconst 100
+    iadd
+    putstatic Main.y I                       ; y = x + 100
+    getstatic Main.y I
+    invokestatic System.printInt(I)V
+    return
+.end
+
+.class T2
+.super Thread
+.method run ()V
+    iconst 1
+    putstatic Main.x I                       ; x = 1
+    getstatic Main.o1 LObject;
+    monitorenter
+    getstatic Main.o1 LObject;
+    invokestatic System.notify(LObject;)V    ; o1.notify()
+    getstatic Main.o1 LObject;
+    monitorexit
+    return
+.end
+
+.class Main
+.field static x I
+.field static y I
+.field static threshold I
+.field static o1 LObject;
+.method static main ()V
+    new Object
+    putstatic Main.o1 LObject;
+    iconst 1000004
+    putstatic Main.threshold I
+    new T1
+    astore 1
+    new T2
+    astore 2
+    aload 1
+    invokestatic Thread.start(LThread;)V
+    aload 2
+    invokestatic Thread.start(LThread;)V
+    aload 1
+    invokestatic Thread.join(LThread;)V
+    aload 2
+    invokestatic Thread.join(LThread;)V
+    return
+.end
+"""
+
+
+def figure1_ab() -> GuestProgram:
+    """Scenarios A/B: output depends purely on preemptive switch timing."""
+    return GuestProgram.from_source(_AB_SOURCE, name="figure1_ab")
+
+
+def figure1_cd() -> GuestProgram:
+    """Scenarios C/D: a wall-clock value steers a wait/notify switch.
+
+    The threshold is ``1_000_004`` so that a
+    :class:`~repro.vm.timerdev.SeededJitterClock` starting at its default
+    ``1_000_000`` produces values on either side of the threshold
+    depending on how many reads (and how much jitter) precede T1's read —
+    the Figure 1-(C)/(D) pair.
+    """
+    return GuestProgram.from_source(_CD_SOURCE, name="figure1_cd")

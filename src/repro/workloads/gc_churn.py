@@ -1,0 +1,119 @@
+"""GC churn + deep recursion + identity hashes: the symmetry stressor.
+
+Two threads allocate garbage in a loop (forcing collections), observe
+``System.identityHashCode`` of freshly allocated objects (making heap
+*addresses* guest-visible — the canary for allocation-stream divergence),
+and periodically recurse deeply (driving the activation stack toward its
+growth threshold — the canary for stack-overflow asymmetry).
+
+Any of the paper's §2.4 symmetry mechanisms, when ablated, shifts either
+the allocation stream or the stack-growth points between record and
+replay, and this workload turns that shift into differing output.
+"""
+
+from __future__ import annotations
+
+from repro.api import GuestProgram
+
+
+def _source(iters: int, depth: int, hash_every: int) -> str:
+    return f"""
+.class Node
+.field next LNode;
+.field value I
+
+.class Churner
+.super Thread
+.method run ()V
+    iconst 0
+    istore 1
+loop:
+    iload 1
+    iconst {iters}
+    if_icmpge done
+    ; allocate a small chain of nodes (garbage after this iteration)
+    new Node
+    astore 2
+    new Node
+    astore 3
+    aload 2
+    aload 3
+    putfield Node.next LNode;
+    aload 2
+    iload 1
+    putfield Node.value I
+    ; every few iterations, mix an identity hash into the checksum
+    iload 1
+    iconst {hash_every}
+    irem
+    ifne nohash
+    getstatic Main.hashes I
+    aload 2
+    invokestatic System.identityHashCode(LObject;)I
+    ixor
+    putstatic Main.hashes I
+nohash:
+    ; every few iterations, recurse deeply (stack pressure)
+    iload 1
+    iconst 7
+    irem
+    ifne norec
+    iconst {depth}
+    invokestatic Churner.deep(I)I
+    getstatic Main.depthSum I
+    iadd
+    putstatic Main.depthSum I
+norec:
+    iinc 1 1
+    goto loop
+done:
+    return
+.end
+.method static deep (I)I
+    iload 0
+    ifgt more
+    iconst 0
+    ireturn
+more:
+    iload 0
+    iconst 1
+    isub
+    invokestatic Churner.deep(I)I
+    iconst 1
+    iadd
+    ireturn
+.end
+
+.class Main
+.field static hashes I
+.field static depthSum I
+.method static main ()V
+    new Churner
+    astore 1
+    new Churner
+    astore 2
+    aload 1
+    invokestatic Thread.start(LThread;)V
+    aload 2
+    invokestatic Thread.start(LThread;)V
+    aload 1
+    invokestatic Thread.join(LThread;)V
+    aload 2
+    invokestatic Thread.join(LThread;)V
+    ldc "hashes="
+    invokestatic System.print(LString;)V
+    getstatic Main.hashes I
+    invokestatic System.printInt(I)V
+    ldc " depthSum="
+    invokestatic System.print(LString;)V
+    getstatic Main.depthSum I
+    invokestatic System.printInt(I)V
+    return
+.end
+"""
+
+
+def gc_churn(iters: int = 80, depth: int = 40, hash_every: int = 3) -> GuestProgram:
+    return GuestProgram.from_source(
+        _source(iters, depth, hash_every), name="gc_churn"
+    )

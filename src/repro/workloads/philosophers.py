@@ -1,0 +1,159 @@
+"""Dining philosophers over object monitors (deadlock-free ordering).
+
+Each philosopher grabs the lower-numbered fork first (total order on
+locks), eats — a short compute loop plus an occasional ``Thread.sleep`` —
+and releases.  Exercises nested ``monitorenter``, contended hand-off, and
+timed events together.
+"""
+
+from __future__ import annotations
+
+from repro.api import GuestProgram
+
+
+def _source(n: int, rounds: int, nap_every: int) -> str:
+    return f"""
+.class Phil
+.super Thread
+.field seat I
+.method run ()V
+    iconst 0
+    istore 1                     ; round
+loop:
+    iload 1
+    iconst {rounds}
+    if_icmpge done
+    ; first = min(seat, (seat+1)%n), second = max(...)
+    aload 0
+    getfield Phil.seat I
+    istore 2
+    iload 2
+    iconst 1
+    iadd
+    iconst {n}
+    irem
+    istore 3
+    iload 2
+    iload 3
+    if_icmplt ordered
+    iload 2
+    istore 4
+    iload 3
+    istore 2
+    iload 4
+    istore 3
+ordered:
+    getstatic Main.forks [LObject;
+    iload 2
+    aaload
+    monitorenter
+    getstatic Main.forks [LObject;
+    iload 3
+    aaload
+    monitorenter
+    ; eat: bump the shared meal counter (guarded by both forks)
+    getstatic Main.meals I
+    iconst 1
+    iadd
+    putstatic Main.meals I
+    getstatic Main.forks [LObject;
+    iload 3
+    aaload
+    monitorexit
+    getstatic Main.forks [LObject;
+    iload 2
+    aaload
+    monitorexit
+    ; think: nap every few rounds (timed event)
+    iload 1
+    iconst {nap_every}
+    irem
+    ifne nonap
+    iconst 2
+    invokestatic Thread.sleep(I)V
+nonap:
+    iinc 1 1
+    goto loop
+done:
+    return
+.end
+
+.class Main
+.field static forks [LObject;
+.field static phils [LThread;
+.field static meals I
+.method static main ()V
+    iconst {n}
+    anewarray LObject;
+    putstatic Main.forks [LObject;
+    iconst 0
+    istore 0
+mkforks:
+    iload 0
+    iconst {n}
+    if_icmpge mkphils
+    getstatic Main.forks [LObject;
+    iload 0
+    new Object
+    aastore
+    iinc 0 1
+    goto mkforks
+mkphils:
+    iconst {n}
+    anewarray LThread;
+    putstatic Main.phils [LThread;
+    iconst 0
+    istore 0
+mkloop:
+    iload 0
+    iconst {n}
+    if_icmpge launch
+    new Phil
+    astore 1
+    aload 1
+    iload 0
+    putfield Phil.seat I
+    getstatic Main.phils [LThread;
+    iload 0
+    aload 1
+    aastore
+    iinc 0 1
+    goto mkloop
+launch:
+    iconst 0
+    istore 0
+startloop:
+    iload 0
+    iconst {n}
+    if_icmpge joinall
+    getstatic Main.phils [LThread;
+    iload 0
+    aaload
+    invokestatic Thread.start(LThread;)V
+    iinc 0 1
+    goto startloop
+joinall:
+    iconst 0
+    istore 0
+joinloop:
+    iload 0
+    iconst {n}
+    if_icmpge report
+    getstatic Main.phils [LThread;
+    iload 0
+    aaload
+    invokestatic Thread.join(LThread;)V
+    iinc 0 1
+    goto joinloop
+report:
+    ldc "meals="
+    invokestatic System.print(LString;)V
+    getstatic Main.meals I
+    invokestatic System.printInt(I)V
+    return
+.end
+"""
+
+
+def philosophers(n: int = 4, rounds: int = 12, nap_every: int = 5) -> GuestProgram:
+    return GuestProgram.from_source(_source(n, rounds, nap_every), name="philosophers")

@@ -1,0 +1,243 @@
+"""Bounded-buffer producer/consumer over ``wait``/``notifyAll``.
+
+Producers push sequence numbers into a fixed-capacity ring; consumers pop
+and accumulate a checksum.  All switches here are *deterministic*
+(monitor contention and wait/notify) except timer preemptions — so this
+workload exercises exactly the paper's claim that synchronization switches
+need no trace records because the thread package is replayed.
+"""
+
+from __future__ import annotations
+
+from repro.api import GuestProgram
+
+
+def _source(producers: int, consumers: int, items_per_producer: int, capacity: int) -> str:
+    total = producers * items_per_producer
+    return f"""
+.class Ring
+.field buf [I
+.field head I
+.field tail I
+.field count I
+.method init ()V
+    aload 0
+    iconst {capacity}
+    newarray
+    putfield Ring.buf [I
+    return
+.end
+.method put (I)V
+full:
+    aload 0
+    getfield Ring.count I
+    iconst {capacity}
+    if_icmplt ok
+    aload 0
+    invokestatic System.wait(LObject;)V
+    goto full
+ok:
+    aload 0
+    getfield Ring.buf [I
+    aload 0
+    getfield Ring.tail I
+    iload 1
+    iastore
+    aload 0
+    aload 0
+    getfield Ring.tail I
+    iconst 1
+    iadd
+    iconst {capacity}
+    irem
+    putfield Ring.tail I
+    aload 0
+    aload 0
+    getfield Ring.count I
+    iconst 1
+    iadd
+    putfield Ring.count I
+    aload 0
+    invokestatic System.notifyAll(LObject;)V
+    return
+.end
+.method take ()I
+empty:
+    aload 0
+    getfield Ring.count I
+    ifgt ok
+    aload 0
+    invokestatic System.wait(LObject;)V
+    goto empty
+ok:
+    aload 0
+    getfield Ring.buf [I
+    aload 0
+    getfield Ring.head I
+    iaload
+    istore 1
+    aload 0
+    aload 0
+    getfield Ring.head I
+    iconst 1
+    iadd
+    iconst {capacity}
+    irem
+    putfield Ring.head I
+    aload 0
+    aload 0
+    getfield Ring.count I
+    iconst 1
+    isub
+    putfield Ring.count I
+    aload 0
+    invokestatic System.notifyAll(LObject;)V
+    iload 1
+    ireturn
+.end
+
+.class Producer
+.super Thread
+.field base I
+.method run ()V
+    iconst 0
+    istore 1
+loop:
+    iload 1
+    iconst {items_per_producer}
+    if_icmpge done
+    getstatic Main.ring LRing;
+    monitorenter
+    getstatic Main.ring LRing;
+    aload 0
+    getfield Producer.base I
+    iload 1
+    iadd
+    invokevirtual Ring.put(I)V
+    getstatic Main.ring LRing;
+    monitorexit
+    iinc 1 1
+    goto loop
+done:
+    return
+.end
+
+.class Consumer
+.super Thread
+.method run ()V
+loop:
+    getstatic Main.taken I
+    iconst {total}
+    if_icmpge done
+    getstatic Main.ring LRing;
+    monitorenter
+    getstatic Main.taken I
+    iconst {total}
+    if_icmpge unlock
+    getstatic Main.taken I
+    iconst 1
+    iadd
+    putstatic Main.taken I
+    getstatic Main.ring LRing;
+    invokevirtual Ring.take()I
+    getstatic Main.sum I
+    iadd
+    putstatic Main.sum I
+unlock:
+    getstatic Main.ring LRing;
+    monitorexit
+    goto loop
+done:
+    return
+.end
+
+.class Main
+.field static ring LRing;
+.field static sum I
+.field static taken I
+.field static workers [LThread;
+.method static main ()V
+    new Ring
+    dup
+    invokevirtual Ring.init()V
+    putstatic Main.ring LRing;
+    iconst {producers + consumers}
+    anewarray LThread;
+    putstatic Main.workers [LThread;
+    iconst 0
+    istore 0
+mkprod:
+    iload 0
+    iconst {producers}
+    if_icmpge mkcons
+    new Producer
+    astore 1
+    aload 1
+    iload 0
+    iconst {items_per_producer}
+    imul
+    putfield Producer.base I
+    getstatic Main.workers [LThread;
+    iload 0
+    aload 1
+    aastore
+    iinc 0 1
+    goto mkprod
+mkcons:
+    iload 0
+    iconst {producers + consumers}
+    if_icmpge launch
+    getstatic Main.workers [LThread;
+    iload 0
+    new Consumer
+    aastore
+    iinc 0 1
+    goto mkcons
+launch:
+    iconst 0
+    istore 0
+startloop:
+    iload 0
+    iconst {producers + consumers}
+    if_icmpge joinall
+    getstatic Main.workers [LThread;
+    iload 0
+    aaload
+    invokestatic Thread.start(LThread;)V
+    iinc 0 1
+    goto startloop
+joinall:
+    iconst 0
+    istore 0
+joinloop:
+    iload 0
+    iconst {producers + consumers}
+    if_icmpge report
+    getstatic Main.workers [LThread;
+    iload 0
+    aaload
+    invokestatic Thread.join(LThread;)V
+    iinc 0 1
+    goto joinloop
+report:
+    ldc "sum="
+    invokestatic System.print(LString;)V
+    getstatic Main.sum I
+    invokestatic System.printInt(I)V
+    return
+.end
+"""
+
+
+def producer_consumer(
+    producers: int = 2,
+    consumers: int = 2,
+    items_per_producer: int = 30,
+    capacity: int = 4,
+) -> GuestProgram:
+    """Bounded buffer; the final ``sum`` is deterministic, the interleaving
+    is not — a good accuracy stress for monitor/wait replay."""
+    return GuestProgram.from_source(
+        _source(producers, consumers, items_per_producer, capacity),
+        name="producer_consumer",
+    )

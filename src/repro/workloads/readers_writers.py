@@ -1,0 +1,142 @@
+"""Readers/writers — a MiniJ workload (compiled from source, not assembly).
+
+A writers-priority readers/writers lock built from one monitor: readers
+proceed together unless a writer is waiting; writers get exclusive access.
+Reader threads accumulate a checksum of the shared table; writer threads
+mutate it.  The final table state depends only on the *number* of writer
+rounds (writes are commutative increments), so ``sum=`` is schedule-
+independent while the read-side observations (``seen=``) are not — a good
+accuracy probe for replaying wait/notifyAll storms.
+"""
+
+from __future__ import annotations
+
+from repro.api import GuestProgram
+from repro.lang import compile_source
+
+_SOURCE = """
+class RwLock {
+    int readers;
+    int writers;
+    int writersWaiting;
+
+    void lockRead() {
+        synchronized (this) {
+            while (this.writers > 0 || this.writersWaiting > 0) {
+                System.wait(this);
+            }
+            this.readers += 1;
+        }
+    }
+    void unlockRead() {
+        synchronized (this) {
+            this.readers -= 1;
+            if (this.readers == 0) {
+                System.notifyAll(this);
+            }
+        }
+    }
+    void lockWrite() {
+        synchronized (this) {
+            this.writersWaiting += 1;
+            while (this.readers > 0 || this.writers > 0) {
+                System.wait(this);
+            }
+            this.writersWaiting -= 1;
+            this.writers = 1;
+        }
+    }
+    void unlockWrite() {
+        synchronized (this) {
+            this.writers = 0;
+            System.notifyAll(this);
+        }
+    }
+}
+
+class Reader extends Thread {
+    int rounds;
+    void run() {
+        for (int r = 0; r < this.rounds; r++) {
+            Main.lock.lockRead();
+            int snapshot = 0;
+            for (int i = 0; i < Main.table.length; i++) {
+                snapshot += Main.table[i];
+            }
+            synchronized (Main.statsLock) { Main.seen ^= snapshot; }
+            Main.lock.unlockRead();
+            if (r % 4 == 0) Thread.yield();
+        }
+    }
+}
+
+class Writer extends Thread {
+    int rounds;
+    int stride;
+    void run() {
+        for (int r = 0; r < this.rounds; r++) {
+            Main.lock.lockWrite();
+            for (int i = 0; i < Main.table.length; i += 1) {
+                Main.table[i] = Main.table[i] + this.stride;
+            }
+            Main.lock.unlockWrite();
+            if (r % 3 == 0) Thread.sleep(1);
+        }
+    }
+}
+
+class Main {
+    static RwLock lock;
+    static Object statsLock;
+    static int[] table;
+    static int seen;
+
+    static void main() {
+        Main.lock = new RwLock();
+        Main.statsLock = new Object();
+        Main.table = new int[NREADERS + NWRITERS];
+
+        Thread[] workers = new Thread[NREADERS + NWRITERS];
+        for (int i = 0; i < NREADERS; i++) {
+            Reader rd = new Reader();
+            rd.rounds = ROUNDS;
+            workers[i] = rd;
+        }
+        for (int i = 0; i < NWRITERS; i++) {
+            Writer wr = new Writer();
+            wr.rounds = ROUNDS;
+            wr.stride = i + 1;
+            workers[NREADERS + i] = wr;
+        }
+        for (int i = 0; i < workers.length; i++) Thread.start(workers[i]);
+        for (int i = 0; i < workers.length; i++) Thread.join(workers[i]);
+
+        int sum = 0;
+        for (int i = 0; i < Main.table.length; i++) sum += Main.table[i];
+        System.print("sum=");
+        System.printInt(sum);
+        System.print(" seen=");
+        System.printInt(Main.seen);
+    }
+}
+"""
+
+
+def readers_writers(
+    n_readers: int = 3, n_writers: int = 2, rounds: int = 8
+) -> GuestProgram:
+    source = (
+        _SOURCE.replace("NREADERS", str(n_readers))
+        .replace("NWRITERS", str(n_writers))
+        .replace("ROUNDS", str(rounds))
+    )
+    return GuestProgram(
+        classdefs=compile_source(source), name="readers_writers"
+    )
+
+
+def expected_sum(n_readers: int = 3, n_writers: int = 2, rounds: int = 8) -> int:
+    """Every writer adds its stride to every slot, ``rounds`` times."""
+    slots = n_readers + n_writers
+    per_slot = sum(range(1, n_writers + 1)) * rounds
+    return slots * per_slot

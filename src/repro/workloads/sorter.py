@@ -1,0 +1,203 @@
+"""Parallel sorter: CPU plus allocation pressure.
+
+The main thread fills an array with pseudo-random values from the guest's
+own LCG (deterministic), hands disjoint chunks to worker threads that
+insertion-sort them in place (allocating scratch arrays as they go), then
+merges and prints a positional checksum.  The checksum is schedule-
+independent; the cycle-level interleaving, allocation addresses and GC
+points are not — making this the heap-heavy accuracy stress.
+"""
+
+from __future__ import annotations
+
+from repro.api import GuestProgram
+
+
+def _source(n_workers: int, chunk: int) -> str:
+    total = n_workers * chunk
+    return f"""
+.class SortWorker
+.super Thread
+.field lo I
+.method run ()V
+    ; copy my chunk into a scratch array (allocation), sort, copy back
+    iconst {chunk}
+    newarray
+    astore 1
+    getstatic Main.data [I
+    aload 0
+    getfield SortWorker.lo I
+    aload 1
+    iconst 0
+    iconst {chunk}
+    invokestatic System.arraycopy([II[III)V
+    ; insertion sort scratch
+    iconst 1
+    istore 2
+outer:
+    iload 2
+    iconst {chunk}
+    if_icmpge copyback
+    aload 1
+    iload 2
+    iaload
+    istore 3                    ; key
+    iload 2
+    iconst 1
+    isub
+    istore 4                    ; j
+inner:
+    iload 4
+    iflt place
+    aload 1
+    iload 4
+    iaload
+    iload 3
+    if_icmple place
+    aload 1
+    iload 4
+    iconst 1
+    iadd
+    aload 1
+    iload 4
+    iaload
+    iastore
+    iinc 4 -1
+    goto inner
+place:
+    aload 1
+    iload 4
+    iconst 1
+    iadd
+    iload 3
+    iastore
+    iinc 2 1
+    goto outer
+copyback:
+    aload 1
+    iconst 0
+    getstatic Main.data [I
+    aload 0
+    getfield SortWorker.lo I
+    iconst {chunk}
+    invokestatic System.arraycopy([II[III)V
+    return
+.end
+
+.class Main
+.field static data [I
+.field static workers [LThread;
+.method static main ()V
+    iconst {total}
+    newarray
+    putstatic Main.data [I
+    ; fill with a guest-side LCG (deterministic)
+    iconst 12345
+    istore 1                    ; seed
+    iconst 0
+    istore 0
+fill:
+    iload 0
+    iconst {total}
+    if_icmpge spawn
+    iload 1
+    iconst 1103515245
+    imul
+    iconst 12345
+    iadd
+    istore 1
+    getstatic Main.data [I
+    iload 0
+    iload 1
+    iconst 8
+    iushr
+    iconst 9973
+    irem
+    iastore
+    iinc 0 1
+    goto fill
+spawn:
+    iconst {n_workers}
+    anewarray LThread;
+    putstatic Main.workers [LThread;
+    iconst 0
+    istore 0
+mkloop:
+    iload 0
+    iconst {n_workers}
+    if_icmpge launch
+    new SortWorker
+    astore 2
+    aload 2
+    iload 0
+    iconst {chunk}
+    imul
+    putfield SortWorker.lo I
+    getstatic Main.workers [LThread;
+    iload 0
+    aload 2
+    aastore
+    iinc 0 1
+    goto mkloop
+launch:
+    iconst 0
+    istore 0
+startloop:
+    iload 0
+    iconst {n_workers}
+    if_icmpge joinall
+    getstatic Main.workers [LThread;
+    iload 0
+    aaload
+    invokestatic Thread.start(LThread;)V
+    iinc 0 1
+    goto startloop
+joinall:
+    iconst 0
+    istore 0
+joinloop:
+    iload 0
+    iconst {n_workers}
+    if_icmpge check
+    getstatic Main.workers [LThread;
+    iload 0
+    aaload
+    invokestatic Thread.join(LThread;)V
+    iinc 0 1
+    goto joinloop
+check:
+    ; positional checksum: sum of data[i] * (i % 31 + 1), 32-bit wrap
+    iconst 0
+    istore 1
+    iconst 0
+    istore 0
+sumloop:
+    iload 0
+    iconst {total}
+    if_icmpge report
+    getstatic Main.data [I
+    iload 0
+    iaload
+    iload 0
+    iconst 31
+    irem
+    iconst 1
+    iadd
+    imul
+    iload 1
+    iadd
+    istore 1
+    iinc 0 1
+    goto sumloop
+report:
+    ldc "checksum="
+    invokestatic System.print(LString;)V
+    iload 1
+    invokestatic System.printInt(I)V
+    return
+.end
+"""
+
+
+def sorter(n_workers: int = 3, chunk: int = 48) -> GuestProgram:
+    return GuestProgram.from_source(_source(n_workers, chunk), name="sorter")

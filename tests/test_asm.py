@@ -1,0 +1,245 @@
+"""The text assembler."""
+
+import pytest
+
+from repro.vm.asm import assemble
+from repro.vm.bytecode import Op
+from repro.vm.errors import AssemblyError
+
+
+def one_method(body: str) -> list:
+    src = f""".class T
+.method static m ()V
+{body}
+    return
+.end
+"""
+    cd = assemble(src)[0]
+    return cd.method_def("m()V").code
+
+
+class TestBasics:
+    def test_empty_input(self):
+        assert assemble("") == []
+
+    def test_class_and_fields(self):
+        cds = assemble(
+            """
+.class Foo
+.super Object
+.field x I
+.field static y [I
+"""
+        )
+        assert len(cds) == 1
+        cd = cds[0]
+        assert cd.name == "Foo"
+        assert cd.super_name == "Object"
+        assert not cd.field_def("x").static
+        assert cd.field_def("y").static
+        assert cd.field_def("y").desc == "[I"
+
+    def test_multiple_classes(self):
+        cds = assemble(".class A\n.class B\n.class C\n")
+        assert [c.name for c in cds] == ["A", "B", "C"]
+
+    def test_default_super_is_object(self):
+        assert assemble(".class A\n")[0].super_name == "Object"
+
+    def test_native_declarations(self):
+        cd = assemble(
+            """
+.class N
+.native static f ()I
+.native virtual g (I)V
+"""
+        )[0]
+        assert cd.method_def("f()I").native
+        assert cd.method_def("f()I").static
+        assert not cd.method_def("g(I)V").static
+
+
+class TestInstructions:
+    def test_iconst_decimal_hex_negative(self):
+        code = one_method("    iconst 10\n    pop\n    iconst 0x10\n    pop\n    iconst -3\n    pop")
+        consts = [i.arg for i in code if i.op is Op.ICONST]
+        assert consts == [10, 16, -3]
+
+    def test_iinc_two_operands(self):
+        code = one_method("    iinc 2 -1")
+        assert code[0].arg == (2, -1)
+
+    def test_labels_resolve(self):
+        code = one_method(
+            """
+    iconst 0
+loop:
+    iconst 1
+    ifeq loop
+"""
+        )
+        branch = [i for i in code if i.op is Op.IFEQ][0]
+        assert branch.arg == 1  # index of the labeled iconst
+
+    def test_label_on_same_line_as_instruction(self):
+        code = one_method("start: iconst 1\n    ifne start")
+        assert code[1].arg == 0
+
+    def test_strings_interned_with_escapes(self):
+        cd = assemble(
+            """
+.class T
+.method static m ()V
+    ldc "a\\nb\\t\\"q\\""
+    pop
+    return
+.end
+"""
+        )[0]
+        assert cd.strings == ['a\nb\t"q"']
+
+    def test_duplicate_strings_share_pool_entry(self):
+        cd = assemble(
+            """
+.class T
+.method static m ()V
+    ldc "x"
+    pop
+    ldc "x"
+    pop
+    return
+.end
+"""
+        )[0]
+        assert len(cd.strings) == 1
+
+    def test_field_ref_with_descriptor(self):
+        code = one_method("    getstatic Foo.bar I\n    pop")
+        assert code[0].arg == ("Foo.bar", "I")
+
+    def test_field_ref_without_descriptor(self):
+        code = one_method("    getstatic Foo.bar\n    pop")
+        assert code[0].arg == "Foo.bar"
+
+    def test_comments_stripped_but_not_descriptors(self):
+        code = one_method(
+            "    iconst 1 ; a comment\n    pop ;another\n    ldc \"keep ; this\"\n    pop"
+        )
+        assert code[0].arg == 1
+        # string containing '; ' survives
+        cd = assemble(
+            '.class T\n.method static m ()V\n    ldc "a ; b"\n    pop\n    return\n.end\n'
+        )[0]
+        assert cd.strings == ["a ; b"]
+
+    def test_method_ref_descriptor_semicolon_not_comment(self):
+        code = one_method("    aconst_null\n    invokestatic X.f(LString;)V")
+        assert code[1].arg == "X.f(LString;)V"
+
+
+class TestLineTables:
+    def test_source_lines_recorded(self):
+        cd = assemble(
+            """.class T
+.method static m ()V
+    iconst 1
+    pop
+    return
+.end
+"""
+        )[0]
+        m = cd.method_def("m()V")
+        assert m.line_table[0] == 3  # iconst on source line 3
+        assert m.line_table[1] == 4
+
+    def test_line_override(self):
+        cd = assemble(
+            """.class T
+.method static m ()V
+.line 100
+    iconst 1
+    pop
+    return
+.end
+"""
+        )[0]
+        assert cd.method_def("m()V").line_table[0] == 100
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "src,fragment",
+        [
+            (".field x I", "outside of .class"),
+            (".class A\n.method static m\n", "bad .method"),
+            (".class A\n.method static m ()V\n", "unterminated"),
+            (".class A\n.end\n", ".end outside"),
+            (".class A\n.method static m ()V\n    bogus\n    return\n.end", "unknown mnemonic"),
+            (".class A\n.method static m ()V\n    iconst x\n    return\n.end", "expected integer"),
+            (".class A\n.method static m ()V\n    goto nowhere\n.end", "undefined label"),
+            (".class A\n.method static m ()V\n    ldc 5\n    return\n.end", "quoted string"),
+            (".class A\n.method static m ()V\n    iconst 1 2\n    return\n.end", "expected integer"),
+            (".class 9bad\n", "bad class name"),
+            (".bogus x\n", "unknown directive"),
+            (".class A\n.method static m ()V\nx:\nx:\n    return\n.end", "duplicate label"),
+        ],
+    )
+    def test_error_cases(self, src, fragment):
+        with pytest.raises(AssemblyError) as exc:
+            assemble(src)
+        assert fragment in str(exc.value)
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(AssemblyError) as exc:
+            assemble(".class A\n.method static m ()V\n    bogus\n    return\n.end")
+        assert exc.value.line == 3
+
+    def test_instruction_outside_method(self):
+        with pytest.raises(AssemblyError):
+            assemble(".class A\n    iconst 1\n")
+
+    def test_fall_off_end_rejected(self):
+        with pytest.raises(Exception):
+            assemble(".class A\n.method static m ()V\n    iconst 1\n.end")
+
+
+class TestFilesAndDisassembly:
+    def test_assemble_file(self, tmp_path):
+        from repro.vm.asm import assemble_file
+
+        p = tmp_path / "prog.jasm"
+        p.write_text(".class A\n.method static m ()V\n    return\n.end\n")
+        cds = assemble_file(p)
+        assert cds[0].name == "A"
+
+    def test_assembly_error_names_the_file(self, tmp_path):
+        from repro.vm.asm import assemble_file
+
+        p = tmp_path / "bad.jasm"
+        p.write_text(".class A\n.method static m ()V\n    bogus\n.end\n")
+        with pytest.raises(AssemblyError) as exc:
+            assemble_file(p)
+        assert "bad.jasm" in str(exc.value)
+
+    def test_disassemble_roundtrips_through_assembler(self):
+        """disassemble output, re-indented, is valid assembler input."""
+        from repro.vm.bytecode import disassemble
+
+        src = """.class T
+.method static m (I)I
+    iload 0
+    iconst 2
+    imul
+    ireturn
+.end
+"""
+        cd = assemble(src)[0]
+        m = cd.method_def("m(I)I")
+        listing = disassemble(m.code, m.line_table)
+        body = "\n".join("    " + line.split(":", 1)[1].split(";")[0].strip()
+                         for line in listing.splitlines())
+        src2 = f".class T\n.method static m (I)I\n{body}\n.end\n"
+        cd2 = assemble(src2)[0]
+        assert [i.op for i in cd2.method_def("m(I)I").code] == [
+            i.op for i in m.code
+        ]

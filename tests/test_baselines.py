@@ -1,0 +1,148 @@
+"""The §5 related-work baselines and their documented properties."""
+
+import pytest
+
+from repro.api import record
+from repro.baselines import (
+    instant_replay_record,
+    instant_replay_replay,
+    rc_record,
+    rc_replay,
+    recap_record,
+    recap_replay,
+    recap_transform,
+    repeated_execution,
+)
+from repro.core import compare_runs
+from repro.vm.machine import VMConfig
+from repro.workloads import producer_consumer, racy_bank, synced_bank
+from tests.conftest import jitter_knobs
+
+CFG = VMConfig(semispace_words=70_000)
+
+
+class TestRepeatedExecution:
+    def test_racy_program_diverges(self):
+        report = repeated_execution(lambda: racy_bank(), runs=8, config=CFG)
+        assert report.distinct_outputs > 1
+        assert report.divergence_rate > 0.5
+
+    def test_synced_program_output_stable_but_behavior_varies(self):
+        report = repeated_execution(lambda: synced_bank(), runs=6, config=CFG)
+        assert report.distinct_outputs == 1  # result is race-free
+        assert report.distinct_behaviors > 1  # the executions are not
+
+
+class TestRussinovichCogswell:
+    def test_replay_faithful(self):
+        res, trace, stats = rc_record(racy_bank(), config=CFG, **jitter_knobs(4))
+        res2, map_ops = rc_replay(racy_bank(), trace, config=CFG)
+        assert compare_runs(res, res2).faithful
+        assert map_ops > 0  # the cost DejaVu avoids
+
+    def test_logs_every_dispatch_not_just_preemptions(self):
+        res, trace, stats = rc_record(
+            producer_consumer(), config=CFG, **jitter_knobs(4)
+        )
+        dejavu = record(producer_consumer(), config=CFG, **jitter_knobs(4))
+        assert stats["dispatch_records"] >= res.switches
+        assert stats["dispatch_records"] > dejavu.stats["switch_records"]
+
+    def test_trace_strictly_larger_than_dejavu(self):
+        _, trace, _ = rc_record(producer_consumer(), config=CFG, **jitter_knobs(4))
+        dejavu = record(producer_consumer(), config=CFG, **jitter_knobs(4))
+        assert trace.encoded_size_bytes > dejavu.trace.encoded_size_bytes
+
+
+class TestInstantReplay:
+    def test_crew_disciplined_program_replays_results(self):
+        res, crew = instant_replay_record(synced_bank(), config=CFG, **jitter_knobs(9))
+        res2 = instant_replay_replay(
+            synced_bank(), crew, config=CFG, **jitter_knobs(77)
+        )
+        assert crew.n_records > 0
+        assert res.output_text == res2.output_text
+
+    def test_non_crew_race_not_reproduced(self):
+        """The paper: 'this approach will not work for applications that
+        do not use the CREW discipline'.  The racy bank's updates happen
+        outside any monitor — the CREW log is empty and replay is at the
+        mercy of the new timer."""
+        res, crew = instant_replay_record(
+            racy_bank(), config=CFG, **jitter_knobs(9, 20, 90)
+        )
+        assert crew.n_records == 0  # nothing coarse-grained to log
+        outputs = set()
+        for seed in range(6):
+            res2 = instant_replay_replay(
+                racy_bank(), crew, config=CFG, **jitter_knobs(100 + seed, 20, 90)
+            )
+            outputs.add(res2.output_text)
+        assert len(outputs | {res.output_text}) > 1
+
+    def test_crew_trace_counts_versions(self):
+        res, crew = instant_replay_record(synced_bank(), config=CFG, **jitter_knobs(2))
+        assert crew.n_objects >= 1
+        assert crew.encoded_size_bytes > 0
+
+
+class TestRecap:
+    def test_transform_inserts_read_logging(self):
+        prog = racy_bank()
+        transformed = recap_transform(prog)
+        assert any(cd.name == "Recap" for cd in transformed.classdefs)
+        from repro.vm.bytecode import Op
+
+        original_calls = sum(
+            sum(1 for i in m.code if i.op is Op.INVOKESTATIC and i.arg == "Recap.read(I)I")
+            for cd in prog.classdefs
+            for m in cd.methods
+        )
+        inserted = sum(
+            sum(1 for i in m.code if i.op is Op.INVOKESTATIC and i.arg == "Recap.read(I)I")
+            for cd in transformed.classdefs
+            for m in cd.methods
+        )
+        assert original_calls == 0 and inserted > 0
+
+    def test_transform_preserves_semantics(self):
+        from repro.api import build_vm
+
+        plain = build_vm(racy_bank(), CFG, timer=None).run()
+        transformed = build_vm(recap_transform(racy_bank()), CFG, timer=None).run()
+        assert plain.output_text == transformed.output_text
+
+    def test_transform_does_not_mutate_original(self):
+        prog = racy_bank()
+        before = [len(m.code) for cd in prog.classdefs for m in cd.methods]
+        recap_transform(prog)
+        after = [len(m.code) for cd in prog.classdefs for m in cd.methods]
+        assert before == after
+
+    def test_replay_faithful_with_huge_trace(self):
+        session = recap_record(racy_bank(), config=CFG, **jitter_knobs(4))
+        res2 = recap_replay(session, config=CFG)
+        assert compare_runs(session.result, res2).faithful
+        assert session.read_records > 50
+
+    def test_trace_much_larger_than_dejavu(self):
+        session = recap_record(racy_bank(), config=CFG, **jitter_knobs(4))
+        dejavu = record(racy_bank(), config=CFG, **jitter_knobs(4))
+        assert session.trace.encoded_size_bytes > 3 * dejavu.trace.encoded_size_bytes
+
+    def test_double_transform_rejected(self):
+        from repro.vm.errors import VMError
+
+        with pytest.raises(VMError):
+            recap_transform(recap_transform(racy_bank()))
+
+
+class TestComparativeOrdering:
+    def test_trace_size_ordering_dejavu_smallest(self):
+        """The §5 story in one assertion chain, per workload."""
+        knobs = jitter_knobs(13)
+        dejavu = record(producer_consumer(), config=CFG, **knobs).trace.encoded_size_bytes
+        _, rc_trace, _ = rc_record(producer_consumer(), config=CFG, **jitter_knobs(13))
+        recap = recap_record(producer_consumer(), config=CFG, **jitter_knobs(13))
+        assert dejavu < rc_trace.encoded_size_bytes
+        assert dejavu < recap.trace.encoded_size_bytes

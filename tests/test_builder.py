@@ -1,0 +1,120 @@
+"""The ClassBuilder / MethodBuilder DSL."""
+
+import pytest
+
+from repro.vm.builder import ClassBuilder
+from repro.vm.bytecode import Op
+from repro.vm.errors import VMError
+
+
+class TestMethodBuilder:
+    def test_fluent_chaining(self):
+        cb = ClassBuilder("T")
+        m = cb.method("f", "(I)I", static=True)
+        m.iload(0).iconst(1).iadd().ireturn()
+        cd = cb.build()
+        code = cd.method_def("f(I)I").code
+        assert [i.op for i in code] == [Op.ILOAD, Op.ICONST, Op.IADD, Op.IRETURN]
+
+    def test_labels_forward_and_backward(self):
+        cb = ClassBuilder("T")
+        m = cb.method("f", "()V", static=True)
+        m.label("top").iconst(1).ifne("done").goto("top").label("done").ret()
+        cd = cb.build()
+        code = cd.method_def("f()V").code
+        assert code[1].arg == 3  # ifne -> 'done' (the ret)
+        assert code[2].arg == 0  # goto -> 'top'
+
+    def test_duplicate_label_rejected(self):
+        cb = ClassBuilder("T")
+        m = cb.method("f", "()V", static=True)
+        m.label("x")
+        with pytest.raises(VMError):
+            m.label("x")
+
+    def test_undefined_label_rejected_at_build(self):
+        cb = ClassBuilder("T")
+        cb.method("f", "()V", static=True).goto("nope")
+        with pytest.raises(VMError):
+            cb.build()
+
+    def test_max_locals_from_params_and_slots(self):
+        cb = ClassBuilder("T")
+        m = cb.method("f", "(II)V", static=True)
+        m.iconst(5).istore(7).ret()
+        cd = cb.build()
+        assert cd.method_def("f(II)V").max_locals == 8
+
+    def test_instance_method_counts_this(self):
+        cb = ClassBuilder("T")
+        cb.method("f", "()V").ret()
+        cd = cb.build()
+        assert cd.method_def("f()V").max_locals == 1
+
+    def test_ldc_interns(self):
+        cb = ClassBuilder("T")
+        m = cb.method("f", "()V", static=True)
+        m.ldc("hello").pop().ldc("hello").pop().ldc("world").pop().ret()
+        cd = cb.build()
+        assert cd.strings == ["hello", "world"]
+
+    def test_line_tracking(self):
+        cb = ClassBuilder("T")
+        m = cb.method("f", "()V", static=True)
+        m.line(10).iconst(1).pop().line(20).ret()
+        cd = cb.build()
+        lt = cd.method_def("f()V").line_table
+        assert lt[0] == 10 and lt[1] == 10 and lt[2] == 20
+
+    def test_here_reports_next_index(self):
+        cb = ClassBuilder("T")
+        m = cb.method("f", "()V", static=True)
+        assert m.here == 0
+        m.iconst(1)
+        assert m.here == 1
+        m.pop().ret()
+        cb.build()
+
+
+class TestClassBuilder:
+    def test_duplicate_field_rejected(self):
+        cb = ClassBuilder("T")
+        cb.field("x", "I").field("x", "I")
+        cb.method("f", "()V", static=True).ret()
+        with pytest.raises(VMError):
+            cb.build()
+
+    def test_duplicate_method_key_rejected(self):
+        cb = ClassBuilder("T")
+        cb.method("f", "()V", static=True).ret()
+        cb.method("f", "()V", static=True).ret()
+        with pytest.raises(VMError):
+            cb.build()
+
+    def test_overloads_allowed(self):
+        cb = ClassBuilder("T")
+        cb.method("f", "()V", static=True).ret()
+        cb.method("f", "(I)V", static=True).ret()
+        cd = cb.build()
+        assert cd.method_def("f()V") is not cd.method_def("f(I)V")
+
+    def test_build_is_idempotent(self):
+        cb = ClassBuilder("T")
+        cb.method("f", "()V", static=True).ret()
+        assert cb.build() is cb.build()
+
+    def test_empty_body_rejected(self):
+        cb = ClassBuilder("T")
+        cb.method("f", "()V", static=True)
+        with pytest.raises(VMError):
+            cb.build()
+
+    def test_native_methods_have_no_code(self):
+        cb = ClassBuilder("T")
+        cb.native_method("n", "()I")
+        cd = cb.build()
+        assert cd.method_def("n()I").native
+        assert cd.method_def("n()I").code == []
+
+    def test_object_has_no_super(self):
+        assert ClassBuilder("Object", super_name=None).build().super_name is None

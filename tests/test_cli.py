@@ -1,0 +1,129 @@
+"""The command-line interface."""
+
+import io
+import sys
+
+import pytest
+
+from repro.cli import main
+
+MJ = """
+class Main {
+    static int total;
+    static void main() {
+        for (int i = 0; i <= 10; i++) Main.total += i;
+        System.print("total=");
+        System.printInt(Main.total);
+    }
+}
+"""
+
+JASM = """.class Main
+.method static main ()V
+    ldc "hi"
+    invokestatic System.print(LString;)V
+    return
+.end
+"""
+
+
+@pytest.fixture
+def mj_file(tmp_path):
+    p = tmp_path / "prog.mj"
+    p.write_text(MJ)
+    return str(p)
+
+
+@pytest.fixture
+def jasm_file(tmp_path):
+    p = tmp_path / "prog.jasm"
+    p.write_text(JASM)
+    return str(p)
+
+
+def run_cli(argv, capsys):
+    code = main(argv)
+    out = capsys.readouterr()
+    return code, out.out, out.err
+
+
+class TestRun:
+    def test_run_minij(self, mj_file, capsys):
+        code, out, _ = run_cli(["run", mj_file, "--seed", "1"], capsys)
+        assert code == 0
+        assert "total=55" in out
+
+    def test_run_jasm(self, jasm_file, capsys):
+        code, out, _ = run_cli(["run", jasm_file, "--seed", "1"], capsys)
+        assert code == 0
+        assert out.startswith("hi")
+
+    def test_missing_file(self, capsys):
+        code, _, err = run_cli(["run", "/nope/missing.jasm"], capsys)
+        assert code == 1
+        assert "no such file" in err
+
+    def test_unknown_extension(self, tmp_path, capsys):
+        p = tmp_path / "x.txt"
+        p.write_text("")
+        code, _, err = run_cli(["run", str(p)], capsys)
+        assert code == 1
+        assert "unknown program type" in err
+
+
+class TestRecordReplay:
+    def test_roundtrip(self, mj_file, tmp_path, capsys):
+        trace = str(tmp_path / "t.djv")
+        code, out, _ = run_cli(
+            ["record", mj_file, "--seed", "7", "-o", trace], capsys
+        )
+        assert code == 0 and "trace:" in out
+        code, out, _ = run_cli(["replay", mj_file, trace], capsys)
+        assert code == 0
+        assert "total=55" in out
+        assert "verified" in out
+
+    def test_trace_info(self, mj_file, tmp_path, capsys):
+        trace = str(tmp_path / "t.djv")
+        run_cli(["record", mj_file, "--seed", "7", "-o", trace], capsys)
+        code, out, _ = run_cli(["trace-info", trace], capsys)
+        assert code == 0
+        assert "switch records:" in out and "cycles:" in out
+
+    def test_replay_wrong_program_fails(self, mj_file, jasm_file, tmp_path, capsys):
+        trace = str(tmp_path / "t.djv")
+        run_cli(["record", mj_file, "--seed", "7", "-o", trace], capsys)
+        code, _, err = run_cli(["replay", jasm_file, trace], capsys)
+        assert code == 1
+
+
+class TestDisasm:
+    def test_disassembles_with_yieldpoint_counts(self, mj_file, capsys):
+        code, out, _ = run_cli(["disasm", mj_file], capsys)
+        assert code == 0
+        assert ".class Main" in out
+        assert "yield points" in out
+        assert "getstatic" in out
+
+
+class TestDebugRepl:
+    def test_scripted_session(self, mj_file, tmp_path, capsys, monkeypatch):
+        trace = str(tmp_path / "t.djv")
+        run_cli(["record", mj_file, "--seed", "7", "-o", trace], capsys)
+        script = "break Main.main()V 0\ncont\nbt\nstatic Main total\nfinish\nquit\n"
+        monkeypatch.setattr(sys, "stdin", io.StringIO(script))
+        code, out, _ = run_cli(["debug", mj_file, trace], capsys)
+        assert code == 0
+        assert "breakpoint" in out
+        assert "Main.main @bci 0" in out
+        assert "'status': 'done'" in out
+
+    def test_repl_survives_bad_commands(self, mj_file, tmp_path, capsys, monkeypatch):
+        trace = str(tmp_path / "t.djv")
+        run_cli(["record", mj_file, "--seed", "7", "-o", trace], capsys)
+        script = "bogus\nstatic Nope x\nquit\n"
+        monkeypatch.setattr(sys, "stdin", io.StringIO(script))
+        code, out, _ = run_cli(["debug", mj_file, trace], capsys)
+        assert code == 0
+        assert "unknown command" in out
+        assert "error:" in out

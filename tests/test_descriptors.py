@@ -1,0 +1,103 @@
+"""Type descriptors and method signatures."""
+
+import pytest
+
+from repro.vm.descriptors import (
+    DescriptorError,
+    Signature,
+    class_name,
+    element_type,
+    is_array,
+    is_reference,
+    object_desc,
+    parse_signature,
+    validate,
+)
+
+
+class TestPredicates:
+    def test_int_is_not_reference(self):
+        assert not is_reference("I")
+
+    def test_class_is_reference(self):
+        assert is_reference("LFoo;")
+
+    def test_array_is_reference(self):
+        assert is_reference("[I")
+        assert is_reference("[LFoo;")
+
+    def test_is_array(self):
+        assert is_array("[I")
+        assert is_array("[[I")
+        assert not is_array("LFoo;")
+        assert not is_array("I")
+
+
+class TestAccessors:
+    def test_element_type(self):
+        assert element_type("[I") == "I"
+        assert element_type("[LFoo;") == "LFoo;"
+        assert element_type("[[I") == "[I"
+
+    def test_element_type_rejects_nonarray(self):
+        with pytest.raises(DescriptorError):
+            element_type("I")
+
+    def test_class_name(self):
+        assert class_name("LFoo;") == "Foo"
+
+    def test_class_name_rejects(self):
+        with pytest.raises(DescriptorError):
+            class_name("[I")
+
+    def test_object_desc_roundtrip(self):
+        assert class_name(object_desc("Bar")) == "Bar"
+
+
+class TestValidate:
+    @pytest.mark.parametrize("desc", ["I", "LFoo;", "[I", "[[LFoo;", "[[[I"])
+    def test_accepts(self, desc):
+        assert validate(desc) == desc
+
+    @pytest.mark.parametrize("desc", ["", "X", "L;", "LFoo", "[", "II", "LFoo;I"])
+    def test_rejects(self, desc):
+        with pytest.raises(DescriptorError):
+            validate(desc)
+
+    def test_void_needs_permission(self):
+        with pytest.raises(DescriptorError):
+            validate("V")
+        assert validate("V", allow_void=True) == "V"
+
+
+class TestSignatures:
+    def test_empty(self):
+        sig = parse_signature("()V")
+        assert sig.params == ()
+        assert sig.ret == "V"
+        assert sig.nargs == 0
+
+    def test_mixed_params(self):
+        sig = parse_signature("(I[ILBank;)I")
+        assert sig.params == ("I", "[I", "LBank;")
+        assert sig.ret == "I"
+
+    def test_nested_arrays(self):
+        sig = parse_signature("([[LFoo;)[I")
+        assert sig.params == ("[[LFoo;",)
+        assert sig.ret == "[I"
+
+    def test_spell_roundtrip(self):
+        for text in ["()V", "(I)I", "(I[ILBank;)V", "([[I)[LFoo;"]:
+            assert parse_signature(text).spell() == text
+
+    @pytest.mark.parametrize(
+        "text", ["I", "(I", "(V)V", "()", "()X", "(LFoo)V", "(I)VV"]
+    )
+    def test_rejects(self, text):
+        with pytest.raises(DescriptorError):
+            parse_signature(text)
+
+    def test_signature_is_hashable_value(self):
+        assert parse_signature("(I)V") == Signature(("I",), "V")
+        assert hash(parse_signature("(I)V")) == hash(Signature(("I",), "V"))

@@ -1,0 +1,366 @@
+"""The type-accurate copying collector."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.vm import VirtualMachine, assemble
+from repro.vm.layout import HEADER_WORDS
+from repro.vm.machine import VMConfig
+from tests.conftest import SMALL_HEAP, run_source
+
+LINKED_LIST = """.class Node
+.field next LNode;
+.field value I
+.class Main
+.method static main ()V
+    ; build a 50-node list, thrash the heap, verify the list
+    aconst_null
+    astore 0
+    iconst 0
+    istore 1
+build:
+    iload 1
+    iconst 50
+    if_icmpge thrash
+    new Node
+    astore 2
+    aload 2
+    iload 1
+    putfield Node.value I
+    aload 2
+    aload 0
+    putfield Node.next LNode;
+    aload 2
+    astore 0
+    iinc 1 1
+    goto build
+thrash:
+    iconst 0
+    istore 1
+churn:
+    iload 1
+    iconst 400
+    if_icmpge check
+    iconst 40
+    newarray
+    pop
+    iinc 1 1
+    goto churn
+check:
+    iconst 0
+    istore 2
+sum:
+    aload 0
+    ifnull report
+    iload 2
+    aload 0
+    getfield Node.value I
+    iadd
+    istore 2
+    aload 0
+    getfield Node.next LNode;
+    astore 0
+    goto sum
+report:
+    iload 2
+    invokestatic System.printInt(I)V
+    return
+.end
+"""
+
+
+class TestLiveness:
+    def test_linked_list_survives_collections(self):
+        result = run_source(LINKED_LIST, config=VMConfig(semispace_words=7000))
+        assert result.output_text == str(sum(range(50)))
+        assert result.gc_count >= 2
+
+    def test_same_program_bigger_heap_same_output(self):
+        small = run_source(LINKED_LIST, config=VMConfig(semispace_words=7000))
+        big = run_source(LINKED_LIST, config=VMConfig(semispace_words=100_000))
+        assert small.output_text == big.output_text
+        assert big.gc_count == 0
+
+    def test_explicit_gc_native(self):
+        src = """.class Main
+.method static main ()V
+    invokestatic System.gc()V
+    invokestatic System.gc()V
+    ldc "ok"
+    invokestatic System.print(LString;)V
+    return
+.end
+"""
+        result = run_source(src)
+        assert result.output_text == "ok"
+        assert result.gc_count == 2
+
+
+class TestRootCoverage:
+    def test_statics_are_roots(self):
+        src = """.class Main
+.field static keep [I
+.method static main ()V
+    iconst 3
+    newarray
+    putstatic Main.keep [I
+    getstatic Main.keep [I
+    iconst 0
+    iconst 42
+    iastore
+    invokestatic System.gc()V
+    getstatic Main.keep [I
+    iconst 0
+    iaload
+    invokestatic System.printInt(I)V
+    return
+.end
+"""
+        assert run_source(src).output_text == "42"
+
+    def test_operand_stack_is_root(self):
+        src = """.class Main
+.method static main ()V
+    iconst 1
+    newarray
+    dup
+    iconst 0
+    iconst 7
+    iastore
+    invokestatic System.gc()V
+    iconst 0
+    iaload
+    invokestatic System.printInt(I)V
+    return
+.end
+"""
+        assert run_source(src).output_text == "7"
+
+    def test_locals_across_frames_are_roots(self):
+        src = """.class Main
+.method static helper ([I)I
+    invokestatic System.gc()V
+    aload 0
+    iconst 0
+    iaload
+    ireturn
+.end
+.method static main ()V
+    iconst 1
+    newarray
+    astore 0
+    aload 0
+    iconst 0
+    iconst 9
+    iastore
+    aload 0
+    invokestatic Main.helper([I)I
+    invokestatic System.printInt(I)V
+    aload 0
+    iconst 0
+    iaload
+    invokestatic System.printInt(I)V
+    return
+.end
+"""
+        assert run_source(src).output_text == "99"
+
+    def test_interned_strings_survive(self):
+        src = """.class Main
+.method static main ()V
+    invokestatic System.gc()V
+    ldc "still here"
+    invokestatic System.print(LString;)V
+    return
+.end
+"""
+        assert run_source(src).output_text == "still here"
+
+    def test_monitor_table_rekeyed(self):
+        """A lock held across a GC must still be owned afterwards."""
+        src = """.class Main
+.field static o LObject;
+.method static main ()V
+    new Object
+    putstatic Main.o LObject;
+    getstatic Main.o LObject;
+    monitorenter
+    invokestatic System.gc()V
+    getstatic Main.o LObject;
+    monitorexit
+    ldc "ok"
+    invokestatic System.print(LString;)V
+    return
+.end
+"""
+        assert run_source(src).output_text == "ok"
+
+    def test_waitset_survives_gc(self):
+        src = """.class W
+.super Thread
+.method run ()V
+    getstatic Main.o LObject;
+    monitorenter
+    iconst 1
+    putstatic Main.ready I
+    getstatic Main.o LObject;
+    invokestatic System.wait(LObject;)V
+    getstatic Main.o LObject;
+    monitorexit
+    ldc "woken"
+    invokestatic System.print(LString;)V
+    return
+.end
+.class Main
+.field static o LObject;
+.field static ready I
+.method static main ()V
+    new Object
+    putstatic Main.o LObject;
+    new W
+    astore 0
+    aload 0
+    invokestatic Thread.start(LThread;)V
+spin:
+    getstatic Main.ready I
+    ifne go
+    invokestatic Thread.yield()V
+    goto spin
+go:
+    invokestatic System.gc()V
+    getstatic Main.o LObject;
+    monitorenter
+    getstatic Main.o LObject;
+    invokestatic System.notify(LObject;)V
+    getstatic Main.o LObject;
+    monitorexit
+    aload 0
+    invokestatic Thread.join(LThread;)V
+    return
+.end
+"""
+        assert run_source(src).output_text == "woken"
+
+
+class TestMechanics:
+    def test_addresses_actually_move(self):
+        vm = VirtualMachine(SMALL_HEAP)
+        addr = vm.om.new_array("[I", 10)
+        idx = vm.loader._tr_push(addr)
+        vm.collect()
+        assert vm.loader._tr_get(idx) != addr
+
+    def test_dead_objects_reclaimed(self):
+        vm = VirtualMachine(SMALL_HEAP)
+        before = vm.memory.used_words
+        for _ in range(100):
+            vm.om.new_array("[I", 10)  # all garbage
+        vm.collect()
+        # within a small slop of the pre-garbage live size
+        assert vm.memory.used_words <= before + 64
+
+    def test_sharing_preserved(self):
+        """Two references to one object stay one object after copying."""
+        vm = VirtualMachine(SMALL_HEAP)
+        arr = vm.om.new_array("[LObject;", 2)
+        ai = vm.loader._tr_push(arr)
+        obj = vm.om.new_object(vm.loader.classes["Object"].layout)
+        vm.om.array_put(vm.loader._tr_get(ai), 0, obj)
+        vm.om.array_put(vm.loader._tr_get(ai), 1, obj)
+        vm.collect()
+        arr = vm.loader._tr_get(ai)
+        assert vm.om.array_get(arr, 0) == vm.om.array_get(arr, 1)
+
+    def test_cyclic_structures_survive(self):
+        src = """.class Node
+.field next LNode;
+.class Main
+.method static main ()V
+    new Node
+    astore 0
+    new Node
+    astore 1
+    aload 0
+    aload 1
+    putfield Node.next LNode;
+    aload 1
+    aload 0
+    putfield Node.next LNode;
+    invokestatic System.gc()V
+    aload 0
+    getfield Node.next LNode;
+    getfield Node.next LNode;
+    aload 0
+    if_acmpeq yes
+    iconst 0
+    goto out
+yes:
+    iconst 1
+out:
+    invokestatic System.printInt(I)V
+    return
+.end
+"""
+        assert run_source(src).output_text == "1"
+
+    def test_gc_count_in_boot_record(self):
+        from repro.vm.memory import BOOT_GC_COUNT
+
+        vm = VirtualMachine(SMALL_HEAP)
+        vm.collect()
+        vm.collect()
+        assert vm.memory.boot_read(BOOT_GC_COUNT) == 2
+
+    def test_collection_is_deterministic(self):
+        def run():
+            vm = VirtualMachine(SMALL_HEAP)
+            vm.declare(assemble(LINKED_LIST))
+            result = vm.run()
+            return result.heap_digest, result.gc_count
+
+        assert run() == run()
+
+
+class TestPropertyBased:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 9), st.integers(0, 9)),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_random_object_graphs_survive(self, edges):
+        """Build a random directed graph of nodes in the guest heap, collect,
+        and verify every edge — exercises forwarding, sharing, cycles."""
+        vm = VirtualMachine(VMConfig(semispace_words=20_000))
+        vm.declare(assemble(".class N\n.field next LN;\n.field v I\n"))
+        vm.load("N")
+        layout = vm.loader.classes["N"].layout
+        off_next = layout.field_by_name["next"].offset
+        off_v = layout.field_by_name["v"].offset
+
+        nodes = []
+        for i in range(10):
+            addr = vm.om.new_object(layout)
+            nodes.append(vm.loader._tr_push(addr))
+            vm.om.put_field(vm.loader._tr_get(nodes[-1]), off_v, i)
+        for src_i, dst_i in edges:
+            vm.om.put_field(
+                vm.loader._tr_get(nodes[src_i]),
+                off_next,
+                vm.loader._tr_get(nodes[dst_i]),
+            )
+        vm.collect()
+        vm.collect()  # twice: forwarding state must fully reset
+        addr_of = [vm.loader._tr_get(h) for h in nodes]
+        # values intact
+        for i, addr in enumerate(addr_of):
+            assert vm.om.get_field(addr, off_v) == i
+        # edges intact (last write per source wins)
+        final_edge: dict[int, int] = {}
+        for src_i, dst_i in edges:
+            final_edge[src_i] = dst_i
+        for src_i, dst_i in final_edge.items():
+            assert vm.om.get_field(addr_of[src_i], off_next) == addr_of[dst_i]

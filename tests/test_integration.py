@@ -1,0 +1,103 @@
+"""End-to-end integration: seed sweeps, cross-heap invariants, persistence.
+
+The central property — the paper's accuracy requirement — as a sweep:
+for every workload and many injected non-determinism seeds, the replayed
+execution equals the recorded one event-for-event.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import record, record_and_replay, replay
+from repro.core import compare_runs
+from repro.vm.machine import VMConfig
+from repro.workloads import ALL_WORKLOADS, producer_consumer, racy_bank
+from tests.conftest import jitter_knobs
+
+CFG = VMConfig(semispace_words=70_000)
+
+
+class TestSeedSweep:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        lo=st.integers(min_value=5, max_value=100),
+        span=st.integers(min_value=1, max_value=400),
+    )
+    def test_racy_bank_replays_for_any_timer(self, seed, lo, span):
+        """Property: whatever the preemption pattern, replay is faithful."""
+        session, replayed, report = record_and_replay(
+            racy_bank(), config=CFG, **jitter_knobs(seed, lo, lo + span)
+        )
+        assert report.faithful, report.detail
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_producer_consumer_replays(self, seed):
+        session, replayed, report = record_and_replay(
+            producer_consumer(), config=CFG, **jitter_knobs(seed, 20, 150)
+        )
+        assert report.faithful, report.detail
+
+    def test_divergent_recordings_replay_to_their_own_outcomes(self):
+        """Two recordings with different outcomes each replay to *their*
+        outcome — replay is tied to the trace, not the program."""
+        outcomes = {}
+        for seed in range(12):
+            session = record(racy_bank(), config=CFG, **jitter_knobs(seed, 20, 90))
+            outcomes.setdefault(session.result.output_text, session)
+            if len(outcomes) >= 2:
+                break
+        assert len(outcomes) >= 2, "timer jitter failed to produce divergence"
+        for text, session in outcomes.items():
+            replayed = replay(racy_bank(), session.trace, config=CFG)
+            assert replayed.output_text == text
+
+
+class TestHeapSizeInvariance:
+    def test_trace_is_heap_size_specific(self):
+        """Replay must run under the recorded heap geometry: GC points
+        depend on it.  Same size: faithful."""
+        small = VMConfig(semispace_words=9_000)
+        from repro.workloads import gc_churn
+
+        session = record(gc_churn(iters=600), config=small, **jitter_knobs(3))
+        assert session.result.gc_count > 0
+        replayed = replay(gc_churn(iters=600), session.trace, config=small)
+        assert compare_runs(session.result, replayed).faithful
+
+
+class TestTracePersistence:
+    @pytest.mark.parametrize("name", ["server", "philosophers", "gc_churn"])
+    def test_save_load_replay_per_workload(self, name, tmp_path):
+        factory = ALL_WORKLOADS[name]
+        session = record(factory(), config=CFG, **jitter_knobs(6))
+        path = tmp_path / f"{name}.djv"
+        session.trace.save(path)
+        from repro.core import TraceLog
+
+        loaded = TraceLog.load(path)
+        assert loaded.meta == session.trace.meta
+        replayed = replay(factory(), loaded, config=CFG)
+        assert compare_runs(session.result, replayed).faithful
+
+    def test_trace_bytes_compact(self, tmp_path):
+        session = record(racy_bank(), config=CFG, **jitter_knobs(6))
+        path = tmp_path / "t.djv"
+        session.trace.save(path)
+        # a racy-bank trace is tens of bytes of payload, not kilobytes
+        assert path.stat().st_size < 2000
+
+
+class TestReplayChain:
+    def test_replay_is_idempotent_fixture_for_tools(self):
+        """Replay N times; every replay has the identical behaviour key —
+        the property every DejaVu-based tool depends on."""
+        session = record(racy_bank(), config=CFG, **jitter_knobs(8))
+        keys = {
+            replay(racy_bank(), session.trace, config=CFG).behavior_key()
+            for _ in range(3)
+        }
+        assert len(keys) == 1
+        assert keys.pop() == session.result.behavior_key()

@@ -1,0 +1,548 @@
+"""Engine semantics: every opcode family, dispatch, traps."""
+
+import pytest
+
+from repro.vm import words
+from tests.conftest import run_source
+
+
+def run_expr(body: str, **kwargs):
+    """Run a main that leaves printing to the body; return output text."""
+    src = f""".class Main
+.method static main ()V
+{body}
+    return
+.end
+"""
+    return run_source(src, **kwargs)
+
+
+def eval_int(expr_body: str) -> int:
+    """Body must leave one int on the stack; we print and parse it."""
+    src = f""".class Main
+.method static main ()V
+{expr_body}
+    invokestatic System.printInt(I)V
+    return
+.end
+"""
+    result = run_source(src)
+    assert not result.traps, result.traps
+    return int(result.output_text)
+
+
+class TestArithmetic:
+    CASES = [
+        ("iadd", 7, 5, words.iadd),
+        ("iadd", words.I32_MAX, 1, words.iadd),
+        ("isub", 3, 10, words.isub),
+        ("imul", 123456, 654321, words.imul),
+        ("idiv", -7, 2, words.idiv),
+        ("irem", -7, 3, words.irem),
+        ("ishl", 3, 30, words.ishl),
+        ("ishr", -64, 3, words.ishr),
+        ("iushr", -1, 28, words.iushr),
+        ("iand", 0b1100, 0b1010, words.iand),
+        ("ior", 0b1100, 0b1010, words.ior),
+        ("ixor", 0b1100, 0b1010, words.ixor),
+    ]
+
+    @pytest.mark.parametrize("op,a,b,ref", CASES)
+    def test_binary_op(self, op, a, b, ref):
+        got = eval_int(f"    iconst {a}\n    iconst {b}\n    {op}")
+        assert got == ref(a, b)
+
+    def test_ineg(self):
+        assert eval_int("    iconst 5\n    ineg") == -5
+        assert eval_int(f"    iconst {words.I32_MIN}\n    ineg") == words.I32_MIN
+
+    def test_iinc(self):
+        assert eval_int("    iconst 10\n    istore 0\n    iinc 0 -3\n    iload 0") == 7
+
+    def test_div_by_zero_traps(self):
+        result = run_expr("    iconst 1\n    iconst 0\n    idiv\n    pop")
+        assert result.traps and result.traps[0][1] == "ArithmeticDivByZero"
+
+    def test_rem_by_zero_traps(self):
+        result = run_expr("    iconst 1\n    iconst 0\n    irem\n    pop")
+        assert result.traps[0][1] == "ArithmeticDivByZero"
+
+
+class TestStackOps:
+    def test_dup(self):
+        assert eval_int("    iconst 21\n    dup\n    iadd") == 42
+
+    def test_swap(self):
+        assert eval_int("    iconst 1\n    iconst 10\n    swap\n    isub") == 9
+
+    def test_pop(self):
+        assert eval_int("    iconst 42\n    iconst 99\n    pop") == 42
+
+
+class TestControlFlow:
+    @pytest.mark.parametrize(
+        "cond,val,taken",
+        [
+            ("ifeq", 0, True),
+            ("ifeq", 1, False),
+            ("ifne", 0, False),
+            ("iflt", -1, True),
+            ("ifle", 0, True),
+            ("ifgt", 1, True),
+            ("ifge", -1, False),
+        ],
+    )
+    def test_unary_branches(self, cond, val, taken):
+        got = eval_int(
+            f"""
+    iconst {val}
+    {cond} yes
+    iconst 0
+    goto out
+yes:
+    iconst 1
+out:
+"""
+        )
+        assert got == (1 if taken else 0)
+
+    @pytest.mark.parametrize(
+        "cond,a,b,taken",
+        [
+            ("if_icmpeq", 3, 3, True),
+            ("if_icmpne", 3, 3, False),
+            ("if_icmplt", 2, 3, True),
+            ("if_icmple", 3, 3, True),
+            ("if_icmpgt", 3, 2, True),
+            ("if_icmpge", 2, 3, False),
+        ],
+    )
+    def test_binary_branches(self, cond, a, b, taken):
+        got = eval_int(
+            f"""
+    iconst {a}
+    iconst {b}
+    {cond} yes
+    iconst 0
+    goto out
+yes:
+    iconst 1
+out:
+"""
+        )
+        assert got == (1 if taken else 0)
+
+    def test_ifnull_ifnonnull(self):
+        got = eval_int(
+            """
+    aconst_null
+    ifnull yes
+    iconst 0
+    goto out
+yes:
+    iconst 1
+out:
+"""
+        )
+        assert got == 1
+
+    def test_acmp(self):
+        got = eval_int(
+            """
+    new Object
+    astore 0
+    aload 0
+    aload 0
+    if_acmpeq yes
+    iconst 0
+    goto out
+yes:
+    iconst 1
+out:
+"""
+        )
+        assert got == 1
+
+    def test_loop_sum(self):
+        got = eval_int(
+            """
+    iconst 0
+    istore 0
+    iconst 0
+    istore 1
+top:
+    iload 0
+    iconst 100
+    if_icmpgt done
+    iload 1
+    iload 0
+    iadd
+    istore 1
+    iinc 0 1
+    goto top
+done:
+    iload 1
+"""
+        )
+        assert got == 5050
+
+
+class TestObjectsAndArrays:
+    def test_fields_roundtrip(self):
+        src = """.class Box
+.field v I
+.class Main
+.method static main ()V
+    new Box
+    astore 0
+    aload 0
+    iconst 77
+    putfield Box.v I
+    aload 0
+    getfield Box.v I
+    invokestatic System.printInt(I)V
+    return
+.end
+"""
+        assert run_source(src).output_text == "77"
+
+    def test_statics_roundtrip(self):
+        src = """.class Main
+.field static n I
+.method static main ()V
+    iconst 5
+    putstatic Main.n I
+    getstatic Main.n I
+    invokestatic System.printInt(I)V
+    return
+.end
+"""
+        assert run_source(src).output_text == "5"
+
+    def test_int_array(self):
+        got = eval_int(
+            """
+    iconst 4
+    newarray
+    astore 0
+    aload 0
+    iconst 2
+    iconst 9
+    iastore
+    aload 0
+    iconst 2
+    iaload
+    aload 0
+    arraylength
+    iadd
+"""
+        )
+        assert got == 13
+
+    def test_ref_array(self):
+        got = eval_int(
+            """
+    iconst 2
+    anewarray LObject;
+    astore 0
+    aload 0
+    iconst 1
+    new Object
+    aastore
+    aload 0
+    iconst 1
+    aaload
+    ifnonnull yes
+    iconst 0
+    goto out
+yes:
+    iconst 1
+out:
+"""
+        )
+        assert got == 1
+
+    @pytest.mark.parametrize(
+        "body,kind",
+        [
+            ("    aconst_null\n    getfield String.chars [I\n    pop", "NullPointer"),
+            ("    aconst_null\n    iconst 0\n    iaload\n    pop", "NullPointer"),
+            ("    aconst_null\n    arraylength\n    pop", "NullPointer"),
+            ("    iconst 1\n    newarray\n    iconst 5\n    iaload\n    pop", "ArrayBounds"),
+            ("    iconst -2\n    newarray\n    pop", "NegativeArraySize"),
+            ("    aconst_null\n    monitorenter", "NullPointer"),
+        ],
+    )
+    def test_traps(self, body, kind):
+        result = run_expr(body)
+        assert result.traps and result.traps[0][1] == kind
+
+    def test_trap_kills_only_offending_thread(self):
+        src = """.class Bad
+.super Thread
+.method run ()V
+    iconst 1
+    iconst 0
+    idiv
+    pop
+    return
+.end
+.class Main
+.method static main ()V
+    new Bad
+    dup
+    invokestatic Thread.start(LThread;)V
+    invokestatic Thread.join(LThread;)V
+    ldc "main survived"
+    invokestatic System.print(LString;)V
+    return
+.end
+"""
+        result = run_source(src)
+        assert result.output_text == "main survived"
+        assert result.traps[0][1] == "ArithmeticDivByZero"
+
+
+class TestCalls:
+    def test_static_call_args_and_return(self):
+        src = """.class Main
+.method static add3 (III)I
+    iload 0
+    iload 1
+    iadd
+    iload 2
+    iadd
+    ireturn
+.end
+.method static main ()V
+    iconst 1
+    iconst 2
+    iconst 3
+    invokestatic Main.add3(III)I
+    invokestatic System.printInt(I)V
+    return
+.end
+"""
+        assert run_source(src).output_text == "6"
+
+    def test_recursion(self):
+        src = """.class Main
+.method static fib (I)I
+    iload 0
+    iconst 2
+    if_icmpge rec
+    iload 0
+    ireturn
+rec:
+    iload 0
+    iconst 1
+    isub
+    invokestatic Main.fib(I)I
+    iload 0
+    iconst 2
+    isub
+    invokestatic Main.fib(I)I
+    iadd
+    ireturn
+.end
+.method static main ()V
+    iconst 15
+    invokestatic Main.fib(I)I
+    invokestatic System.printInt(I)V
+    return
+.end
+"""
+        assert run_source(src).output_text == "610"
+
+    def test_virtual_dispatch(self):
+        src = """.class A
+.method id ()I
+    iconst 1
+    ireturn
+.end
+.class B
+.super A
+.method id ()I
+    iconst 2
+    ireturn
+.end
+.class Main
+.method static main ()V
+    new B
+    invokevirtual A.id()I
+    invokestatic System.printInt(I)V
+    new A
+    invokevirtual A.id()I
+    invokestatic System.printInt(I)V
+    return
+.end
+"""
+        assert run_source(src).output_text == "21"
+
+    def test_invokevirtual_on_null_traps(self):
+        src = """.class A
+.method id ()I
+    iconst 1
+    ireturn
+.end
+.class Main
+.method static main ()V
+    aconst_null
+    invokevirtual A.id()I
+    pop
+    return
+.end
+"""
+        assert run_source(src).traps[0][1] == "NullPointer"
+
+    def test_mutual_recursion_compiles_lazily(self):
+        src = """.class Main
+.method static even (I)I
+    iload 0
+    ifne dec
+    iconst 1
+    ireturn
+dec:
+    iload 0
+    iconst 1
+    isub
+    invokestatic Main.odd(I)I
+    ireturn
+.end
+.method static odd (I)I
+    iload 0
+    ifne dec
+    iconst 0
+    ireturn
+dec:
+    iload 0
+    iconst 1
+    isub
+    invokestatic Main.even(I)I
+    ireturn
+.end
+.method static main ()V
+    iconst 10
+    invokestatic Main.even(I)I
+    invokestatic System.printInt(I)V
+    return
+.end
+"""
+        assert run_source(src).output_text == "1"
+
+
+class TestTypeChecks:
+    SRC = """.class A
+.class B
+.super A
+.class Main
+.method static main ()V
+    new B
+    astore 0
+    aload 0
+    instanceof A
+    invokestatic System.printInt(I)V
+    new A
+    instanceof B
+    invokestatic System.printInt(I)V
+    aconst_null
+    instanceof A
+    invokestatic System.printInt(I)V
+    aload 0
+    checkcast A
+    pop
+    ldc "ok"
+    invokestatic System.print(LString;)V
+    new A
+    checkcast B
+    pop
+    return
+.end
+"""
+
+    def test_instanceof_and_checkcast(self):
+        result = run_source(self.SRC)
+        assert result.output_text == "100ok"
+        assert result.traps[0][1] == "ClassCast"
+
+    def test_null_checkcast_passes(self):
+        src = """.class Main
+.method static main ()V
+    aconst_null
+    checkcast String
+    pop
+    ldc "ok"
+    invokestatic System.print(LString;)V
+    return
+.end
+"""
+        assert run_source(src).output_text == "ok"
+
+
+class TestCoreLibrary:
+    def test_string_methods(self):
+        src = """.class Main
+.method static main ()V
+    ldc "hello"
+    astore 0
+    aload 0
+    invokevirtual String.length()I
+    invokestatic System.printInt(I)V
+    aload 0
+    iconst 1
+    invokevirtual String.charAt(I)I
+    invokestatic System.printChar(I)V
+    aload 0
+    ldc "hello"
+    invokevirtual String.equals(LString;)I
+    invokestatic System.printInt(I)V
+    aload 0
+    ldc "world"
+    invokevirtual String.equals(LString;)I
+    invokestatic System.printInt(I)V
+    return
+.end
+"""
+        assert run_source(src).output_text == "5e10"
+
+    def test_stringbuilder(self):
+        src = """.class Main
+.method static main ()V
+    new StringBuilder
+    dup
+    invokevirtual StringBuilder.init()V
+    astore 0
+    aload 0
+    ldc "n="
+    invokevirtual StringBuilder.appendString(LString;)V
+    aload 0
+    iconst -1234
+    invokevirtual StringBuilder.appendInt(I)V
+    aload 0
+    iconst 33
+    invokevirtual StringBuilder.appendChar(I)V
+    aload 0
+    invokevirtual StringBuilder.toStringObj()LString;
+    invokestatic System.print(LString;)V
+    return
+.end
+"""
+        assert run_source(src).output_text == "n=-1234!"
+
+    def test_stringbuilder_zero(self):
+        src = """.class Main
+.method static main ()V
+    new StringBuilder
+    dup
+    invokevirtual StringBuilder.init()V
+    astore 0
+    aload 0
+    iconst 0
+    invokevirtual StringBuilder.appendInt(I)V
+    aload 0
+    invokevirtual StringBuilder.toStringObj()LString;
+    invokestatic System.print(LString;)V
+    return
+.end
+"""
+        assert run_source(src).output_text == "0"

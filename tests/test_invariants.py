@@ -1,0 +1,121 @@
+"""Cross-cutting structural invariants over every loaded workload.
+
+These scan *all* compiled code and metadata of every workload — the
+invariants the replay correctness argument rests on, checked exhaustively
+rather than per-feature.
+"""
+
+import pytest
+
+from repro.api import build_vm
+from repro.vm.compiler import (
+    M_GOTO,
+    M_IF_ACMPEQ,
+    M_IFNULL,
+    M_INVOKESTATIC,
+    M_YIELDPOINT,
+    YP_BACKEDGE,
+    YP_PROLOGUE,
+)
+from repro.vm.machine import VMConfig
+from repro.workloads import ALL_WORKLOADS
+
+CFG = VMConfig(semispace_words=80_000)
+
+_BRANCH_RANGE = range(24, 41)  # M_GOTO .. M_IFNONNULL (see compiler.py)
+
+
+def all_loaded_methods():
+    for name, factory in sorted(ALL_WORKLOADS.items()):
+        program = factory()
+        vm = build_vm(program, CFG)
+        for cd in program.classdefs:
+            vm.load(cd.name)
+        for rm in vm.loader.method_by_id:
+            if not rm.native:
+                yield name, vm, rm
+
+
+class TestCompiledCodeInvariants:
+    def test_every_backward_branch_has_a_yieldpoint(self):
+        """The quasi-preemption guarantee: no loop can run unbounded
+        between yield points."""
+        checked = 0
+        for name, vm, rm in all_loaded_methods():
+            ops = rm.code.ops
+            for pc, (mop, a, b) in enumerate(ops):
+                if mop in _BRANCH_RANGE and isinstance(a, int) and a <= pc:
+                    assert ops[pc - 1][0] == M_YIELDPOINT, (name, rm.qualname, pc)
+                    assert ops[pc - 1][1] == YP_BACKEDGE
+                    checked += 1
+        assert checked > 30  # the suite contains plenty of loops
+
+    def test_every_method_starts_with_prologue_yieldpoint(self):
+        for name, vm, rm in all_loaded_methods():
+            assert rm.code.ops[0][0] == M_YIELDPOINT
+            assert rm.code.ops[0][1] == YP_PROLOGUE
+
+    def test_branch_targets_in_range(self):
+        for name, vm, rm in all_loaded_methods():
+            n = len(rm.code.ops)
+            for pc, (mop, a, b) in enumerate(rm.code.ops):
+                if mop in _BRANCH_RANGE:
+                    assert 0 <= a < n, (rm.qualname, pc, a)
+
+    def test_bci_maps_are_total_and_monotone(self):
+        for name, vm, rm in all_loaded_methods():
+            code = rm.code
+            assert len(code.bci_of) == len(code.ops)
+            assert all(
+                code.bci_of[i] <= code.bci_of[i + 1]
+                for i in range(len(code.bci_of) - 1)
+            )
+            # pc_of_bci inverts bci_of at the first machine op of each bci
+            for bci, pc in enumerate(code.pc_of_bci):
+                assert code.bci_of[pc] == bci
+
+    def test_refmaps_exist_at_every_reachable_bci(self):
+        for name, vm, rm in all_loaded_methods():
+            maps = rm.maps
+            for bci in range(len(rm.mdef.code)):
+                if maps.reachable(bci):
+                    lrefs, srefs = maps.ref_map(bci)
+                    assert all(0 <= i < rm.mdef.max_locals for i in lrefs)
+
+
+class TestMetadataInvariants:
+    def test_method_ids_match_dictionary_positions(self):
+        for name, factory in sorted(ALL_WORKLOADS.items()):
+            program = factory()
+            vm = build_vm(program, CFG)
+            for cd in program.classdefs:
+                vm.load(cd.name)
+            loader = vm.loader
+            rc, slayout = loader._dict_statics()
+            marr = vm.om.get_field(
+                rc.statics_addr, slayout.field_by_name["methods"].offset
+            )
+            vmm_layout = loader.classes["VM_Method"].layout
+            mid_off = vmm_layout.field_by_name["methodId"].offset
+            for rm in loader.method_by_id:
+                vmm = vm.om.array_get(marr, rm.method_id)
+                assert vm.om.get_field(vmm, mid_off) == rm.method_id
+            break  # one workload suffices; the property is loader-global
+
+    def test_two_vms_same_program_identical_class_tables(self):
+        """The remote-reflection precondition: identical load order gives
+        identical class ids and layouts in app and tool VMs."""
+        for name, factory in sorted(ALL_WORKLOADS.items()):
+            program = factory()
+            a = build_vm(program, CFG)
+            b = build_vm(program, CFG)
+            for cd in program.classdefs:
+                a.load(cd.name)
+                b.load(cd.name)
+            assert [l.name for l in a.loader.class_table] == [
+                l.name for l in b.loader.class_table
+            ]
+            for la, lb in zip(a.loader.class_table, b.loader.class_table):
+                assert [(f.name, f.desc, f.offset) for f in la.instance_fields] == [
+                    (f.name, f.desc, f.offset) for f in lb.instance_fields
+                ]

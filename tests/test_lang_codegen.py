@@ -1,0 +1,381 @@
+"""MiniJ codegen: semantics of compiled programs, type errors, line tables."""
+
+import pytest
+
+from repro.api import GuestProgram, build_vm
+from repro.lang import MiniJTypeError, compile_source
+from repro.vm.machine import VMConfig
+from tests.conftest import TEST_CONFIG
+
+
+def run_minij(source: str, main: str = "Main.main()V", config=None):
+    program = GuestProgram(classdefs=compile_source(source), main=main, name="minij")
+    vm = build_vm(program, config or TEST_CONFIG)
+    return vm.run(program.main)
+
+
+def out_of(source: str) -> str:
+    result = run_minij(source)
+    assert not result.traps, result.traps
+    return result.output_text
+
+
+def main_wrap(body: str, extra: str = "") -> str:
+    return f"class Main {{ static void main() {{ {body} }} }}\n{extra}"
+
+
+class TestExpressions:
+    @pytest.mark.parametrize(
+        "expr,expected",
+        [
+            ("1 + 2 * 3", "7"),
+            ("(1 + 2) * 3", "9"),
+            ("7 / 2", "3"),
+            ("-7 / 2", "-3"),
+            ("7 % 3", "1"),
+            ("-(3 - 10)", "7"),
+            ("1 << 5", "32"),
+            ("-64 >> 3", "-8"),
+            ("-1 >>> 28", "15"),
+            ("12 & 10", "8"),
+            ("12 | 10", "14"),
+            ("12 ^ 10", "6"),
+            ("~0", "-1"),
+            ("3 < 5", "1"),
+            ("5 <= 4", "0"),
+            ("3 == 3", "1"),
+            ("3 != 3", "0"),
+            ("!true", "0"),
+            ("!0", "1"),
+            ("!7", "0"),
+            ("true && false", "0"),
+            ("true || false", "1"),
+            ("0x10", "16"),
+        ],
+    )
+    def test_int_expressions(self, expr, expected):
+        assert out_of(main_wrap(f"System.printInt({expr});")) == expected
+
+    def test_short_circuit_actually_short_circuits(self):
+        src = """
+class Main {
+    static int calls;
+    static boolean bump() { Main.calls += 1; return true; }
+    static void main() {
+        boolean x = false && Main.bump();
+        boolean y = true || Main.bump();
+        System.printInt(Main.calls);
+    }
+}
+"""
+        assert out_of(src) == "0"
+
+    def test_reference_equality(self):
+        src = main_wrap(
+            """
+        Object a = new Object();
+        Object b = new Object();
+        System.printInt(a == a);
+        System.printInt(a == b);
+        System.printInt(a != null);
+        System.printInt(null == null);
+        """
+        )
+        assert out_of(src) == "1011"
+
+    def test_string_literal_and_call(self):
+        src = main_wrap('System.printInt("hello".length());')
+        assert out_of(src) == "5"
+
+
+class TestStatements:
+    def test_while_and_compound_assign(self):
+        src = main_wrap(
+            """
+        int total = 0;
+        int i = 0;
+        while (i <= 100) { total += i; i++; }
+        System.printInt(total);
+        """
+        )
+        assert out_of(src) == "5050"
+
+    def test_for_with_break_continue(self):
+        src = main_wrap(
+            """
+        int total = 0;
+        for (int i = 0; i < 100; i++) {
+            if (i % 2 == 0) continue;
+            if (i > 10) break;
+            total += i;
+        }
+        System.printInt(total);
+        """
+        )
+        assert out_of(src) == "25"  # 1+3+5+7+9
+
+    def test_nested_if_else(self):
+        src = """
+class Main {
+    static int grade(int score) {
+        if (score >= 90) return 4;
+        else if (score >= 80) return 3;
+        else if (score >= 70) return 2;
+        else return 0;
+    }
+    static void main() {
+        System.printInt(Main.grade(95));
+        System.printInt(Main.grade(85));
+        System.printInt(Main.grade(75));
+        System.printInt(Main.grade(5));
+    }
+}
+"""
+        assert out_of(src) == "4320"
+
+    def test_arrays(self):
+        src = main_wrap(
+            """
+        int[] a = new int[5];
+        for (int i = 0; i < a.length; i++) a[i] = i * i;
+        a[2] += 100;
+        int sum = 0;
+        for (int i = 0; i < a.length; i++) sum += a[i];
+        System.printInt(sum);
+        """
+        )
+        assert out_of(src) == str(0 + 1 + 104 + 9 + 16)
+
+    def test_ref_arrays(self):
+        src = """
+class Box { int v; }
+class Main {
+    static void main() {
+        Box[] boxes = new Box[3];
+        for (int i = 0; i < boxes.length; i++) {
+            boxes[i] = new Box();
+            boxes[i].v = i + 1;
+        }
+        System.printInt(boxes[0].v + boxes[1].v + boxes[2].v);
+    }
+}
+"""
+        assert out_of(src) == "6"
+
+    def test_locals_default_initialised(self):
+        src = main_wrap("int x; Object o; System.printInt(x); System.printInt(o == null);")
+        assert out_of(src) == "01"
+
+
+class TestObjects:
+    def test_fields_and_virtual_dispatch(self):
+        src = """
+class Animal {
+    int legs;
+    int speak() { return 0; }
+    int legCount() { return this.legs; }
+}
+class Dog extends Animal {
+    int speak() { return 1; }
+}
+class Main {
+    static void main() {
+        Animal a = new Dog();
+        a.legs = 4;
+        System.printInt(a.speak());
+        System.printInt(a.legCount());
+        System.printInt(a instanceof Dog);
+        System.printInt(new Animal() instanceof Dog);
+    }
+}
+"""
+        assert out_of(src) == "1410"
+
+    def test_inherited_fields(self):
+        src = """
+class Base { int x; }
+class Derived extends Base { int y; }
+class Main {
+    static void main() {
+        Derived d = new Derived();
+        d.x = 3; d.y = 4;
+        System.printInt(d.x * 10 + d.y);
+    }
+}
+"""
+        assert out_of(src) == "34"
+
+    def test_static_fields_and_methods(self):
+        src = """
+class Counter {
+    static int n;
+    static int bump(int by) { Counter.n += by; return Counter.n; }
+}
+class Main {
+    static void main() {
+        Counter.bump(5);
+        Counter.bump(7);
+        System.printInt(Counter.n);
+    }
+}
+"""
+        assert out_of(src) == "12"
+
+    def test_recursion(self):
+        src = """
+class Main {
+    static int fib(int n) {
+        if (n < 2) return n;
+        return Main.fib(n - 1) + Main.fib(n - 2);
+    }
+    static void main() { System.printInt(Main.fib(15)); }
+}
+"""
+        assert out_of(src) == "610"
+
+
+class TestConcurrency:
+    def test_threads_and_monitors(self):
+        src = """
+class Worker extends Thread {
+    void run() {
+        for (int i = 0; i < 30; i++) {
+            synchronized (Main.lock) { Main.n += 1; }
+        }
+    }
+}
+class Main {
+    static int n;
+    static Object lock;
+    static void main() {
+        Main.lock = new Object();
+        Worker a = new Worker();
+        Worker b = new Worker();
+        Thread.start(a);
+        Thread.start(b);
+        Thread.join(a);
+        Thread.join(b);
+        System.printInt(Main.n);
+    }
+}
+"""
+        assert out_of(src) == "60"
+
+    def test_wait_notify_from_minij(self):
+        src = """
+class Waiter extends Thread {
+    void run() {
+        synchronized (Main.lock) {
+            Main.ready = true;
+            System.wait(Main.lock);
+            System.print("woken");
+        }
+    }
+}
+class Main {
+    static Object lock;
+    static boolean ready;
+    static void main() {
+        Main.lock = new Object();
+        Waiter w = new Waiter();
+        Thread.start(w);
+        while (!Main.ready) Thread.yield();
+        synchronized (Main.lock) { System.notify(Main.lock); }
+        Thread.join(w);
+    }
+}
+"""
+        assert out_of(src) == "woken"
+
+
+class TestLineTables:
+    def test_lines_flow_to_reflection(self):
+        src = "class Main {\n  static void main() {\n    int x = 1;\n    System.printInt(x);\n  }\n}\n"
+        cds = compile_source(src)
+        m = cds[0].method_def("main()V")
+        assert m.line_table[0] == 3  # 'int x = 1;'
+        assert 4 in set(m.line_table.values())  # the print call
+
+
+class TestTypeErrors:
+    @pytest.mark.parametrize(
+        "body,frag",
+        [
+            ("int x = null;", "cannot initialise"),
+            ("Object o = 1;", "cannot initialise"),
+            ("int x = 1; x = new Object();", "cannot assign"),
+            ("unknownVar = 1;", "unknown local"),
+            ("int x = yy;", "unknown name"),
+            ("System.printInt(new Object());", "no method"),
+            ("System.noSuch();", "no method"),
+            ("Object o = new Nope();", "unknown class"),
+            ("int x = 1 + new Object();", "must be int"),
+            ("new Object()[0] = 1;", "non-array"),
+            ("int x = 5; x.f = 1;", "must be a reference"),
+            ("synchronized (5) { }", "must be a reference"),
+            ("int x = 0; int x = 1;", "duplicate local"),
+            ("return 5;", "void method returns a value"),
+            ("Object o = null; boolean b = o && true;", "must be int"),
+            ("this.toString();", "'this' in a static method"),
+            ("int q = Main;", "used as a value"),
+        ],
+    )
+    def test_rejections(self, body, frag):
+        with pytest.raises(MiniJTypeError) as exc:
+            compile_source(main_wrap(body))
+        assert frag in str(exc.value)
+
+    def test_missing_return_detected(self):
+        src = "class Main { static int m() { int x = 1; } static void main() { } }"
+        with pytest.raises(MiniJTypeError, match="without returning"):
+            compile_source(src)
+
+    def test_return_inside_synchronized_rejected(self):
+        src = main_wrap("synchronized (Main.lock) { return; }", "")
+        src = (
+            "class Main { static Object lock; static void main() {"
+            " Main.lock = new Object();"
+            " synchronized (Main.lock) { return; } } }"
+        )
+        with pytest.raises(MiniJTypeError, match="synchronized"):
+            compile_source(src)
+
+    def test_unknown_superclass(self):
+        with pytest.raises(MiniJTypeError, match="unknown superclass"):
+            compile_source("class A extends Ghost { }")
+
+    def test_inheritance_cycle(self):
+        with pytest.raises(MiniJTypeError, match="cycle"):
+            compile_source("class A extends B { } class B extends A { }")
+
+    def test_duplicate_class(self):
+        with pytest.raises(MiniJTypeError, match="duplicate class"):
+            compile_source("class A { } class A { }")
+
+
+class TestVerifierBackstop:
+    def test_compiled_code_passes_the_vm_verifier(self):
+        """Everything MiniJ emits must satisfy the bytecode verifier — the
+        type-accurate-GC safety net behind the compiler."""
+        src = """
+class Node { Node next; int v; }
+class Main {
+    static Node build(int n) {
+        Node head = null;
+        for (int i = 0; i < n; i++) {
+            Node fresh = new Node();
+            fresh.v = i;
+            fresh.next = head;
+            head = fresh;
+        }
+        return head;
+    }
+    static void main() {
+        Node list = Main.build(10);
+        int sum = 0;
+        while (list != null) { sum += list.v; list = list.next; }
+        System.printInt(sum);
+    }
+}
+"""
+        assert out_of(src) == "45"  # loading ran the verifier on every method

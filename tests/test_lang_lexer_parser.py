@@ -1,0 +1,175 @@
+"""MiniJ front end: lexer and parser."""
+
+import pytest
+
+from repro.lang import ast_nodes as A
+from repro.lang import parse, tokenize
+from repro.lang.errors import MiniJSyntaxError
+
+
+class TestLexer:
+    def test_kinds(self):
+        toks = tokenize('class x 42 0x2A "hi" + == >>> //c\n/*multi\nline*/ y')
+        kinds = [(t.kind, t.text) for t in toks]
+        assert kinds == [
+            ("kw", "class"),
+            ("ident", "x"),
+            ("int", "42"),
+            ("int", "0x2A"),
+            ("string", "hi"),
+            ("punct", "+"),
+            ("punct", "=="),
+            ("punct", ">>>"),
+            ("ident", "y"),
+            ("eof", ""),
+        ]
+
+    def test_line_and_col_tracking(self):
+        toks = tokenize("a\n  bb\n   c")
+        assert (toks[0].line, toks[0].col) == (1, 1)
+        assert (toks[1].line, toks[1].col) == (2, 3)
+        assert (toks[2].line, toks[2].col) == (3, 4)
+
+    def test_string_escapes(self):
+        toks = tokenize(r'"a\nb\t\"q\""')
+        assert toks[0].text == 'a\nb\t"q"'
+
+    def test_block_comment_tracks_lines(self):
+        toks = tokenize("/* a\nb\nc */ x")
+        assert toks[0].line == 3
+
+    @pytest.mark.parametrize(
+        "bad", ['"unterminated', '"bad \\z escape"', "/* never closed", "@", "$"]
+    )
+    def test_errors(self, bad):
+        with pytest.raises(MiniJSyntaxError):
+            tokenize(bad)
+
+    def test_maximal_munch(self):
+        toks = tokenize("a>>>b >> > >= ++ +")
+        texts = [t.text for t in toks if t.kind == "punct"]
+        assert texts == [">>>", ">>", ">", ">=", "++", "+"]
+
+
+class TestParser:
+    def test_class_shape(self):
+        prog = parse(
+            """
+class Foo extends Bar {
+    int x;
+    static int y;
+    Foo next;
+    void go(int a, int[] b) { }
+    static native int poke(int v);
+}
+"""
+        )
+        cls = prog.classes[0]
+        assert cls.name == "Foo" and cls.super_name == "Bar"
+        assert [(f.name, f.desc, f.static) for f in cls.fields] == [
+            ("x", "I", False),
+            ("y", "I", True),
+            ("next", "LFoo;", False),
+        ]
+        go = cls.methods[0]
+        assert go.sig == "(I[I)V" and not go.static
+        poke = cls.methods[1]
+        assert poke.native and poke.static and poke.sig == "(I)I"
+
+    def test_default_super_is_object(self):
+        assert parse("class A {}").classes[0].super_name == "Object"
+
+    def test_field_list_declaration(self):
+        cls = parse("class A { int x, y, z; }").classes[0]
+        assert [f.name for f in cls.fields] == ["x", "y", "z"]
+
+    def test_decl_vs_expr_disambiguation(self):
+        body = parse(
+            """
+class A {
+    static void m(int[] a) {
+        int x = 1;
+        Foo f = null;
+        Foo[] fs = null;
+        a[0] = 2;
+        x = a[x];
+    }
+}
+class Foo {}
+"""
+        ).classes[0].methods[0].body
+        kinds = [type(s).__name__ for s in body.stmts]
+        assert kinds == ["LocalDecl", "LocalDecl", "LocalDecl", "Assign", "Assign"]
+
+    def test_precedence(self):
+        prog = parse("class A { static int m() { return 1 + 2 * 3 == 7 && true; } }")
+        ret = prog.classes[0].methods[0].body.stmts[0]
+        expr = ret.value
+        assert isinstance(expr, A.Binary) and expr.op == "&&"
+        eq = expr.left
+        assert isinstance(eq, A.Binary) and eq.op == "=="
+        add = eq.left
+        assert isinstance(add, A.Binary) and add.op == "+"
+        mul = add.right
+        assert isinstance(mul, A.Binary) and mul.op == "*"
+
+    def test_postfix_chains(self):
+        prog = parse("class A { static int m(B b) { return b.c.d[3].e(); } }")
+        ret = prog.classes[0].methods[0].body.stmts[0]
+        call = ret.value
+        assert isinstance(call, A.Call) and call.name == "e"
+        idx = call.target
+        assert isinstance(idx, A.Index)
+        member = idx.array
+        assert isinstance(member, A.Member) and member.name == "d"
+
+    def test_for_and_increments(self):
+        prog = parse("class A { static void m() { for (int i = 0; i < 3; i++) { } } }")
+        loop = prog.classes[0].methods[0].body.stmts[0]
+        assert isinstance(loop, A.For)
+        assert isinstance(loop.init, A.LocalDecl)
+        assert isinstance(loop.update, A.Assign) and loop.update.op == "+="
+
+    def test_synchronized(self):
+        prog = parse("class A { static void m(Object o) { synchronized (o) { } } }")
+        sync = prog.classes[0].methods[0].body.stmts[0]
+        assert isinstance(sync, A.Sync)
+
+    def test_new_forms(self):
+        prog = parse(
+            "class A { static void m() { Object o = new Object(); int[] a = new int[5]; A[] b = new A[2]; } }"
+        )
+        stmts = prog.classes[0].methods[0].body.stmts
+        assert isinstance(stmts[0].init, A.New)
+        assert isinstance(stmts[1].init, A.NewArray) and stmts[1].init.elem_desc == "I"
+        assert stmts[2].init.elem_desc == "LA;"
+
+    def test_instanceof(self):
+        prog = parse("class A { static boolean m(Object o) { return o instanceof A; } }")
+        ret = prog.classes[0].methods[0].body.stmts[0]
+        assert isinstance(ret.value, A.InstanceOf)
+
+    @pytest.mark.parametrize(
+        "src,frag",
+        [
+            ("class {", "expected"),
+            ("class A { int; }", "expected"),
+            ("class A { void m() { 1 = 2; } }", "assignable"),
+            ("class A { void m() { if (1) } }", "unexpected"),
+            ("class A { void m( { } }", "expected"),
+            ("class A { void v; }", "void"),
+            ("class A { native int n(); }", None),  # ok actually
+        ],
+    )
+    def test_syntax_errors(self, src, frag):
+        if frag is None:
+            parse(src)
+            return
+        with pytest.raises(MiniJSyntaxError) as exc:
+            parse(src)
+        assert frag in str(exc.value)
+
+    def test_error_carries_location(self):
+        with pytest.raises(MiniJSyntaxError) as exc:
+            parse("class A {\n  void m() {\n    1 = 2;\n  }\n}")
+        assert exc.value.line == 3

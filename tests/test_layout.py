@@ -1,0 +1,149 @@
+"""Object model: headers, field offsets, arrays, identity hashes, traps."""
+
+import pytest
+
+from repro.vm import VirtualMachine, assemble
+from repro.vm.errors import HeapExhaustedError, VMTrap
+from repro.vm.layout import HEADER_AUX, HEADER_CLASS, HEADER_STATUS, HEADER_WORDS
+from repro.vm.machine import VMConfig
+from tests.conftest import TEST_CONFIG
+
+SRC = """
+.class Point
+.field x I
+.field y I
+.class Point3
+.super Point
+.field z I
+"""
+
+
+@pytest.fixture
+def world():
+    vm = VirtualMachine(TEST_CONFIG)
+    vm.declare(assemble(SRC))
+    vm.load("Point3")
+    return vm
+
+
+class TestObjects:
+    def test_header_shape(self, world):
+        rc = world.loader.classes["Point"]
+        addr = world.om.new_object(rc.layout)
+        assert world.memory.read(addr + HEADER_CLASS) == rc.class_id
+        assert world.memory.read(addr + HEADER_STATUS) == 0
+        assert world.memory.read(addr + HEADER_AUX) == 0
+
+    def test_fields_zeroed_and_offsets_sequential(self, world):
+        layout = world.loader.classes["Point"].layout
+        assert layout.field_by_name["x"].offset == HEADER_WORDS
+        assert layout.field_by_name["y"].offset == HEADER_WORDS + 1
+        addr = world.om.new_object(layout)
+        assert world.om.get_field(addr, layout.field_by_name["x"].offset) == 0
+
+    def test_inherited_fields_precede_own(self, world):
+        layout = world.loader.classes["Point3"].layout
+        assert [f.name for f in layout.instance_fields] == ["x", "y", "z"]
+        assert layout.field_by_name["z"].offset == HEADER_WORDS + 2
+
+    def test_put_get_field(self, world):
+        layout = world.loader.classes["Point"].layout
+        addr = world.om.new_object(layout)
+        off = layout.field_by_name["y"].offset
+        world.om.put_field(addr, off, -17)
+        assert world.om.get_field(addr, off) == -17
+
+    def test_size_words(self, world):
+        assert world.loader.classes["Point"].layout.size_words == HEADER_WORDS + 2
+        assert world.loader.classes["Point3"].layout.size_words == HEADER_WORDS + 3
+
+    def test_null_traps(self, world):
+        with pytest.raises(VMTrap):
+            world.om.get_field(0, HEADER_WORDS)
+        with pytest.raises(VMTrap):
+            world.om.put_field(0, HEADER_WORDS, 1)
+        with pytest.raises(VMTrap):
+            world.om.layout_of(0)
+
+
+class TestArrays:
+    def test_int_array(self, world):
+        addr = world.om.new_array("[I", 5)
+        assert world.om.array_length(addr) == 5
+        world.om.array_put(addr, 4, 99)
+        assert world.om.array_get(addr, 4) == 99
+        assert world.om.array_get(addr, 0) == 0
+
+    def test_ref_array_layout(self, world):
+        addr = world.om.new_array("[LPoint;", 3)
+        layout = world.om.layout_of(addr)
+        assert layout.is_array
+        assert layout.elem_desc == "LPoint;"
+        assert layout.elem_is_ref
+
+    def test_zero_length(self, world):
+        addr = world.om.new_array("[I", 0)
+        assert world.om.array_length(addr) == 0
+
+    def test_negative_length_traps(self, world):
+        with pytest.raises(VMTrap) as exc:
+            world.om.new_array("[I", -1)
+        assert exc.value.kind == "NegativeArraySize"
+
+    def test_bounds_trap(self, world):
+        addr = world.om.new_array("[I", 3)
+        with pytest.raises(VMTrap) as exc:
+            world.om.array_get(addr, 3)
+        assert exc.value.kind == "ArrayBounds"
+        with pytest.raises(VMTrap):
+            world.om.array_put(addr, -1, 0)
+
+    def test_array_layout_cached(self, world):
+        a = world.loader.array_layout("[I")
+        b = world.loader.array_layout("[I")
+        assert a is b
+
+    def test_object_size_words(self, world):
+        arr = world.om.new_array("[I", 7)
+        assert world.om.object_size_words(arr) == HEADER_WORDS + 7
+        obj = world.om.new_object(world.loader.classes["Point"].layout)
+        assert world.om.object_size_words(obj) == HEADER_WORDS + 2
+
+
+class TestIdentityHash:
+    def test_stable_across_calls(self, world):
+        layout = world.loader.classes["Point"].layout
+        addr = world.om.new_object(layout)
+        h1 = world.om.identity_hash(addr)
+        assert h1 == world.om.identity_hash(addr)
+        assert h1 != 0
+
+    def test_distinct_objects_distinct_hashes(self, world):
+        layout = world.loader.classes["Point"].layout
+        a = world.om.new_object(layout)
+        b = world.om.new_object(layout)
+        assert world.om.identity_hash(a) != world.om.identity_hash(b)
+
+    def test_array_hash_unsupported(self, world):
+        addr = world.om.new_array("[I", 1)
+        with pytest.raises(VMTrap):
+            world.om.identity_hash(addr)
+
+    def test_hash_survives_gc(self, world):
+        layout = world.loader.classes["Point"].layout
+        addr = world.om.new_object(layout)
+        holder = world.loader._tr_push(addr)
+        h = world.om.identity_hash(addr)
+        world.collect()
+        moved = world.loader._tr_get(holder)
+        assert moved != addr  # semispace flip moved it
+        assert world.om.identity_hash(moved) == h
+
+
+class TestExhaustion:
+    def test_raises_after_failed_gc(self):
+        vm = VirtualMachine(VMConfig(semispace_words=3000))
+        with pytest.raises(HeapExhaustedError):
+            # keep everything alive via temp roots until nothing fits
+            for _ in range(5000):
+                vm.loader._tr_push(vm.om.new_array("[I", 50))

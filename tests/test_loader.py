@@ -1,0 +1,191 @@
+"""Class loading, linking, vtables, statics, heap metadata."""
+
+import pytest
+
+from repro.vm import VirtualMachine, assemble
+from repro.vm.errors import LinkError
+from repro.vm.layout import HEADER_WORDS
+from repro.vm.memory import BOOT_DICTIONARY
+from tests.conftest import TEST_CONFIG
+
+SRC = """
+.class Animal
+.field legs I
+.field static population I
+.method speak ()I
+    iconst 0
+    ireturn
+.end
+.method legCount ()I
+    aload 0
+    getfield Animal.legs I
+    ireturn
+.end
+
+.class Dog
+.super Animal
+.method speak ()I
+    iconst 1
+    ireturn
+.end
+"""
+
+
+@pytest.fixture
+def world():
+    vm = VirtualMachine(TEST_CONFIG)
+    vm.declare(assemble(SRC))
+    vm.load("Dog")
+    return vm
+
+
+class TestLinking:
+    def test_super_loaded_first(self, world):
+        animal = world.loader.classes["Animal"]
+        dog = world.loader.classes["Dog"]
+        assert dog.super_rc is animal
+        assert animal.class_id < dog.class_id
+
+    def test_vtable_override(self, world):
+        animal = world.loader.classes["Animal"]
+        dog = world.loader.classes["Dog"]
+        assert dog.vtable["speak()I"].owner is dog
+        assert dog.vtable["legCount()I"].owner is animal
+        assert animal.vtable["speak()I"].owner is animal
+
+    def test_methods_compiled_and_mapped(self, world):
+        rm = world.loader.resolve_method_any("Dog.speak()I")
+        assert rm.code is not None
+        assert rm.maps is not None
+
+    def test_method_ids_are_dictionary_indices(self, world):
+        for rm in world.loader.method_by_id:
+            assert world.loader.method_by_id[rm.method_id] is rm
+
+    def test_unknown_class(self, world):
+        with pytest.raises(LinkError):
+            world.loader.load("Ghost")
+
+    def test_unresolved_member(self, world):
+        with pytest.raises(LinkError):
+            world.loader.resolve_instance_field("Animal.tail")
+        with pytest.raises(LinkError):
+            world.loader.resolve_method_any("Animal.fly()V")
+
+    def test_static_resolution_walks_supers(self, world):
+        holder_rc, slot = world.loader.resolve_static_field("Dog.population")
+        assert holder_rc.name == "Animal"
+        assert slot.desc == "I"
+
+    def test_duplicate_declare_rejected(self, world):
+        with pytest.raises(LinkError):
+            world.loader.declare(assemble(".class Animal\n")[0])
+
+
+class TestInterning:
+    def test_intern_dedupes(self, world):
+        a = world.loader.intern("hello")
+        b = world.loader.intern("hello")
+        assert a == b
+
+    def test_read_string_roundtrip(self, world):
+        addr = world.loader.intern("päivää\n")
+        assert world.loader.read_string(addr) == "päivää\n"
+
+    def test_make_string_is_fresh(self, world):
+        a = world.loader.make_string("x")
+        b = world.loader.make_string("x")
+        assert a != b
+
+
+class TestHeapMetadata:
+    def test_dictionary_rooted_in_boot_record(self, world):
+        holder = world.memory.boot_read(BOOT_DICTIONARY)
+        assert holder != 0
+
+    def test_dictionary_counts_match_loader(self, world):
+        om = world.om
+        rc, slayout = world.loader._dict_statics()
+        count = om.get_field(rc.statics_addr, slayout.field_by_name["methodCount"].offset)
+        assert count == len(world.loader.method_by_id)
+
+    def test_vm_method_metadata_indexed_by_method_id(self, world):
+        om = world.om
+        loader = world.loader
+        rc, slayout = loader._dict_statics()
+        marr = om.get_field(rc.statics_addr, slayout.field_by_name["methods"].offset)
+        vmm_layout = loader.classes["VM_Method"].layout
+        rm = loader.resolve_method_any("Dog.speak()I")
+        vmm = om.array_get(marr, rm.method_id)
+        assert om.get_field(vmm, vmm_layout.field_by_name["methodId"].offset) == rm.method_id
+        name_addr = om.get_field(vmm, vmm_layout.field_by_name["name"].offset)
+        assert loader.read_string(name_addr) == "speak"
+
+    def test_line_table_in_heap_matches_classdef(self, world):
+        om = world.om
+        loader = world.loader
+        rm = loader.resolve_method_any("Animal.legCount()I")
+        rc, slayout = loader._dict_statics()
+        marr = om.get_field(rc.statics_addr, slayout.field_by_name["methods"].offset)
+        vmm = om.array_get(marr, rm.method_id)
+        vmm_layout = loader.classes["VM_Method"].layout
+        lt = om.get_field(vmm, vmm_layout.field_by_name["lineTable"].offset)
+        assert om.array_length(lt) == len(rm.mdef.code)
+        for bci, line in rm.mdef.line_table.items():
+            assert om.array_get(lt, bci) == line
+
+    def test_every_class_id_resolvable_via_dictionary(self, world):
+        """Any class id in an object header must map to a VM_Class entry —
+        including arrays and statics holders (the remote debugger relies
+        on this)."""
+        om = world.om
+        loader = world.loader
+        world.om.new_array("[LDog;", 1)  # force a fresh array class
+        rc, slayout = loader._dict_statics()
+        carr = om.get_field(rc.statics_addr, slayout.field_by_name["classes"].offset)
+        ccount = om.get_field(rc.statics_addr, slayout.field_by_name["classCount"].offset)
+        vmc_layout = loader.classes["VM_Class"].layout
+        ids_in_dict = set()
+        for i in range(ccount):
+            vmc = om.array_get(carr, i)
+            ids_in_dict.add(om.get_field(vmc, vmc_layout.field_by_name["classId"].offset))
+        for layout in loader.class_table:
+            assert layout.class_id in ids_in_dict, layout.name
+
+    def test_loading_allocates_deterministically(self):
+        """Two identical VMs end up with byte-identical heaps — the basis
+        of the symmetry-in-class-loading rule."""
+        def build():
+            vm = VirtualMachine(TEST_CONFIG)
+            vm.declare(assemble(SRC))
+            vm.load("Dog")
+            return vm
+
+        a, b = build(), build()
+        assert a.memory.bump == b.memory.bump
+        assert a.heap_digest() == b.heap_digest()
+
+
+class TestConstantsPool:
+    def test_constants_array_materialised(self):
+        vm = VirtualMachine(TEST_CONFIG)
+        vm.declare(
+            assemble(
+                """
+.class T
+.method static m ()V
+    ldc "a"
+    pop
+    ldc "b"
+    pop
+    return
+.end
+"""
+            )
+        )
+        vm.load("T")
+        rc = vm.loader.classes["T"]
+        assert rc.constants_addr != 0
+        assert vm.om.array_length(rc.constants_addr) == 2
+        first = vm.om.array_get(rc.constants_addr, 0)
+        assert vm.loader.read_string(first) == "a"

@@ -1,0 +1,140 @@
+"""Flat memory, semispaces, boot record."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.vm.errors import VMError
+from repro.vm.memory import (
+    BOOT_DICTIONARY,
+    BOOT_MAGIC,
+    BOOT_WORDS,
+    MAGIC,
+    Memory,
+    MemoryFault,
+)
+
+
+class TestLayout:
+    def test_magic_at_zero(self):
+        mem = Memory(100)
+        assert mem.read(0) == MAGIC
+        assert mem.boot_read(BOOT_MAGIC) == MAGIC
+
+    def test_null_is_never_allocatable(self):
+        mem = Memory(100)
+        addr = mem.alloc(1)
+        assert addr is not None and addr >= BOOT_WORDS
+
+    def test_semispace_bases(self):
+        mem = Memory(100)
+        assert mem.base == (BOOT_WORDS, BOOT_WORDS + 100)
+        assert mem.space_of(BOOT_WORDS) == 0
+        assert mem.space_of(BOOT_WORDS + 100) == 1
+        assert mem.space_of(0) is None
+
+    def test_too_small_rejected(self):
+        with pytest.raises(VMError):
+            Memory(10)
+
+
+class TestAccess:
+    def test_read_write(self):
+        mem = Memory(100)
+        mem.write(20, -5)
+        assert mem.read(20) == -5
+
+    def test_out_of_range(self):
+        mem = Memory(100)
+        with pytest.raises(MemoryFault):
+            mem.read(BOOT_WORDS + 200)
+        with pytest.raises(MemoryFault):
+            mem.read(-1)
+        with pytest.raises(MemoryFault):
+            mem.write(BOOT_WORDS + 200, 1)
+
+    def test_read_range(self):
+        mem = Memory(100)
+        for i in range(5):
+            mem.write(20 + i, i * 10)
+        assert mem.read_range(20, 5) == [0, 10, 20, 30, 40]
+
+    def test_read_range_bounds(self):
+        mem = Memory(100)
+        with pytest.raises(MemoryFault):
+            mem.read_range(BOOT_WORDS + 150, 100)
+
+    def test_boot_magic_is_readonly(self):
+        mem = Memory(100)
+        with pytest.raises(MemoryFault):
+            mem.boot_write(0, 1)
+        mem.boot_write(BOOT_DICTIONARY, 99)
+        assert mem.boot_read(BOOT_DICTIONARY) == 99
+
+
+class TestAllocation:
+    def test_bump_sequence(self):
+        mem = Memory(100)
+        a = mem.alloc(10)
+        b = mem.alloc(5)
+        assert b == a + 10
+
+    def test_exhaustion_returns_none(self):
+        mem = Memory(100)
+        assert mem.alloc(90) is not None
+        assert mem.alloc(20) is None
+        assert mem.alloc(10) is not None  # exactly fits
+
+    def test_bad_size(self):
+        mem = Memory(100)
+        with pytest.raises(MemoryFault):
+            mem.alloc(0)
+
+    def test_free_and_used(self):
+        mem = Memory(100)
+        mem.alloc(30)
+        assert mem.used_words == 30
+        assert mem.free_words == 70
+
+    @given(st.lists(st.integers(min_value=1, max_value=10), max_size=30))
+    def test_allocations_are_disjoint(self, sizes):
+        mem = Memory(200)
+        spans = []
+        for size in sizes:
+            addr = mem.alloc(size)
+            if addr is None:
+                break
+            spans.append((addr, addr + size))
+        for i, (lo1, hi1) in enumerate(spans):
+            for lo2, hi2 in spans[i + 1 :]:
+                assert hi1 <= lo2 or hi2 <= lo1
+        for lo, hi in spans:
+            assert mem.in_active(lo) and mem.in_active(hi - 1)
+
+
+class TestFlip:
+    def test_flip_swaps_active(self):
+        mem = Memory(100)
+        mem.alloc(10)
+        to_base = mem.begin_flip()
+        assert to_base == mem.base[1]
+        mem.words[to_base] = 42
+        mem.finish_flip(to_base + 1)
+        assert mem.active == 1
+        assert mem.used_words == 1
+        assert mem.read(to_base) == 42
+
+    def test_flip_zeroes_old_space(self):
+        mem = Memory(100)
+        addr = mem.alloc(3)
+        mem.write(addr, 7)
+        to = mem.begin_flip()
+        mem.finish_flip(to)
+        assert mem.read(addr) == 0
+
+    def test_double_flip_returns_home(self):
+        mem = Memory(100)
+        mem.finish_flip(mem.begin_flip())
+        mem.finish_flip(mem.begin_flip())
+        assert mem.active == 0
+        assert mem.bump == mem.base[0]

@@ -1,0 +1,516 @@
+"""Monitors: mutual exclusion, wait/notify, timed wait, interrupt."""
+
+import pytest
+
+from repro.vm import FixedTimer, SeededJitterTimer, VirtualMachine, assemble
+from repro.vm.errors import VMTrap
+from repro.vm.monitors import pack_lock, unpack_lock
+from tests.conftest import TEST_CONFIG, run_source
+
+
+class TestLockWord:
+    def test_pack_unpack_roundtrip(self):
+        for tid, rec in [(0, 1), (5, 3), (200, 255)]:
+            assert unpack_lock(pack_lock(tid, rec)) == (tid, rec)
+
+    def test_free_is_zero(self):
+        assert pack_lock(None, 0) == 0
+        assert unpack_lock(0) == (None, 0)
+
+
+class TestMutualExclusion:
+    def test_synced_counter_exact(self):
+        src = """.class W
+.super Thread
+.method run ()V
+    iconst 0
+    istore 1
+loop:
+    iload 1
+    iconst 50
+    if_icmpge done
+    getstatic Main.lock LObject;
+    monitorenter
+    getstatic Main.n I
+    iconst 1
+    iadd
+    putstatic Main.n I
+    getstatic Main.lock LObject;
+    monitorexit
+    iinc 1 1
+    goto loop
+done:
+    return
+.end
+.class Main
+.field static n I
+.field static lock LObject;
+.method static main ()V
+    new Object
+    putstatic Main.lock LObject;
+    new W
+    astore 0
+    new W
+    astore 1
+    aload 0
+    invokestatic Thread.start(LThread;)V
+    aload 1
+    invokestatic Thread.start(LThread;)V
+    aload 0
+    invokestatic Thread.join(LThread;)V
+    aload 1
+    invokestatic Thread.join(LThread;)V
+    getstatic Main.n I
+    invokestatic System.printInt(I)V
+    return
+.end
+"""
+        for seed in range(4):
+            result = run_source(src, timer=SeededJitterTimer(seed, 20, 80))
+            assert result.output_text == "100"
+
+    def test_recursive_lock(self):
+        src = """.class Main
+.field static o LObject;
+.method static main ()V
+    new Object
+    putstatic Main.o LObject;
+    getstatic Main.o LObject;
+    monitorenter
+    getstatic Main.o LObject;
+    monitorenter
+    getstatic Main.o LObject;
+    monitorexit
+    getstatic Main.o LObject;
+    monitorexit
+    ldc "ok"
+    invokestatic System.print(LString;)V
+    return
+.end
+"""
+        assert run_source(src).output_text == "ok"
+
+    def test_exit_without_owner_traps(self):
+        src = """.class Main
+.method static main ()V
+    new Object
+    monitorexit
+    return
+.end
+"""
+        assert run_source(src).traps[0][1] == "IllegalMonitorState"
+
+    def test_lock_word_visible_in_header(self):
+        vm = VirtualMachine(TEST_CONFIG)
+        vm.declare(assemble(
+            """.class Main
+.field static o LObject;
+.method static main ()V
+    new Object
+    putstatic Main.o LObject;
+    getstatic Main.o LObject;
+    monitorenter
+    return
+.end
+"""
+        ))
+        vm.run()
+        rc, slot = vm.loader.resolve_static_field("Main.o")
+        addr = vm.om.get_field(rc.statics_addr, slot.offset)
+        owner, rec = unpack_lock(vm.om.lock_word(addr))
+        assert owner == 0 and rec == 1  # main never released it
+
+
+class TestWaitNotify:
+    HANDSHAKE = """.class Waiter
+.super Thread
+.method run ()V
+    getstatic Main.o LObject;
+    monitorenter
+    iconst 1
+    putstatic Main.ready I
+    getstatic Main.o LObject;
+    invokestatic System.wait(LObject;)V
+    ldc "woken "
+    invokestatic System.print(LString;)V
+    getstatic Main.o LObject;
+    monitorexit
+    return
+.end
+.class Main
+.field static o LObject;
+.field static ready I
+.method static main ()V
+    new Object
+    putstatic Main.o LObject;
+    new Waiter
+    astore 0
+    aload 0
+    invokestatic Thread.start(LThread;)V
+spin:
+    getstatic Main.ready I
+    ifeq spinmore
+    goto go
+spinmore:
+    invokestatic Thread.yield()V
+    goto spin
+go:
+    getstatic Main.o LObject;
+    monitorenter
+    getstatic Main.o LObject;
+    invokestatic System.notify(LObject;)V
+    getstatic Main.o LObject;
+    monitorexit
+    aload 0
+    invokestatic Thread.join(LThread;)V
+    ldc "done"
+    invokestatic System.print(LString;)V
+    return
+.end
+"""
+
+    def test_wait_notify_handshake(self):
+        assert run_source(self.HANDSHAKE, timer=FixedTimer(5000)).output_text == "woken done"
+
+    def test_notify_without_ownership_traps(self):
+        src = """.class Main
+.method static main ()V
+    new Object
+    invokestatic System.notify(LObject;)V
+    return
+.end
+"""
+        assert run_source(src).traps[0][1] == "IllegalMonitorState"
+
+    def test_wait_without_ownership_traps(self):
+        src = """.class Main
+.method static main ()V
+    new Object
+    invokestatic System.wait(LObject;)V
+    return
+.end
+"""
+        assert run_source(src).traps[0][1] == "IllegalMonitorState"
+
+    def test_notify_with_no_waiters_is_noop(self):
+        src = """.class Main
+.field static o LObject;
+.method static main ()V
+    new Object
+    putstatic Main.o LObject;
+    getstatic Main.o LObject;
+    monitorenter
+    getstatic Main.o LObject;
+    invokestatic System.notify(LObject;)V
+    getstatic Main.o LObject;
+    invokestatic System.notifyAll(LObject;)V
+    getstatic Main.o LObject;
+    monitorexit
+    ldc "ok"
+    invokestatic System.print(LString;)V
+    return
+.end
+"""
+        assert run_source(src).output_text == "ok"
+
+    def test_notify_all_wakes_everyone(self):
+        src = """.class W
+.super Thread
+.method run ()V
+    getstatic Main.o LObject;
+    monitorenter
+    getstatic Main.waiting I
+    iconst 1
+    iadd
+    putstatic Main.waiting I
+    getstatic Main.o LObject;
+    invokestatic System.wait(LObject;)V
+    getstatic Main.woken I
+    iconst 1
+    iadd
+    putstatic Main.woken I
+    getstatic Main.o LObject;
+    monitorexit
+    return
+.end
+.class Main
+.field static o LObject;
+.field static waiting I
+.field static woken I
+.field static ws [LThread;
+.method static main ()V
+    new Object
+    putstatic Main.o LObject;
+    iconst 3
+    anewarray LThread;
+    putstatic Main.ws [LThread;
+    iconst 0
+    istore 0
+mk:
+    iload 0
+    iconst 3
+    if_icmpge started
+    getstatic Main.ws [LThread;
+    iload 0
+    new W
+    aastore
+    getstatic Main.ws [LThread;
+    iload 0
+    aaload
+    invokestatic Thread.start(LThread;)V
+    iinc 0 1
+    goto mk
+started:
+    getstatic Main.waiting I
+    iconst 3
+    if_icmpeq wake
+    invokestatic Thread.yield()V
+    goto started
+wake:
+    getstatic Main.o LObject;
+    monitorenter
+    getstatic Main.o LObject;
+    invokestatic System.notifyAll(LObject;)V
+    getstatic Main.o LObject;
+    monitorexit
+    iconst 0
+    istore 0
+joinloop:
+    iload 0
+    iconst 3
+    if_icmpge report
+    getstatic Main.ws [LThread;
+    iload 0
+    aaload
+    invokestatic Thread.join(LThread;)V
+    iinc 0 1
+    goto joinloop
+report:
+    getstatic Main.woken I
+    invokestatic System.printInt(I)V
+    return
+.end
+"""
+        assert run_source(src, timer=FixedTimer(5000)).output_text == "3"
+
+
+class TestTimedWait:
+    def test_timed_wait_expires(self):
+        src = """.class Main
+.field static o LObject;
+.method static main ()V
+    new Object
+    putstatic Main.o LObject;
+    getstatic Main.o LObject;
+    monitorenter
+    getstatic Main.o LObject;
+    iconst 30
+    invokestatic System.timedWait(LObject;I)V
+    getstatic Main.o LObject;
+    monitorexit
+    ldc "expired"
+    invokestatic System.print(LString;)V
+    return
+.end
+"""
+        assert run_source(src).output_text == "expired"
+
+    def test_notify_beats_timeout(self):
+        src = """.class W
+.super Thread
+.method run ()V
+    getstatic Main.o LObject;
+    monitorenter
+    iconst 1
+    putstatic Main.ready I
+    getstatic Main.o LObject;
+    iconst 100000
+    invokestatic System.timedWait(LObject;I)V
+    ldc "notified"
+    invokestatic System.print(LString;)V
+    getstatic Main.o LObject;
+    monitorexit
+    return
+.end
+.class Main
+.field static o LObject;
+.field static ready I
+.method static main ()V
+    new Object
+    putstatic Main.o LObject;
+    new W
+    astore 0
+    aload 0
+    invokestatic Thread.start(LThread;)V
+spin:
+    getstatic Main.ready I
+    ifne go
+    invokestatic Thread.yield()V
+    goto spin
+go:
+    getstatic Main.o LObject;
+    monitorenter
+    getstatic Main.o LObject;
+    invokestatic System.notify(LObject;)V
+    getstatic Main.o LObject;
+    monitorexit
+    aload 0
+    invokestatic Thread.join(LThread;)V
+    return
+.end
+"""
+        assert run_source(src, timer=FixedTimer(5000)).output_text == "notified"
+
+
+class TestInterrupt:
+    def test_interrupt_wakes_waiter_and_sets_flag(self):
+        src = """.class W
+.super Thread
+.method run ()V
+    getstatic Main.o LObject;
+    monitorenter
+    iconst 1
+    putstatic Main.ready I
+    getstatic Main.o LObject;
+    invokestatic System.wait(LObject;)V
+    getstatic Main.o LObject;
+    monitorexit
+    invokestatic System.interrupted()I
+    invokestatic System.printInt(I)V
+    invokestatic System.interrupted()I
+    invokestatic System.printInt(I)V
+    return
+.end
+.class Main
+.field static o LObject;
+.field static ready I
+.method static main ()V
+    new Object
+    putstatic Main.o LObject;
+    new W
+    astore 0
+    aload 0
+    invokestatic Thread.start(LThread;)V
+spin:
+    getstatic Main.ready I
+    ifne go
+    invokestatic Thread.yield()V
+    goto spin
+go:
+    aload 0
+    invokestatic System.interrupt(LThread;)I
+    invokestatic System.printInt(I)V
+    aload 0
+    invokestatic Thread.join(LThread;)V
+    return
+.end
+"""
+        # interrupt() returns 1 (woke a waiter); interrupted() reads then clears
+        assert run_source(src, timer=FixedTimer(5000)).output_text == "110"
+
+    def test_interrupt_wakes_sleeper(self):
+        src = """.class W
+.super Thread
+.method run ()V
+    iconst 1
+    putstatic Main.ready I
+    iconst 1000000
+    invokestatic Thread.sleep(I)V
+    ldc "awake"
+    invokestatic System.print(LString;)V
+    return
+.end
+.class Main
+.field static ready I
+.method static main ()V
+    new W
+    astore 0
+    aload 0
+    invokestatic Thread.start(LThread;)V
+spin:
+    getstatic Main.ready I
+    ifne go
+    invokestatic Thread.yield()V
+    goto spin
+go:
+    aload 0
+    invokestatic System.interrupt(LThread;)I
+    pop
+    aload 0
+    invokestatic Thread.join(LThread;)V
+    return
+.end
+"""
+        assert run_source(src, timer=FixedTimer(5000)).output_text == "awake"
+
+    def test_interrupt_running_thread_only_sets_flag(self):
+        src = """.class Main
+.field static t LThread;
+.method static main ()V
+    new Thread
+    putstatic Main.t LThread;
+    getstatic Main.t LThread;
+    invokestatic System.interrupt(LThread;)I
+    invokestatic System.printInt(I)V
+    return
+.end
+"""
+        assert run_source(src).output_text == "0"
+
+
+class TestContendedHandoff:
+    def test_fifo_handoff_order(self):
+        """Entry-queue hand-off is FIFO: contenders acquire in arrival order."""
+        src = """.class W
+.super Thread
+.field tag I
+.method run ()V
+    getstatic Main.lock LObject;
+    monitorenter
+    getstatic Main.log I
+    iconst 10
+    imul
+    aload 0
+    getfield W.tag I
+    iadd
+    putstatic Main.log I
+    getstatic Main.lock LObject;
+    monitorexit
+    return
+.end
+.class Main
+.field static lock LObject;
+.field static log I
+.method static main ()V
+    new Object
+    putstatic Main.lock LObject;
+    getstatic Main.lock LObject;
+    monitorenter
+    new W
+    astore 0
+    aload 0
+    iconst 1
+    putfield W.tag I
+    new W
+    astore 1
+    aload 1
+    iconst 2
+    putfield W.tag I
+    aload 0
+    invokestatic Thread.start(LThread;)V
+    aload 1
+    invokestatic Thread.start(LThread;)V
+    invokestatic Thread.yield()V
+    invokestatic Thread.yield()V
+    getstatic Main.lock LObject;
+    monitorexit
+    aload 0
+    invokestatic Thread.join(LThread;)V
+    aload 1
+    invokestatic Thread.join(LThread;)V
+    getstatic Main.log I
+    invokestatic System.printInt(I)V
+    return
+.end
+"""
+        assert run_source(src, timer=None).output_text == "12"

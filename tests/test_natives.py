@@ -1,0 +1,338 @@
+"""The native interface: core natives, custom natives, upcalls."""
+
+import pytest
+
+from repro.api import GuestProgram, build_vm, record_and_replay
+from repro.vm.errors import VMTrap
+from repro.vm.machine import Environment, VMConfig
+from repro.vm.native import NativeResult
+from tests.conftest import TEST_CONFIG, jitter_knobs, run_source
+
+
+class TestOutputNatives:
+    def test_print_variants(self):
+        src = """.class Main
+.method static main ()V
+    ldc "x="
+    invokestatic System.print(LString;)V
+    iconst -7
+    invokestatic System.printInt(I)V
+    iconst 10
+    invokestatic System.printChar(I)V
+    return
+.end
+"""
+        assert run_source(src).output_text == "x=-7\n"
+
+
+class TestArraycopy:
+    def copy(self, src_vals, src_pos, dst_len, dst_pos, n):
+        vm = build_vm(
+            GuestProgram.from_source(".class Main\n.method static main ()V\n    return\n.end\n"),
+            TEST_CONFIG,
+        )
+        vm.run()
+        om = vm.om
+        a = om.new_array("[I", len(src_vals))
+        for i, v in enumerate(src_vals):
+            om.array_put(a, i, v)
+        b = om.new_array("[I", dst_len)
+        rm = vm.loader.resolve_method_any("System.arraycopy([II[III)V")
+        nd = vm.natives.lookup(rm.qualname)
+        from repro.vm.native import NativeCall
+
+        ctx = NativeCall(vm, vm.scheduler.threads[0], rm, [a, src_pos, b, dst_pos, n])
+        try:
+            nd.fn(ctx)
+        finally:
+            ctx.release()
+        return [om.array_get(b, i) for i in range(dst_len)]
+
+    def test_basic(self):
+        assert self.copy([1, 2, 3, 4], 1, 3, 0, 3) == [2, 3, 4]
+
+    def test_bounds_trap(self):
+        with pytest.raises(VMTrap):
+            self.copy([1, 2], 0, 2, 1, 2)
+
+    def test_negative_length_trap(self):
+        with pytest.raises(VMTrap):
+            self.copy([1], 0, 1, 0, -1)
+
+    def test_overlapping_forward(self):
+        src = """.class Main
+.method static main ()V
+    iconst 5
+    newarray
+    astore 0
+    iconst 0
+    istore 1
+fill:
+    iload 1
+    iconst 5
+    if_icmpge go
+    aload 0
+    iload 1
+    iload 1
+    iastore
+    iinc 1 1
+    goto fill
+go:
+    aload 0
+    iconst 0
+    aload 0
+    iconst 1
+    iconst 4
+    invokestatic System.arraycopy([II[III)V
+    iconst 0
+    istore 1
+show:
+    iload 1
+    iconst 5
+    if_icmpge done
+    aload 0
+    iload 1
+    iaload
+    invokestatic System.printInt(I)V
+    iinc 1 1
+    goto show
+done:
+    return
+.end
+"""
+        # overlap-safe: [0,1,2,3,4] shifted right = [0,0,1,2,3]
+        assert run_source(src).output_text == "00123"
+
+
+class TestEnvironmentalNatives:
+    def test_random_int_seeded(self):
+        src = """.class Main
+.method static main ()V
+    iconst 100
+    invokestatic System.randomInt(I)I
+    invokestatic System.printInt(I)V
+    return
+.end
+"""
+        a = run_source(src, env=Environment(seed=42)).output_text
+        b = run_source(src, env=Environment(seed=42)).output_text
+        c = run_source(src, env=Environment(seed=43)).output_text
+        assert a == b
+        assert 0 <= int(a) < 100
+        assert a != c or True  # different seeds usually differ; no hard claim
+
+    def test_random_bad_bound_traps(self):
+        src = """.class Main
+.method static main ()V
+    iconst 0
+    invokestatic System.randomInt(I)I
+    pop
+    return
+.end
+"""
+        assert run_source(src).traps[0][1] == "IllegalArgument"
+
+    def test_read_int_consumes_inputs(self):
+        src = """.class Main
+.method static main ()V
+    invokestatic System.readInt()I
+    invokestatic System.printInt(I)V
+    invokestatic System.readInt()I
+    invokestatic System.printInt(I)V
+    invokestatic System.readInt()I
+    invokestatic System.printInt(I)V
+    return
+.end
+"""
+        result = run_source(src, env=Environment(seed=0, inputs=[10, 20]))
+        assert result.output_text == "1020-1"  # -1 when exhausted
+
+    def test_current_time_millis_monotone_nondecreasing(self):
+        src = """.class Main
+.method static main ()V
+    invokestatic System.currentTimeMillis()I
+    istore 0
+    invokestatic System.currentTimeMillis()I
+    iload 0
+    isub
+    iflt bad
+    ldc "ok"
+    invokestatic System.print(LString;)V
+    return
+bad:
+    ldc "backwards"
+    invokestatic System.print(LString;)V
+    return
+.end
+"""
+        assert run_source(src).output_text == "ok"
+
+
+class TestCustomNativesAndUpcalls:
+    def test_custom_native_with_upcall(self):
+        calls = []
+
+        def n_poke(ctx):
+            calls.append(ctx.arg(0))
+            return NativeResult(value=ctx.arg(0) * 2, upcalls=[("Main.cb(I)V", (99,))])
+
+        src = """.class Ext
+.native static poke (I)I
+.class Main
+.field static seen I
+.method static cb (I)V
+    iload 0
+    putstatic Main.seen I
+    return
+.end
+.method static main ()V
+    iconst 21
+    invokestatic Ext.poke(I)I
+    invokestatic System.printInt(I)V
+    getstatic Main.seen I
+    invokestatic System.printInt(I)V
+    return
+.end
+"""
+        result = run_source(src, natives=[("Ext.poke(I)I", n_poke, False)])
+        # the return value prints first, then the callback-set static
+        assert result.output_text == "4299"
+        assert calls == [21]
+
+    def test_nondet_native_upcall_replays(self):
+        import random
+
+        class Source:
+            def __init__(self, seed):
+                self.rng = random.Random(seed)
+
+            def __call__(self, ctx):
+                v = self.rng.randrange(1000)
+                return NativeResult(value=v, upcalls=[("Main.cb(I)V", (v + 1,))])
+
+        src = """.class Ext
+.native static poll ()I
+.class Main
+.field static acc I
+.method static cb (I)V
+    getstatic Main.acc I
+    iload 0
+    iadd
+    putstatic Main.acc I
+    return
+.end
+.method static main ()V
+    iconst 0
+    istore 0
+loop:
+    iload 0
+    iconst 10
+    if_icmpge done
+    invokestatic Ext.poll()I
+    pop
+    iinc 0 1
+    goto loop
+done:
+    getstatic Main.acc I
+    invokestatic System.printInt(I)V
+    return
+.end
+"""
+
+        def prog():
+            return GuestProgram.from_source(
+                src, natives=[("Ext.poll()I", Source(7), True)]
+            )
+
+        session, replayed, report = record_and_replay(
+            prog(), config=TEST_CONFIG, **jitter_knobs(7)
+        )
+        assert report.faithful
+        assert session.result.output_text == replayed.output_text
+
+    def test_missing_native_traps(self):
+        src = """.class Ext
+.native static gone ()I
+.class Main
+.method static main ()V
+    invokestatic Ext.gone()I
+    pop
+    return
+.end
+"""
+        assert run_source(src).traps[0][1] == "UnsatisfiedLink"
+
+    def test_identity_hash_guest_visible(self):
+        src = """.class Main
+.method static main ()V
+    new Object
+    astore 0
+    aload 0
+    invokestatic System.identityHashCode(LObject;)I
+    aload 0
+    invokestatic System.identityHashCode(LObject;)I
+    if_icmpeq same
+    ldc "UNSTABLE"
+    invokestatic System.print(LString;)V
+    return
+same:
+    ldc "stable"
+    invokestatic System.print(LString;)V
+    return
+.end
+"""
+        assert run_source(src).output_text == "stable"
+
+
+class TestStringNatives:
+    def test_read_line_returns_guest_string(self):
+        src = """.class Main
+.method static main ()V
+    invokestatic System.readLine()LString;
+    invokestatic System.print(LString;)V
+    invokestatic System.readLine()LString;
+    invokevirtual String.length()I
+    invokestatic System.printInt(I)V
+    invokestatic System.readLine()LString;
+    invokevirtual String.length()I
+    invokestatic System.printInt(I)V
+    return
+.end
+"""
+        result = run_source(src, env=Environment(seed=0, lines=["first", "abc"]))
+        assert result.output_text == "first30"  # exhausted -> ""
+
+    def test_read_line_records_and_replays(self):
+        from repro.api import record_and_replay
+
+        src = """.class Main
+.method static main ()V
+    invokestatic System.readLine()LString;
+    invokestatic System.print(LString;)V
+    return
+.end
+"""
+        prog = GuestProgram.from_source(src)
+        knobs = jitter_knobs(3)
+        knobs["env"] = Environment(seed=3, lines=["once only"])
+        session, replayed, report = record_and_replay(prog, config=TEST_CONFIG, **knobs)
+        assert report.faithful
+        assert replayed.output_text == "once only"
+
+    def test_custom_string_native(self):
+        def n_hostname(ctx):
+            return NativeResult(string_value="pequeno.example")
+
+        src = """.class Net2
+.native static hostname ()LString;
+.class Main
+.method static main ()V
+    invokestatic Net2.hostname()LString;
+    invokestatic System.print(LString;)V
+    return
+.end
+"""
+        result = run_source(
+            src, natives=[("Net2.hostname()LString;", n_hostname, True)]
+        )
+        assert result.output_text == "pequeno.example"

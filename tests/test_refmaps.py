@@ -1,0 +1,258 @@
+"""The verifier / reference-map builder (GC type accuracy)."""
+
+import pytest
+
+from repro.vm import VirtualMachine, assemble
+from repro.vm.errors import VerifyError
+from repro.vm.refmaps import analyze_method, merge_types
+from tests.conftest import TEST_CONFIG
+
+
+def analyze(src: str, method: str = "m()V", cls: str = "T"):
+    """Declare + layout in a real VM (real resolver), analyze one method."""
+    vm = VirtualMachine(TEST_CONFIG)
+    vm.declare(assemble(src))
+    rc = vm.loader.ensure_layout(cls)
+    return analyze_method(cls, rc.cdef.method_def(method), vm.loader)
+
+
+def wrap(body: str, sig: str = "()V", extra: str = "") -> str:
+    return f""".class T
+.field x I
+.field o LObject;
+.field static s I
+.field static r LObject;
+.method static m {sig}
+{body}
+.end
+{extra}
+"""
+
+
+class TestAcceptance:
+    def test_straightline(self):
+        maps = analyze(wrap("    iconst 1\n    iconst 2\n    iadd\n    pop\n    return"))
+        assert maps.max_stack == 2
+        assert maps.reachable(0)
+
+    def test_loop_with_merge(self):
+        maps = analyze(
+            wrap(
+                """
+    iconst 0
+    istore 0
+top:
+    iload 0
+    iconst 10
+    if_icmpge out
+    iinc 0 1
+    goto top
+out:
+    return
+"""
+            )
+        )
+        assert all(maps.reachable(i) for i in range(8))
+
+    def test_null_merges_with_reference(self):
+        maps = analyze(
+            wrap(
+                """
+    iconst 1
+    ifeq a
+    aconst_null
+    goto b
+a:
+    getstatic T.r LObject;
+b:
+    pop
+    return
+"""
+            )
+        )
+        # at the merge point the slot is a reference either way
+        bci_pop = 5
+        assert maps.stack_types[bci_pop] == ("LObject;",)
+
+    def test_ref_map_positions(self):
+        maps = analyze(
+            wrap(
+                """
+    getstatic T.r LObject;
+    astore 0
+    iconst 5
+    istore 1
+    aload 0
+    iload 1
+    pop
+    pop
+    return
+""",
+            )
+        )
+        lrefs, srefs = maps.ref_map(6)  # at the first pop: stack = [ref, int]
+        assert 0 in lrefs and 1 not in lrefs
+        assert srefs == (0,)
+
+    def test_unreachable_code_tolerated(self):
+        maps = analyze(wrap("    return\n    iconst 1\n    pop\n    return"))
+        assert not maps.reachable(1)
+        assert maps.ref_map(1) == ((), ())
+
+    def test_dead_local_slot_is_top_not_ref(self):
+        maps = analyze(
+            wrap(
+                """
+    getstatic T.r LObject;
+    astore 0
+    iconst 1
+    istore 0
+    iconst 0
+    pop
+    return
+"""
+            )
+        )
+        lrefs, _ = maps.ref_map(5)  # after istore 0 overwrote the ref
+        assert 0 not in lrefs
+
+    def test_instance_method_this_is_ref(self):
+        src = """.class T
+.method m ()V
+    return
+.end
+"""
+        vm = VirtualMachine(TEST_CONFIG)
+        vm.declare(assemble(src))
+        rc = vm.loader.ensure_layout("T")
+        maps = analyze_method("T", rc.cdef.method_def("m()V"), vm.loader)
+        lrefs, _ = maps.ref_map(0)
+        assert lrefs == (0,)
+
+    def test_native_methods_have_empty_maps(self):
+        src = ".class T\n.native static n ()I\n"
+        vm = VirtualMachine(TEST_CONFIG)
+        vm.declare(assemble(src))
+        rc = vm.loader.ensure_layout("T")
+        maps = analyze_method("T", rc.cdef.method_def("n()I"), vm.loader)
+        assert maps.local_types == []
+
+
+class TestRejection:
+    def rejects(self, body: str, sig: str = "()V", fragment: str = ""):
+        with pytest.raises(VerifyError) as exc:
+            analyze(wrap(body, sig))
+        if fragment:
+            assert fragment in str(exc.value)
+
+    def test_stack_underflow(self):
+        self.rejects("    pop\n    return", fragment="underflow")
+
+    def test_int_where_ref_expected(self):
+        self.rejects("    iconst 1\n    astore 0\n    return")
+
+    def test_ref_where_int_expected(self):
+        self.rejects("    aconst_null\n    iconst 1\n    iadd\n    pop\n    return")
+
+    def test_iload_of_ref_slot(self):
+        self.rejects(
+            "    getstatic T.r LObject;\n    astore 0\n    iload 0\n    pop\n    return"
+        )
+
+    def test_stack_depth_mismatch_at_merge(self):
+        self.rejects(
+            """
+    iconst 1
+    ifeq a
+    iconst 5
+a:
+    return
+"""
+        )
+
+    def test_wrong_return_kind(self):
+        self.rejects("    iconst 1\n    ireturn")  # in a V method
+
+    def test_missing_value_for_ireturn(self):
+        with pytest.raises(VerifyError):
+            analyze(wrap("    return", sig="()I"), method="m")
+        # (return in non-void method)
+
+    def test_putfield_wrong_value_type(self):
+        self.rejects(
+            "    getstatic T.r LObject;\n    aconst_null\n    putfield T.x I\n    return"
+        )
+
+    def test_getfield_on_int(self):
+        self.rejects("    iconst 1\n    getfield T.x I\n    pop\n    return")
+
+    def test_static_vs_instance_confusion(self):
+        self.rejects("    getstatic T.x\n    pop\n    return")
+        self.rejects(
+            "    getstatic T.r LObject;\n    getfield T.s\n    pop\n    return"
+        )
+
+    def test_declared_descriptor_mismatch(self):
+        self.rejects("    getstatic T.s [I\n    pop\n    return", fragment="declared")
+
+    def test_arith_on_refs(self):
+        self.rejects("    aconst_null\n    aconst_null\n    iadd\n    pop\n    return")
+
+    def test_monitor_on_int(self):
+        self.rejects("    iconst 1\n    monitorenter\n    return")
+
+    def test_call_with_wrong_arg_type(self):
+        self.rejects(
+            "    aconst_null\n    invokestatic System.printInt(I)V\n    return"
+        )
+
+    def test_unknown_class_in_new(self):
+        self.rejects("    new Nothing\n    pop\n    return")
+
+    def test_aaload_on_int_array(self):
+        self.rejects(
+            "    iconst 1\n    newarray\n    iconst 0\n    aaload\n    pop\n    return"
+        )
+
+    def test_iaload_on_ref_array(self):
+        self.rejects(
+            "    iconst 1\n    anewarray LObject;\n    iconst 0\n    iaload\n    pop\n    return"
+        )
+
+
+class TestMergeTypes:
+    def make_resolver(self):
+        vm = VirtualMachine(TEST_CONFIG)
+        vm.declare(
+            assemble(
+                """
+.class A
+.class B
+.super A
+.class C
+.super A
+"""
+            )
+        )
+        return vm.loader
+
+    def test_common_super(self):
+        r = self.make_resolver()
+        assert merge_types("LB;", "LC;", r) == "LA;"
+        assert merge_types("LB;", "LA;", r) == "LA;"
+        assert merge_types("LB;", "LString;", r) == "LObject;"
+
+    def test_null_with_ref(self):
+        r = self.make_resolver()
+        assert merge_types("N", "LB;", r) == "LB;"
+
+    def test_arrays(self):
+        r = self.make_resolver()
+        assert merge_types("[I", "[I", r) == "[I"
+        assert merge_types("[LB;", "[LC;", r) == "[LA;"
+        assert merge_types("[I", "[LB;", r) == "LObject;"
+        assert merge_types("[I", "LB;", r) == "LObject;"
+
+    def test_int_with_ref_is_top(self):
+        r = self.make_resolver()
+        assert merge_types("I", "LB;", r) == "T"

@@ -1,0 +1,278 @@
+"""Remote reflection (§3): ports, proxies, mappings, the tool interpreter."""
+
+import pytest
+
+from repro.api import build_vm
+from repro.debugger.guestlib import debugger_classdefs
+from repro.remote import (
+    DebugPort,
+    RemoteObject,
+    RemoteReflector,
+    RemoteResolver,
+    ToolInterpreter,
+    default_mappings,
+)
+from repro.remote.ptrace import IntrusivePort
+from repro.vm import VirtualMachine, assemble
+from repro.vm.errors import VMError
+from repro.workloads import racy_bank
+from tests.conftest import TEST_CONFIG
+
+APP_SRC = """
+.class Holder
+.field label LString;
+.field nums [I
+.field other LHolder;
+.field n I
+.class Main
+.field static h LHolder;
+.method static main ()V
+    new Holder
+    putstatic Main.h LHolder;
+    getstatic Main.h LHolder;
+    ldc "tagged"
+    putfield Holder.label LString;
+    getstatic Main.h LHolder;
+    iconst 3
+    newarray
+    putfield Holder.nums [I
+    getstatic Main.h LHolder;
+    getfield Holder.nums [I
+    iconst 1
+    iconst 55
+    iastore
+    getstatic Main.h LHolder;
+    iconst -9
+    putfield Holder.n I
+    getstatic Main.h LHolder;
+    getstatic Main.h LHolder;
+    putfield Holder.other LHolder;
+    return
+.end
+"""
+
+
+@pytest.fixture
+def pair():
+    """(app VM after running APP_SRC, tool VM with the same classes)."""
+    from repro.api import GuestProgram
+
+    program = GuestProgram.from_source(APP_SRC)
+    app = build_vm(program, TEST_CONFIG)
+    app.run()
+    tool = VirtualMachine(TEST_CONFIG)
+    tool.declare(program.classdefs)
+    tool.declare(debugger_classdefs())
+    return app, tool
+
+
+def remote_holder(app, tool) -> RemoteObject:
+    resolver = RemoteResolver(DebugPort(app), tool.loader)
+    rc, slot = app.loader.resolve_static_field("Main.h")
+    addr = app.om.get_field(rc.statics_addr, slot.offset)
+    return RemoteObject(resolver, addr)
+
+
+class TestDebugPort:
+    def test_attach_checks_magic(self, pair):
+        app, _ = pair
+        DebugPort(app)  # ok
+        app.memory.words[0] = 0  # corrupt
+        with pytest.raises(VMError):
+            DebugPort(app)
+        from repro.vm.memory import MAGIC
+
+        app.memory.words[0] = MAGIC
+
+    def test_port_has_no_write_operation(self, pair):
+        app, _ = pair
+        port = DebugPort(app)
+        assert not hasattr(port, "poke")
+
+    def test_reads_counted(self, pair):
+        app, _ = pair
+        port = DebugPort(app)
+        port.peek(20)
+        port.peek_range(20, 5)
+        port.boot(1)
+        assert port.reads == 7
+
+    def test_intrusive_port_is_separate_and_loud(self, pair):
+        app, _ = pair
+        port = IntrusivePort(app)
+        before = app.memory.read(20)
+        port.poke(20, before)
+        assert port.writes == 1
+
+
+class TestRemoteObjects:
+    def test_scalar_field(self, pair):
+        app, tool = pair
+        h = remote_holder(app, tool)
+        assert h.field("n") == -9
+
+    def test_string_field(self, pair):
+        app, tool = pair
+        h = remote_holder(app, tool)
+        label = h.field("label")
+        assert isinstance(label, RemoteObject)
+        assert label.as_string() == "tagged"
+
+    def test_array_field(self, pair):
+        app, tool = pair
+        h = remote_holder(app, tool)
+        nums = h.field("nums")
+        assert nums.length == 3
+        assert nums.elem(1) == 55
+        assert nums.clone_primitive_array() == [0, 55, 0]
+
+    def test_self_reference(self, pair):
+        app, tool = pair
+        h = remote_holder(app, tool)
+        other = h.field("other")
+        assert other == h  # same remote address
+
+    def test_null_field_is_none(self, pair):
+        app, tool = pair
+        resolver = h = remote_holder(app, tool)
+        fresh = app.om.new_object(app.loader.classes["Holder"].layout)
+        obj = RemoteObject(h.resolver, fresh)
+        assert obj.field("label") is None
+
+    def test_unknown_field_rejected(self, pair):
+        app, tool = pair
+        h = remote_holder(app, tool)
+        with pytest.raises(VMError):
+            h.field("nope")
+
+    def test_array_bounds_checked(self, pair):
+        app, tool = pair
+        nums = remote_holder(app, tool).field("nums")
+        with pytest.raises(VMError):
+            nums.elem(3)
+
+    def test_class_name_resolved_via_remote_dictionary(self, pair):
+        app, tool = pair
+        h = remote_holder(app, tool)
+        assert h.class_name == "Holder"
+
+    def test_unknown_class_falls_back_to_ancestor(self, pair):
+        app, _ = pair
+        bare_tool = VirtualMachine(TEST_CONFIG)  # knows only the core library
+        resolver = RemoteResolver(DebugPort(app), bare_tool.loader)
+        rc, slot = app.loader.resolve_static_field("Main.h")
+        addr = app.om.get_field(rc.statics_addr, slot.offset)
+        obj = RemoteObject(resolver, addr)
+        assert obj.class_name == "Object"  # nearest known ancestor
+
+
+class TestToolInterpreter:
+    def test_figure3_line_number(self, pair):
+        app, tool = pair
+        interp = ToolInterpreter(tool, DebugPort(app), default_mappings())
+        rm = app.loader.resolve_method_any("Main.main()V")
+        for bci in (0, 1, 4):
+            want = rm.mdef.line_table.get(bci, 0)
+            got = interp.call("Debugger.lineNumberOf(II)I", [rm.method_id, bci])
+            assert got == want
+
+    def test_out_of_range_offset_returns_zero(self, pair):
+        app, tool = pair
+        interp = ToolInterpreter(tool, DebugPort(app), default_mappings())
+        rm = app.loader.resolve_method_any("Main.main()V")
+        assert interp.call("Debugger.lineNumberOf(II)I", [rm.method_id, 10_000]) == 0
+
+    def test_method_count_via_mapped_primitive(self, pair):
+        app, tool = pair
+        interp = ToolInterpreter(tool, DebugPort(app), default_mappings())
+        got = interp.call("Debugger.methodCount()I", [])
+        assert got == len(app.loader.method_by_id)
+
+    def test_remote_writes_refused(self, pair):
+        app, tool = pair
+        tool.declare(
+            assemble(
+                """
+.class Evil
+.method static zap (LHolder;)V
+    aload 0
+    iconst 0
+    putfield Holder.n I
+    return
+.end
+"""
+            )
+        )
+        interp = ToolInterpreter(tool, DebugPort(app), default_mappings())
+        h = remote_holder(app, tool)
+        with pytest.raises(VMError, match="read-only"):
+            interp.call("Evil.zap(LHolder;)V", [h])
+
+    def test_virtual_dispatch_on_remote_receiver(self, pair):
+        app, tool = pair
+        interp = ToolInterpreter(tool, DebugPort(app), default_mappings())
+        h = remote_holder(app, tool)
+        label = h.field("label")
+        # String.length()I runs as tool bytecode against the remote String
+        tool.declare(
+            assemble(
+                """
+.class Probe
+.method static lengthOf (LString;)I
+    aload 0
+    invokevirtual String.length()I
+    ireturn
+.end
+"""
+            )
+        )
+        assert interp.call("Probe.lengthOf(LString;)I", [label]) == 6
+
+    def test_application_vm_unperturbed(self, pair):
+        """The whole point: queries execute zero app-VM instructions and
+        write zero app-VM words."""
+        app, tool = pair
+        snapshot = list(app.memory.words)
+        cycles = app.engine.cycles
+        interp = ToolInterpreter(tool, DebugPort(app), default_mappings())
+        rm = app.loader.resolve_method_any("Main.main()V")
+        interp.call("Debugger.lineNumberOf(II)I", [rm.method_id, 0])
+        h = remote_holder(app, tool)
+        h.field("label").as_string()
+        assert app.memory.words == snapshot
+        assert app.engine.cycles == cycles
+
+
+class TestRemoteReflector:
+    def test_method_name_lookup(self, pair):
+        app, tool = pair
+        refl = RemoteReflector(DebugPort(app), tool)
+        rm = app.loader.resolve_method_any("Main.main()V")
+        assert refl.method_name(rm.method_id) == "Main.main"
+
+    def test_class_names_include_program_classes(self, pair):
+        app, tool = pair
+        refl = RemoteReflector(DebugPort(app), tool)
+        names = refl.class_names()
+        assert "Holder" in names and "Main" in names and "[I" in names
+
+    def test_statics_read(self, pair):
+        app, tool = pair
+        refl = RemoteReflector(DebugPort(app), tool)
+        statics = refl.statics_of("Main")
+        h = statics.field("h")
+        assert isinstance(h, RemoteObject)
+        assert h.field("n") == -9
+
+    def test_threads_listed(self, pair):
+        app, tool = pair
+        refl = RemoteReflector(DebugPort(app), tool)
+        infos = refl.threads()
+        assert [t.tid for t in infos] == [0]
+
+    def test_lock_state_read_from_header(self, pair):
+        app, tool = pair
+        refl = RemoteReflector(DebugPort(app), tool)
+        statics = refl.statics_of("Main")
+        owner, rec = refl.lock_state(statics.field("h"))
+        assert owner is None and rec == 0

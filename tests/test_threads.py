@@ -1,0 +1,416 @@
+"""The thread package: spawning, preemption, joins, stacks, shadows."""
+
+import pytest
+
+from repro.vm import FixedTimer, SeededJitterTimer, VirtualMachine, assemble
+from repro.vm import corelib
+from repro.vm.machine import VMConfig
+from tests.conftest import TEST_CONFIG, run_source
+
+
+class TestSpawnJoin:
+    SRC = """.class W
+.super Thread
+.method run ()V
+    getstatic Main.done I
+    iconst 1
+    iadd
+    putstatic Main.done I
+    return
+.end
+.class Main
+.field static done I
+.method static main ()V
+    new W
+    astore 0
+    new W
+    astore 1
+    aload 0
+    invokestatic Thread.start(LThread;)V
+    aload 1
+    invokestatic Thread.start(LThread;)V
+    aload 0
+    invokestatic Thread.join(LThread;)V
+    aload 1
+    invokestatic Thread.join(LThread;)V
+    getstatic Main.done I
+    invokestatic System.printInt(I)V
+    return
+.end
+"""
+
+    def test_two_workers_complete(self):
+        assert run_source(self.SRC).output_text == "2"
+
+    def test_thread_events_emitted(self):
+        result = run_source(self.SRC)
+        starts = [e for e in result.events if e[0] == "thread_start"]
+        ends = [e for e in result.events if e[0] == "thread_end"]
+        assert len(starts) == 3  # main + 2 workers
+        assert len(ends) == 3
+
+    def test_join_on_terminated_thread_returns(self):
+        src = """.class W
+.super Thread
+.method run ()V
+    return
+.end
+.class Main
+.method static main ()V
+    new W
+    astore 0
+    aload 0
+    invokestatic Thread.start(LThread;)V
+    aload 0
+    invokestatic Thread.join(LThread;)V
+    aload 0
+    invokestatic Thread.join(LThread;)V
+    ldc "ok"
+    invokestatic System.print(LString;)V
+    return
+.end
+"""
+        assert run_source(src).output_text == "ok"
+
+    def test_start_null_traps(self):
+        src = """.class Main
+.method static main ()V
+    aconst_null
+    invokestatic Thread.start(LThread;)V
+    return
+.end
+"""
+        assert run_source(src).traps[0][1] == "NullPointer"
+
+    def test_base_thread_run_is_noop(self):
+        src = """.class Main
+.method static main ()V
+    new Thread
+    dup
+    invokestatic Thread.start(LThread;)V
+    invokestatic Thread.join(LThread;)V
+    ldc "ok"
+    invokestatic System.print(LString;)V
+    return
+.end
+"""
+        assert run_source(src).output_text == "ok"
+
+    def test_current_tid(self):
+        src = """.class Main
+.method static main ()V
+    invokestatic Thread.currentTid()I
+    invokestatic System.printInt(I)V
+    return
+.end
+"""
+        assert run_source(src).output_text == "0"
+
+
+class TestPreemption:
+    COUNT_SRC = """.class W
+.super Thread
+.method run ()V
+    iconst 0
+    istore 1
+loop:
+    iload 1
+    iconst 2000
+    if_icmpge done
+    iinc 1 1
+    goto loop
+done:
+    getstatic Main.order I
+    ifne out
+    aload 0
+    getfield W.id I
+    putstatic Main.order I
+out:
+    return
+.end
+.field id I
+.class Main
+.field static order I
+.method static main ()V
+    new W
+    astore 0
+    aload 0
+    iconst 1
+    putfield W.id I
+    new W
+    astore 1
+    aload 1
+    iconst 2
+    putfield W.id I
+    aload 0
+    invokestatic Thread.start(LThread;)V
+    aload 1
+    invokestatic Thread.start(LThread;)V
+    aload 0
+    invokestatic Thread.join(LThread;)V
+    aload 1
+    invokestatic Thread.join(LThread;)V
+    getstatic Main.order I
+    invokestatic System.printInt(I)V
+    return
+.end
+"""
+
+    def test_fixed_timer_is_deterministic(self):
+        runs = set()
+        for _ in range(3):
+            result = run_source(self.COUNT_SRC, timer=FixedTimer(500))
+            runs.add((result.output_text, result.cycles, result.switches))
+        assert len(runs) == 1
+        assert result.switches > 2  # preemption actually happened
+
+    def test_different_seeds_can_differ(self):
+        outcomes = {
+            run_source(self.COUNT_SRC, timer=SeededJitterTimer(s, 30, 900)).switches
+            for s in range(6)
+        }
+        assert len(outcomes) > 1
+
+    def test_no_timer_means_run_to_completion(self):
+        result = run_source(self.COUNT_SRC, timer=None)
+        # worker 1 finishes entirely before worker 2 is ever dispatched
+        assert result.output_text == "1"
+
+    def test_yield_rotates_ready_queue(self):
+        src = """.class W
+.super Thread
+.field tag I
+.method run ()V
+    getstatic Main.log I
+    iconst 10
+    imul
+    aload 0
+    getfield W.tag I
+    iadd
+    putstatic Main.log I
+    return
+.end
+.class Main
+.field static log I
+.method static main ()V
+    new W
+    astore 0
+    aload 0
+    iconst 1
+    putfield W.tag I
+    new W
+    astore 1
+    aload 1
+    iconst 2
+    putfield W.tag I
+    aload 0
+    invokestatic Thread.start(LThread;)V
+    aload 1
+    invokestatic Thread.start(LThread;)V
+    invokestatic Thread.yield()V
+    aload 0
+    invokestatic Thread.join(LThread;)V
+    aload 1
+    invokestatic Thread.join(LThread;)V
+    getstatic Main.log I
+    invokestatic System.printInt(I)V
+    return
+.end
+"""
+        # with no timer, yield hands the CPU to worker 1 then worker 2
+        assert run_source(src, timer=None).output_text == "12"
+
+
+class TestSleep:
+    def test_sleep_orders_by_duration(self):
+        src = """.class W
+.super Thread
+.field ms I
+.field tag I
+.method run ()V
+    aload 0
+    getfield W.ms I
+    invokestatic Thread.sleep(I)V
+    getstatic Main.log I
+    iconst 10
+    imul
+    aload 0
+    getfield W.tag I
+    iadd
+    putstatic Main.log I
+    return
+.end
+.class Main
+.field static log I
+.method static main ()V
+    new W
+    astore 0
+    aload 0
+    iconst 500
+    putfield W.ms I
+    aload 0
+    iconst 1
+    putfield W.tag I
+    new W
+    astore 1
+    aload 1
+    iconst 40
+    putfield W.ms I
+    aload 1
+    iconst 2
+    putfield W.tag I
+    aload 0
+    invokestatic Thread.start(LThread;)V
+    aload 1
+    invokestatic Thread.start(LThread;)V
+    aload 0
+    invokestatic Thread.join(LThread;)V
+    aload 1
+    invokestatic Thread.join(LThread;)V
+    getstatic Main.log I
+    invokestatic System.printInt(I)V
+    return
+.end
+"""
+        # the short sleeper (tag 2) wakes first: log = 0*10+2 then 2*10+1
+        assert run_source(src, timer=None).output_text == "21"
+
+    def test_sleep_zero_continues(self):
+        src = """.class Main
+.method static main ()V
+    iconst 0
+    invokestatic Thread.sleep(I)V
+    ldc "ok"
+    invokestatic System.print(LString;)V
+    return
+.end
+"""
+        assert run_source(src).output_text == "ok"
+
+
+class TestGuestThreadMirror:
+    def test_state_field_terminal(self):
+        vm = VirtualMachine(TEST_CONFIG)
+        vm.declare(assemble(
+            """.class Main
+.method static main ()V
+    return
+.end
+"""
+        ))
+        vm.run()
+        main_thread = vm.scheduler.threads[0]
+        layout = vm.loader.classes["Thread"].layout
+        state = vm.om.get_field(main_thread.guest_addr, layout.field_by_name["state"].offset)
+        assert state == corelib.THREAD_TERMINATED
+
+    def test_shadow_stack_depth_zero_after_exit(self):
+        vm = VirtualMachine(TEST_CONFIG)
+        vm.declare(assemble(".class Main\n.method static main ()V\n    return\n.end\n"))
+        vm.run()
+        t = vm.scheduler.threads[0]
+        assert vm.om.array_get(t.shadow_addr, 0) == 0
+
+
+class TestStackGrowth:
+    DEEP = """.class Main
+.method static deep (I)I
+    iload 0
+    ifgt rec
+    iconst 0
+    ireturn
+rec:
+    iload 0
+    iconst 1
+    isub
+    invokestatic Main.deep(I)I
+    iconst 1
+    iadd
+    ireturn
+.end
+.method static main ()V
+    iconst 400
+    invokestatic Main.deep(I)I
+    invokestatic System.printInt(I)V
+    return
+.end
+"""
+
+    def test_deep_recursion_grows_stack(self):
+        result = run_source(
+            self.DEEP, config=VMConfig(semispace_words=60_000, initial_stack_words=128)
+        )
+        assert result.output_text == "400"
+        grows = [e for e in result.events if e[0] == "stack_grow"]
+        assert grows, "expected at least one stack growth"
+
+    def test_growth_updates_guest_field(self):
+        vm = VirtualMachine(VMConfig(semispace_words=60_000, initial_stack_words=128))
+        vm.declare(assemble(self.DEEP))
+        vm.run()
+        t = vm.scheduler.threads[0]
+        layout = vm.loader.classes["Thread"].layout
+        guest_stack = vm.om.get_field(t.guest_addr, layout.field_by_name["stack"].offset)
+        assert guest_stack == t.stack_addr
+        assert vm.om.array_length(guest_stack) == t.stack_capacity
+        assert t.stack_grows >= 1
+
+
+class TestDeadlock:
+    def test_deadlock_detected_gracefully(self):
+        src = """.class Main
+.field static o LObject;
+.method static main ()V
+    new Object
+    putstatic Main.o LObject;
+    getstatic Main.o LObject;
+    monitorenter
+    getstatic Main.o LObject;
+    invokestatic System.wait(LObject;)V
+    return
+.end
+"""
+        result = run_source(src)
+        assert result.deadlocked == (0,)
+        assert ("deadlock", (0,)) in result.events
+
+
+class TestStackOverflowTrap:
+    def test_infinite_recursion_traps_deterministically(self):
+        src = """.class Main
+.method static boom ()V
+    invokestatic Main.boom()V
+    return
+.end
+.method static main ()V
+    invokestatic Main.boom()V
+    return
+.end
+"""
+        from repro.vm.machine import VMConfig
+
+        result = run_source(src, config=VMConfig(semispace_words=400_000))
+        assert result.traps and result.traps[0][1] == "StackOverflow"
+
+    def test_overflowing_run_replays(self):
+        from repro.api import GuestProgram, record_and_replay
+        from repro.vm.machine import VMConfig
+        from tests.conftest import jitter_knobs
+
+        src = """.class Main
+.method static boom ()V
+    invokestatic Main.boom()V
+    return
+.end
+.method static main ()V
+    invokestatic Main.boom()V
+    ldc "survived"
+    invokestatic System.print(LString;)V
+    return
+.end
+"""
+        prog = GuestProgram.from_source(src)
+        _, _, report = record_and_replay(
+            prog, config=VMConfig(semispace_words=400_000), **jitter_knobs(2)
+        )
+        assert report.faithful

@@ -1,0 +1,199 @@
+"""Replay-based tools: the profiler and the coverage reporter."""
+
+import pytest
+
+from repro.api import GuestProgram, record
+from repro.lang import compile_source
+from repro.tools import ReplayCoverage, ReplayProfiler
+from repro.tools.profiler import profile
+from repro.vm import SeededJitterTimer
+from repro.vm.machine import VMConfig
+from repro.workloads import philosophers, racy_bank
+from tests.conftest import jitter_knobs
+
+CFG = VMConfig(semispace_words=70_000)
+
+
+@pytest.fixture(scope="module")
+def recorded_bank():
+    return record(racy_bank(), config=CFG, timer=SeededJitterTimer(5, 40, 160))
+
+
+class TestProfiler:
+    def test_cycles_fully_attributed(self, recorded_bank):
+        report = ReplayProfiler(racy_bank(), recorded_bank.trace, CFG).run()
+        assert sum(m.cycles for m in report.methods.values()) == report.total_cycles
+        assert sum(report.thread_cycles.values()) == report.total_cycles
+
+    def test_hot_method_is_the_teller_loop(self, recorded_bank):
+        report = profile(racy_bank(), recorded_bank.trace, CFG)
+        assert report.top_methods(1)[0].qualname == "Teller.run()V"
+
+    def test_invocation_counts(self, recorded_bank):
+        report = profile(racy_bank(), recorded_bank.trace, CFG)
+        assert report.methods["Teller.run()V"].invocations == 3  # three tellers
+        assert report.methods["Main.main()V"].invocations == 1
+
+    def test_profile_is_deterministic(self, recorded_bank):
+        """The headline property: no probe effect, identical profiles."""
+        a = profile(racy_bank(), recorded_bank.trace, CFG)
+        b = profile(racy_bank(), recorded_bank.trace, CFG)
+        assert a.methods == b.methods
+        assert a.thread_cycles == b.thread_cycles
+
+    def test_profiling_does_not_perturb_replay(self, recorded_bank):
+        report = profile(racy_bank(), recorded_bank.trace, CFG)
+        assert report.output_text == recorded_bank.result.output_text
+        assert report.total_cycles == recorded_bank.result.cycles
+
+    def test_monitor_stats_on_contended_workload(self):
+        session = record(philosophers(), config=CFG, **jitter_knobs(3))
+        report = profile(philosophers(), session.trace, CFG)
+        assert report.monitor_acquisitions > 0
+
+    def test_format_renders(self, recorded_bank):
+        text = profile(racy_bank(), recorded_bank.trace, CFG).format(5)
+        assert "total cycles" in text and "Teller.run" in text
+
+
+class TestCoverage:
+    MJ = """
+class Main {
+    static int pick(int x) {
+        if (x > 0) { return 1; }
+        else { return -1; }
+    }
+    static int unused() { return 42; }
+    static void main() {
+        System.printInt(Main.pick(5));
+    }
+}
+"""
+
+    def make(self):
+        program = GuestProgram(classdefs=compile_source(self.MJ), name="cov")
+        session = record(program, config=CFG, **jitter_knobs(1))
+        return program, session
+
+    def test_dead_branch_and_method_reported(self):
+        program, session = self.make()
+        report = ReplayCoverage(program, session.trace, CFG).run()
+        pick = report.methods["Main.pick(I)I"]
+        assert 0 < pick.ratio < 1  # the else branch never ran
+        unused = report.methods["Main.unused()I"]
+        assert unused.hit_count == 0
+        main = report.methods["Main.main()V"]
+        assert main.ratio == 1.0
+
+    def test_missed_lines_map_to_source(self):
+        program, session = self.make()
+        report = ReplayCoverage(program, session.trace, CFG).run()
+        missed = report.methods["Main.pick(I)I"].missed_lines
+        assert 5 in missed  # the else-return source line
+
+    def test_core_library_excluded(self):
+        program, session = self.make()
+        report = ReplayCoverage(program, session.trace, CFG).run()
+        assert all(q.startswith("Main.") for q in report.methods)
+
+    def test_format_renders(self):
+        program, session = self.make()
+        text = ReplayCoverage(program, session.trace, CFG).run().format()
+        assert "overall:" in text
+
+
+class TestHeapCensus:
+    def make_vm(self):
+        from repro.api import build_vm
+
+        src = """
+class Node { Node next; }
+class Main {
+    static Node head;
+    static int[] keep;
+    static void main() {
+        Main.keep = new int[100];
+        for (int i = 0; i < 25; i++) {
+            Node fresh = new Node();
+            fresh.next = Main.head;
+            Main.head = fresh;
+        }
+        System.gc();
+    }
+}
+"""
+        program = GuestProgram(classdefs=compile_source(src), name="census")
+        vm = build_vm(program, CFG)
+        vm.run()
+        return vm, program
+
+    def test_direct_census_counts_user_objects(self):
+        from repro.tools import census
+
+        vm, _ = self.make_vm()
+        report = census(vm)
+        assert report.by_class["Node"].count == 25
+        assert report.by_class["[I"].words >= 103  # the 100-int array
+        assert report.total_objects == sum(c.count for c in report.by_class.values())
+
+    def test_remote_census_matches_direct(self):
+        from repro.remote import DebugPort, RemoteResolver
+        from repro.tools import census, remote_census
+        from repro.vm import VirtualMachine
+
+        vm, program = self.make_vm()
+        tool = VirtualMachine(CFG)
+        tool.declare(program.classdefs)
+        port = DebugPort(vm)
+        remote = remote_census(port, RemoteResolver(port, tool.loader))
+        direct = census(vm)
+        assert remote.total_objects == direct.total_objects
+        assert remote.total_words == direct.total_words
+        assert {k: (c.count, c.words) for k, c in remote.by_class.items()} == {
+            k: (c.count, c.words) for k, c in direct.by_class.items()
+        }
+
+    def test_format_renders(self):
+        from repro.tools import census
+
+        vm, _ = self.make_vm()
+        assert "live objects:" in census(vm).format(5)
+
+
+class TestMonitorReleaseOnDeath:
+    def test_dying_thread_releases_locks(self):
+        from tests.conftest import run_source
+        from repro.vm import FixedTimer
+
+        src = """.class Bad
+.super Thread
+.method run ()V
+    getstatic Main.lock LObject;
+    monitorenter
+    iconst 1
+    iconst 0
+    idiv
+    pop
+    return
+.end
+.class Main
+.field static lock LObject;
+.method static main ()V
+    new Object
+    putstatic Main.lock LObject;
+    new Bad
+    dup
+    invokestatic Thread.start(LThread;)V
+    invokestatic Thread.join(LThread;)V
+    getstatic Main.lock LObject;
+    monitorenter
+    ldc "recovered"
+    invokestatic System.print(LString;)V
+    getstatic Main.lock LObject;
+    monitorexit
+    return
+.end
+"""
+        result = run_source(src, timer=FixedTimer(5000))
+        assert result.output_text == "recovered"
+        assert not result.deadlocked

@@ -1,0 +1,163 @@
+"""Trace encoding, persistence, and the guest-heap buffers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.vm import VirtualMachine
+from repro.vm.errors import VMError
+from repro.core.tracelog import (
+    TraceBuffer,
+    TraceLog,
+    decode_words,
+    encode_words,
+    read_varint,
+    unzigzag,
+    write_varint,
+    zigzag,
+)
+from tests.conftest import TEST_CONFIG
+
+words_lists = st.lists(st.integers(min_value=-(1 << 40), max_value=1 << 40), max_size=200)
+
+
+class TestVarints:
+    @given(st.integers(min_value=-(1 << 62), max_value=1 << 62))
+    def test_zigzag_roundtrip(self, n):
+        assert unzigzag(zigzag(n)) == n
+
+    def test_zigzag_small_values_small(self):
+        assert zigzag(0) == 0
+        assert zigzag(-1) == 1
+        assert zigzag(1) == 2
+        assert zigzag(-2) == 3
+
+    @given(st.integers(min_value=-(1 << 62), max_value=1 << 62))
+    def test_varint_roundtrip(self, n):
+        out = bytearray()
+        write_varint(out, n)
+        value, pos = read_varint(bytes(out), 0)
+        assert value == n and pos == len(out)
+
+    def test_small_values_one_byte(self):
+        for n in range(-63, 64):
+            out = bytearray()
+            write_varint(out, n)
+            assert len(out) == 1
+
+    def test_truncated_raises(self):
+        out = bytearray()
+        write_varint(out, 1 << 40)
+        with pytest.raises(VMError):
+            read_varint(bytes(out[:-1]), 0)
+
+    @given(words_lists)
+    def test_stream_roundtrip(self, ws):
+        assert decode_words(encode_words(ws)) == ws
+
+
+class TestTraceLog:
+    @given(words_lists, words_lists)
+    def test_save_load_roundtrip(self, switches, values):
+        import tempfile, os
+
+        log = TraceLog(switches=switches, values=values)
+        log.meta["end"] = (("cycles", 42),)
+        fd, path = tempfile.mkstemp(suffix=".djv")
+        os.close(fd)
+        try:
+            log.save(path)
+            loaded = TraceLog.load(path)
+            assert loaded.switches == switches
+            assert loaded.values == values
+            assert dict(loaded.meta["end"]) == {"cycles": 42}
+        finally:
+            os.unlink(path)
+
+    def test_bad_magic_rejected(self, tmp_path):
+        p = tmp_path / "x.djv"
+        p.write_bytes(b"NOPE" + b"\x00" * 40)
+        with pytest.raises(VMError):
+            TraceLog.load(p)
+
+    def test_size_accounting(self):
+        log = TraceLog(switches=[1, 2, 3], values=[100])
+        assert log.n_switch_records == 3
+        assert log.n_value_words == 1
+        assert log.encoded_size_bytes == len(encode_words([1, 2, 3])) + len(
+            encode_words([100])
+        )
+
+
+class TestTraceBuffer:
+    def make(self, capacity=4):
+        vm = VirtualMachine(TEST_CONFIG)
+        return vm, TraceBuffer(vm, capacity)
+
+    def test_put_flush_roundtrip(self):
+        vm, buf = self.make(4)
+        sink: list[int] = []
+        for w in [5, -3, 7, 9, 11]:  # fifth put forces a flush
+            buf.put(w, sink)
+        assert sink == [5, -3, 7, 9]
+        buf.flush(sink)
+        assert sink == [5, -3, 7, 9, 11]
+        assert buf.flushes == 2
+
+    def test_take_refills(self):
+        vm, buf = self.make(3)
+        source = [1, 2, 3, 4, 5]
+        cursor = 0
+        out = []
+        for _ in range(5):
+            w, cursor = buf.take(source, cursor)
+            out.append(w)
+        assert out == source
+        assert buf.refills == 2
+
+    def test_take_exhausted_returns_none(self):
+        vm, buf = self.make(3)
+        w, cursor = buf.take([], 0)
+        assert w is None
+
+    def test_buffer_lives_in_guest_heap(self):
+        vm, buf = self.make(8)
+        buf.allocate()
+        assert vm.om.array_length(buf.addr) == 8
+        layout = vm.om.layout_of(buf.addr)
+        assert layout.is_array and layout.elem_desc == "I"
+
+    def test_zero_erases(self):
+        vm, buf = self.make(4)
+        sink: list[int] = []
+        buf.put(99, sink)
+        buf.zero()
+        assert vm.om.array_get(buf.addr, 0) == 0
+
+    def test_survives_gc(self):
+        vm, buf = self.make(4)
+        sink: list[int] = []
+        buf.put(42, sink)
+        vm.extra_root_visitors.append(buf.visit_roots)
+        old = buf.addr
+        vm.collect()
+        assert buf.addr != old
+        buf.put(43, sink)
+        buf.flush(sink)
+        assert sink == [42, 43]
+
+    def test_drain_hook_fires(self):
+        vm, buf = self.make(2)
+        kinds = []
+        buf.on_drain = kinds.append
+        sink: list[int] = []
+        for w in range(5):
+            buf.put(w, sink)
+        assert kinds == ["flush", "flush"]  # puts 3 and 5 hit a full buffer
+        buf.flush(sink)
+        cursor = 0
+        buf2 = TraceBuffer(vm, 2)
+        buf2.on_drain = kinds.append
+        for _ in range(5):
+            _, cursor = buf2.take(sink, cursor)
+        assert kinds.count("refill") == 3

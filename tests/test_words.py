@@ -1,0 +1,137 @@
+"""32-bit word semantics: the guest's int arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.vm import words
+
+i32 = st.integers(min_value=words.I32_MIN, max_value=words.I32_MAX)
+anyint = st.integers(min_value=-(1 << 70), max_value=1 << 70)
+
+
+class TestToI32:
+    def test_identity_in_range(self):
+        assert words.to_i32(42) == 42
+        assert words.to_i32(-42) == -42
+
+    def test_boundaries(self):
+        assert words.to_i32(words.I32_MAX) == words.I32_MAX
+        assert words.to_i32(words.I32_MIN) == words.I32_MIN
+
+    def test_wraparound_positive(self):
+        assert words.to_i32(words.I32_MAX + 1) == words.I32_MIN
+
+    def test_wraparound_negative(self):
+        assert words.to_i32(words.I32_MIN - 1) == words.I32_MAX
+
+    @given(anyint)
+    def test_always_in_range(self, n):
+        assert words.I32_MIN <= words.to_i32(n) <= words.I32_MAX
+
+    @given(i32)
+    def test_fixpoint_on_i32(self, n):
+        assert words.to_i32(n) == n
+
+    @given(anyint)
+    def test_congruent_mod_2_32(self, n):
+        assert (words.to_i32(n) - n) % (1 << 32) == 0
+
+
+class TestArithmetic:
+    @given(i32, i32)
+    def test_add_matches_java(self, a, b):
+        assert words.iadd(a, b) == words.to_i32(a + b)
+
+    @given(i32, i32)
+    def test_sub_matches_java(self, a, b):
+        assert words.isub(a, b) == words.to_i32(a - b)
+
+    @given(i32, i32)
+    def test_mul_matches_java(self, a, b):
+        assert words.imul(a, b) == words.to_i32(a * b)
+
+    def test_add_overflow(self):
+        assert words.iadd(words.I32_MAX, 1) == words.I32_MIN
+
+    def test_div_truncates_toward_zero(self):
+        assert words.idiv(7, 2) == 3
+        assert words.idiv(-7, 2) == -3
+        assert words.idiv(7, -2) == -3
+        assert words.idiv(-7, -2) == 3
+
+    def test_div_min_by_minus_one_wraps(self):
+        # JVM: Integer.MIN_VALUE / -1 == Integer.MIN_VALUE
+        assert words.idiv(words.I32_MIN, -1) == words.I32_MIN
+
+    def test_div_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            words.idiv(1, 0)
+
+    def test_rem_sign_follows_dividend(self):
+        assert words.irem(7, 3) == 1
+        assert words.irem(-7, 3) == -1
+        assert words.irem(7, -3) == 1
+        assert words.irem(-7, -3) == -1
+
+    def test_rem_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            words.irem(1, 0)
+
+    @given(i32, i32.filter(lambda b: b != 0))
+    def test_div_rem_identity(self, a, b):
+        q, r = words.idiv(a, b), words.irem(a, b)
+        assert words.to_i32(words.imul(q, b) + r) == words.to_i32(a)
+
+    def test_neg(self):
+        assert words.ineg(5) == -5
+        assert words.ineg(words.I32_MIN) == words.I32_MIN  # JVM overflow case
+
+    @given(i32)
+    def test_double_neg(self, a):
+        assert words.ineg(words.ineg(a)) == a
+
+
+class TestShifts:
+    def test_shl_basic(self):
+        assert words.ishl(1, 4) == 16
+
+    def test_shift_count_masked_to_5_bits(self):
+        # JVM masks the shift count with 0x1f
+        assert words.ishl(1, 32) == 1
+        assert words.ishl(1, 33) == 2
+        assert words.ishr(16, 36) == 1
+
+    def test_shr_arithmetic(self):
+        assert words.ishr(-8, 1) == -4
+
+    def test_ushr_logical(self):
+        assert words.iushr(-1, 28) == 0xF
+
+    @given(i32, st.integers(min_value=0, max_value=31))
+    def test_ushr_nonnegative(self, a, s):
+        if s > 0:
+            assert words.iushr(a, s) >= 0
+
+    @given(i32, st.integers(min_value=0, max_value=31))
+    def test_shl_matches_mask(self, a, s):
+        assert words.ishl(a, s) == words.to_i32(a << s)
+
+
+class TestBitwise:
+    @given(i32, i32)
+    def test_and_or_xor_consistency(self, a, b):
+        assert words.ixor(a, b) == words.to_i32(
+            words.iand(a, ~b) | words.iand(~a & 0xFFFFFFFF, b)
+        ) or True  # xor identity below is the strict check
+        assert words.ixor(a, b) == words.to_i32(a ^ b)
+        assert words.iand(a, b) == words.to_i32(a & b)
+        assert words.ior(a, b) == words.to_i32(a | b)
+
+    @given(i32)
+    def test_xor_self_is_zero(self, a):
+        assert words.ixor(a, a) == 0
+
+    def test_to_u32(self):
+        assert words.to_u32(-1) == 0xFFFFFFFF
+        assert words.to_u32(0) == 0

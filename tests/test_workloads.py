@@ -1,0 +1,147 @@
+"""Workload invariants: each guest program computes what it claims."""
+
+import pytest
+
+from repro.api import build_vm
+from repro.vm import SeededJitterTimer
+from repro.vm.machine import Environment, VMConfig
+from repro.vm.timerdev import SeededJitterClock
+from repro.workloads import (
+    ALL_WORKLOADS,
+    figure1_ab,
+    figure1_cd,
+    gc_churn,
+    philosophers,
+    producer_consumer,
+    racy_bank,
+    server,
+    sorter,
+    synced_bank,
+)
+
+CFG = VMConfig(semispace_words=80_000)
+
+
+def run(program, seed=0, lo=40, hi=200):
+    vm = build_vm(
+        program,
+        CFG,
+        timer=SeededJitterTimer(seed, lo, hi),
+        clock=SeededJitterClock(seed),
+        env=Environment(seed=seed),
+    )
+    return vm.run(program.main)
+
+
+class TestFigure1:
+    def test_ab_outcomes_are_8_or_0(self):
+        seen = set()
+        for seed in range(30):
+            result = run(figure1_ab(), seed, 5, 120)
+            assert result.output_text in ("8", "0")
+            seen.add(result.output_text)
+        assert "8" in seen  # the common case must appear
+
+    def test_cd_wait_branch_vs_skip(self):
+        outcomes = set()
+        for seed in range(30):
+            result = run(figure1_cd(), seed, 5, 120)
+            if result.deadlocked:
+                outcomes.add("deadlock")
+            else:
+                outcomes.add(result.output_text)
+        # C (wait, then x=1 -> 101) and D (no wait, x still 0 -> 100)
+        assert outcomes & {"100", "101"}
+        assert len(outcomes) >= 2
+
+
+class TestBank:
+    def test_synced_bank_always_exact(self):
+        for seed in range(4):
+            result = run(synced_bank(tellers=3, deposits=25), seed, 20, 90)
+            assert result.output_text == "balance=75"
+
+    def test_racy_bank_loses_updates(self):
+        outputs = {run(racy_bank(), seed, 20, 90).output_text for seed in range(6)}
+        values = {int(o.split("=")[1]) for o in outputs}
+        assert any(v < 120 for v in values)  # updates actually lost
+        assert all(v <= 120 for v in values)  # never overcounts
+
+    def test_parameterisation(self):
+        result = run(synced_bank(tellers=2, deposits=10), 0)
+        assert result.output_text == "balance=20"
+
+
+class TestProducerConsumer:
+    def test_sum_is_schedule_independent(self):
+        expected = sum(range(2 * 30))  # producers*items sequence numbers
+        for seed in (0, 5, 11):
+            result = run(producer_consumer(), seed, 20, 120)
+            assert result.output_text == f"sum={expected}"
+            assert not result.deadlocked
+
+    def test_small_capacity_forces_waits(self):
+        program = producer_consumer(producers=2, consumers=1, items_per_producer=10, capacity=1)
+        result = run(program, 3, 20, 120)
+        assert result.output_text == f"sum={sum(range(20))}"
+
+
+class TestPhilosophers:
+    def test_all_meals_eaten_no_deadlock(self):
+        for seed in (0, 7):
+            result = run(philosophers(n=4, rounds=6), seed, 30, 150)
+            assert result.output_text == "meals=24"
+            assert not result.deadlocked
+
+
+class TestServer:
+    def test_all_requests_served(self):
+        result = run(server(n_workers=3, n_requests=25, seed=5), 5)
+        assert "served=25" in result.output_text
+        assert result.output_text.count("resp:") == 25
+
+    def test_callback_stats_accumulated(self):
+        result = run(server(n_workers=2, n_requests=24, seed=5), 5)
+        # every 8th recv issues a callback: 3 callbacks x 8 packets
+        assert "packets=24" in result.output_text
+
+
+class TestSorter:
+    def test_chunks_actually_sorted(self):
+        program = sorter(n_workers=3, chunk=32)
+        vm = build_vm(program, CFG, timer=SeededJitterTimer(1, 40, 200))
+        vm.run(program.main)
+        rc, slot = vm.loader.resolve_static_field("Main.data")
+        data_addr = vm.om.get_field(rc.statics_addr, slot.offset)
+        values = [vm.om.array_get(data_addr, i) for i in range(vm.om.array_length(data_addr))]
+        for w in range(3):
+            chunk = values[w * 32 : (w + 1) * 32]
+            assert chunk == sorted(chunk)
+
+    def test_checksum_schedule_independent(self):
+        outs = {run(sorter(), seed, 30, 150).output_text for seed in (1, 2, 3)}
+        assert len(outs) == 1
+
+
+class TestGcChurn:
+    def test_depth_sum_deterministic_component(self):
+        result = run(gc_churn(iters=70, depth=30), 2)
+        # depthSum: both threads recurse every 7th iteration, full depth each
+        assert "depthSum=600" in result.output_text
+
+    def test_hashes_component_present(self):
+        result = run(gc_churn(), 2)
+        assert "hashes=" in result.output_text
+
+
+class TestRegistry:
+    def test_all_workloads_factory_map(self):
+        assert len(ALL_WORKLOADS) == 10
+        for name, factory in ALL_WORKLOADS.items():
+            program = factory()
+            assert program.classdefs, name
+
+    @pytest.mark.parametrize("name", sorted(ALL_WORKLOADS))
+    def test_every_workload_completes_without_traps(self, name):
+        result = run(ALL_WORKLOADS[name](), 21, 30, 150)
+        assert not result.traps, (name, result.traps)
