@@ -11,6 +11,7 @@ Commands:
 * ``coverage program.jasm t.djv`` — bytecode/line coverage of a trace
 * ``disasm program.jasm``         — verify + disassemble
 * ``trace-info t.djv``            — describe a saved trace
+* ``engine-stats program.jasm``   — run + host-side dispatch statistics
 
 Programs may be written in assembly (``.jasm``) or MiniJ (``.mj`` /
 ``.minij``); the extension picks the front end.
@@ -24,6 +25,7 @@ from pathlib import Path
 
 from repro.api import GuestProgram, build_vm, record as api_record, replay as api_replay
 from repro.core import TraceLog
+from repro.vm.engineconfig import EngineConfig
 from repro.vm.errors import VMError
 from repro.vm.machine import Environment, VMConfig
 from repro.vm.timerdev import HostClock, HostTimer, SeededJitterClock, SeededJitterTimer
@@ -53,8 +55,18 @@ def _knobs(args) -> dict:
     )
 
 
+#: named engine configurations for ``--engine`` (ablation layers in order)
+ENGINE_PRESETS = {
+    "baseline": EngineConfig.baseline(),
+    "threaded": EngineConfig(threaded_dispatch=True, fusion=False, inline_caches=False),
+    "fused": EngineConfig(threaded_dispatch=True, fusion=True, inline_caches=False),
+    "full": EngineConfig(),
+}
+
+
 def _config(args) -> VMConfig:
-    return VMConfig(semispace_words=args.heap)
+    engine = ENGINE_PRESETS[getattr(args, "engine", "full")]
+    return VMConfig(semispace_words=args.heap, engine=engine)
 
 
 def _print_result(result, out=None) -> None:
@@ -117,6 +129,30 @@ def cmd_trace_info(args) -> int:
     stats = dict(trace.meta.get("stats") or ())
     if stats:
         print("record stats:   " + ", ".join(f"{k}={v}" for k, v in sorted(stats.items())))
+    return 0
+
+
+def cmd_engine_stats(args) -> int:
+    """Run a program and report how the engine dispatched it (host-side
+    statistics only — they never appear in a RunResult or a trace)."""
+    program = load_program(args.program, args.main)
+    vm = build_vm(program, _config(args), **_knobs(args))
+    result = vm.run(program.main)
+    _print_result(result)
+    stats = vm.engine_stats()
+    print(f"-- engine: {stats.pop('config')}")
+    for key in (
+        "cycles",
+        "dispatches",
+        "fused_sites",
+        "fused_ops_executed",
+        "fused_extra_cycles",
+        "ic_sites",
+        "ic_hits",
+        "ic_misses",
+        "ic_invalidations",
+    ):
+        print(f"   {key + ':':<20}{stats[key]}")
     return 0
 
 
@@ -260,6 +296,13 @@ def make_parser() -> argparse.ArgumentParser:
             default=None,
             help="seeded non-determinism (default: host timer/clock)",
         )
+        p.add_argument(
+            "--engine",
+            choices=sorted(ENGINE_PRESETS),
+            default="full",
+            help="dispatch layers: baseline | threaded | fused | full "
+            "(guest behavior is identical under all of them)",
+        )
 
     p = sub.add_parser("run", help="execute a guest program")
     common(p)
@@ -299,6 +342,12 @@ def make_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("trace-info", help="describe a saved trace")
     p.add_argument("trace")
     p.set_defaults(fn=cmd_trace_info)
+
+    p = sub.add_parser(
+        "engine-stats", help="run a program and report dispatch statistics"
+    )
+    common(p)
+    p.set_defaults(fn=cmd_engine_stats)
 
     return parser
 

@@ -64,7 +64,7 @@ class DebugController:
 
     def check(self, thread: "GreenThread", frame: "Frame", pc: int) -> bool:
         """True ⇒ the engine parks the thread and returns to the session."""
-        bci = frame.code.bci_of[pc]
+        bci = frame.code.xbci_of[pc]
         token = (thread.tid, id(frame), bci)
         if token == self._resume_token:
             # still on the bytecode we just paused at (a bci spans several

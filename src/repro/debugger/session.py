@@ -23,7 +23,7 @@ from repro.remote.mapping import default_mappings
 from repro.remote.ptrace import DebugPort
 from repro.remote.reflector import RemoteReflector
 from repro.vm.errors import VMError
-from repro.vm.machine import VirtualMachine, VMConfig
+from repro.vm.machine import VirtualMachine, VMConfig, with_baseline_engine
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.api import GuestProgram
@@ -43,7 +43,7 @@ class ReplaySession:
         from repro.api import build_vm
 
         self.program = program
-        self.vm = build_vm(program, config)
+        self.vm = build_vm(program, with_baseline_engine(config))
         self.dejavu = DejaVu(self.vm, MODE_REPLAY, trace=trace, symmetry=symmetry)
         self.control = DebugController()
         self.vm.engine.debug = self.control

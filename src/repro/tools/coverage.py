@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.core.controller import MODE_REPLAY, DejaVu
-from repro.vm.machine import VMConfig
+from repro.vm.machine import VMConfig, with_baseline_engine
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.api import GuestProgram
@@ -83,7 +83,7 @@ class _CoverageHook:
         bucket = self.hits.get(qual)
         if bucket is None:
             bucket = self.hits[qual] = set()
-        bucket.add(frame.code.bci_of[pc])
+        bucket.add(frame.code.xbci_of[pc])
         return False
 
 
@@ -98,7 +98,7 @@ class ReplayCoverage:
     def run(self) -> CoverageReport:
         from repro.api import build_vm
 
-        vm = build_vm(self.program, self.config)
+        vm = build_vm(self.program, with_baseline_engine(self.config))
         DejaVu(vm, MODE_REPLAY, trace=self.trace)
         hook = _CoverageHook()
         vm.engine.debug = hook

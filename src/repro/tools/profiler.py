@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.core.controller import MODE_REPLAY, DejaVu
-from repro.vm.machine import VMConfig
+from repro.vm.machine import VMConfig, with_baseline_engine
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.api import GuestProgram
@@ -107,7 +107,7 @@ class ReplayProfiler:
     def run(self) -> ProfileReport:
         from repro.api import build_vm
 
-        vm = build_vm(self.program, self.config)
+        vm = build_vm(self.program, with_baseline_engine(self.config))
         DejaVu(vm, MODE_REPLAY, trace=self.trace)
         hook = _ProfilerHook()
         vm.engine.debug = hook

@@ -16,10 +16,13 @@ vtable keys.
 
 from __future__ import annotations
 
+import operator
 from dataclasses import dataclass, field
 
+from repro.vm import words
 from repro.vm.bytecode import BRANCHES, Instr, Op
-from repro.vm.errors import VMError
+from repro.vm.engineconfig import EngineConfig
+from repro.vm.errors import VMError, VMTrap
 from repro.vm.refmaps import field_ref
 
 # -- micro-op codes ----------------------------------------------------------
@@ -94,6 +97,42 @@ M_MONITOREXIT = 61
 
 M_YIELDPOINT = 62
 
+# -- fused micro-ops (superinstructions) -------------------------------------
+#
+# Emitted only into the *executable* program (``MachineCode.xops``) by the
+# peephole pass below; the canonical listing ``MachineCode.ops`` never
+# contains them.  Each fused op charges exactly as many cycles as the
+# micro-ops it replaces (its entry in ``xweights``).  Legality rules:
+#
+#   * a group never contains a yield point (logical clocks are sacred);
+#   * no interior op of a group is a branch target (control can only
+#     enter at the group head);
+#   * only the *terminal* op of a group may trap or branch — so a trap
+#     charges the same cycles fused or unfused, and partial execution of
+#     a group is impossible;
+#   * no op of a group allocates, invokes, returns, or touches monitors
+#     (safe points and scheduling points keep their exact positions).
+
+F_PUSH2 = 70  # a=(s1, s2)           two local loads
+F_PUSH_LC = 71  # a=(slot, const)      local load + iconst
+F_CONST_STORE = 72  # a=(const, slot)      iconst + store
+F_MOVE = 73  # a=(src, dst)         local-to-local copy
+F_LL_BIN = 74  # a=(s1, s2), b=fn     load, load, binop
+F_LC_BIN = 75  # a=(slot, const), b=fn
+F_C_BIN = 76  # a=const, b=fn        iconst + binop against stack top
+F_BIN_STORE = 77  # a=slot, b=fn         binop + store
+F_LL_CMPBR = 78  # a=(s1, s2), b=(cmp, target)
+F_LC_CMPBR = 79  # a=(slot, const), b=(cmp, target)
+F_SL_CMPBR = 80  # a=slot, b=(cmp, target)   stack top vs local
+F_SC_CMPBR = 81  # a=const, b=(cmp, target)  stack top vs const
+F_L_BR = 82  # a=slot, b=(test, target)  local load + unary branch
+F_AL_GETFIELD = 83  # a=(slot, offset)     aload + getfield
+F_DUP_PUTFIELD = 84  # a=offset             dup + putfield
+F_ALL_PUTFIELD = 85  # a=(objslot, valslot), b=offset
+F_ALC_PUTFIELD = 86  # a=(objslot, const), b=offset
+F_ALL_ALOAD = 87  # a=(arrslot, idxslot) load, load, array element load
+F_IINC_BR = 88  # a=(slot, delta), b=target   iinc + goto (the loop tail)
+
 #: yield-point location tags (carried so tests/traces can tell them apart)
 YP_PROLOGUE = 0
 YP_BACKEDGE = 1
@@ -154,9 +193,262 @@ _BRANCH = {
 FRAME_OVERHEAD_WORDS = 6
 
 
+# -- superinstruction fusion -------------------------------------------------
+
+
+def idiv_trapping(x: int, y: int) -> int:
+    try:
+        return words.idiv(x, y)
+    except ZeroDivisionError:
+        raise VMTrap("ArithmeticDivByZero") from None
+
+
+def irem_trapping(x: int, y: int) -> int:
+    try:
+        return words.irem(x, y)
+    except ZeroDivisionError:
+        raise VMTrap("ArithmeticDivByZero") from None
+
+
+#: binops fusable as a group terminal (division traps, which is legal
+#: terminally — the whole group is charged before the trap either way).
+BIN_FNS = {
+    M_IADD: words.iadd,
+    M_ISUB: words.isub,
+    M_IMUL: words.imul,
+    M_IDIV: idiv_trapping,
+    M_IREM: irem_trapping,
+    M_ISHL: words.ishl,
+    M_ISHR: words.ishr,
+    M_IUSHR: words.iushr,
+    M_IAND: words.iand,
+    M_IOR: words.ior,
+    M_IXOR: words.ixor,
+}
+
+#: two-operand compare-and-branch predicates (acmp compares addresses,
+#: which are plain ints here, so the int predicates serve both).
+CMP2_FNS = {
+    M_IF_ICMPEQ: operator.eq,
+    M_IF_ICMPNE: operator.ne,
+    M_IF_ICMPLT: operator.lt,
+    M_IF_ICMPLE: operator.le,
+    M_IF_ICMPGT: operator.gt,
+    M_IF_ICMPGE: operator.ge,
+    M_IF_ACMPEQ: operator.eq,
+    M_IF_ACMPNE: operator.ne,
+}
+
+
+def _eq0(x: int) -> bool:
+    return x == 0
+
+
+def _ne0(x: int) -> bool:
+    return x != 0
+
+
+def _lt0(x: int) -> bool:
+    return x < 0
+
+
+def _le0(x: int) -> bool:
+    return x <= 0
+
+
+def _gt0(x: int) -> bool:
+    return x > 0
+
+
+def _ge0(x: int) -> bool:
+    return x >= 0
+
+
+CMP1_FNS = {
+    M_IFEQ: _eq0,
+    M_IFNE: _ne0,
+    M_IFLT: _lt0,
+    M_IFLE: _le0,
+    M_IFGT: _gt0,
+    M_IFGE: _ge0,
+    M_IFNULL: _eq0,
+    M_IFNONNULL: _ne0,
+}
+
+_BRANCH_MOPS = frozenset(_BRANCH.values())
+_FUSED_BRANCH_MOPS = frozenset((F_LL_CMPBR, F_LC_CMPBR, F_SL_CMPBR, F_SC_CMPBR, F_L_BR))
+_LOADS = (M_ILOAD, M_ALOAD)
+_STORES = (M_ISTORE, M_ASTORE)
+
+
+def _match_group(ops: list, i: int, n: int, targets: frozenset):
+    """Longest fusable group starting at *i*, or None.
+
+    Returns ``((mop, a, b), width)``.  Greedy: triples before pairs.
+    Interior positions must not be branch targets; the pattern tables
+    guarantee only terminal ops may trap or branch.
+    """
+    m0, a0, _ = ops[i]
+    if m0 in _LOADS:
+        if i + 1 >= n or (i + 1) in targets:
+            return None
+        m1, a1, _ = ops[i + 1]
+        if (m1 in _LOADS or m1 == M_ICONST) and i + 2 < n and (i + 2) not in targets:
+            m2, a2, _ = ops[i + 2]
+            fn = BIN_FNS.get(m2)
+            if fn is not None:
+                return ((F_LL_BIN if m1 != M_ICONST else F_LC_BIN, (a0, a1), fn), 3)
+            fn = CMP2_FNS.get(m2)
+            if fn is not None:
+                mop = F_LL_CMPBR if m1 != M_ICONST else F_LC_CMPBR
+                return ((mop, (a0, a1), (fn, a2)), 3)
+            if m2 == M_PUTFIELD and m0 == M_ALOAD:
+                mop = F_ALL_PUTFIELD if m1 != M_ICONST else F_ALC_PUTFIELD
+                return ((mop, (a0, a1), a2), 3)
+            if (m2 == M_IALOAD or m2 == M_AALOAD) and m1 != M_ICONST:
+                return ((F_ALL_ALOAD, (a0, a1), None), 3)
+        if m1 in _LOADS:
+            return ((F_PUSH2, (a0, a1), None), 2)
+        if m1 == M_ICONST:
+            return ((F_PUSH_LC, (a0, a1), None), 2)
+        if m1 in _STORES:
+            return ((F_MOVE, (a0, a1), None), 2)
+        if m1 == M_GETFIELD and m0 == M_ALOAD:
+            return ((F_AL_GETFIELD, (a0, a1), None), 2)
+        fn = CMP2_FNS.get(m1)
+        if fn is not None:
+            return ((F_SL_CMPBR, a0, (fn, a1)), 2)
+        fn = CMP1_FNS.get(m1)
+        if fn is not None:
+            return ((F_L_BR, a0, (fn, a1)), 2)
+        return None
+    if m0 == M_ICONST:
+        if i + 1 >= n or (i + 1) in targets:
+            return None
+        m1, a1, _ = ops[i + 1]
+        if m1 in _STORES:
+            return ((F_CONST_STORE, (a0, a1), None), 2)
+        fn = BIN_FNS.get(m1)
+        if fn is not None:
+            return ((F_C_BIN, a0, fn), 2)
+        fn = CMP2_FNS.get(m1)
+        if fn is not None:
+            return ((F_SC_CMPBR, a0, (fn, a1)), 2)
+        return None
+    fn = BIN_FNS.get(m0)
+    if fn is not None:
+        if i + 1 < n and (i + 1) not in targets:
+            m1, a1, _ = ops[i + 1]
+            if m1 in _STORES:
+                return ((F_BIN_STORE, a1, fn), 2)
+        return None
+    if m0 == M_DUP:
+        if i + 1 < n and (i + 1) not in targets:
+            m1, a1, _ = ops[i + 1]
+            if m1 == M_PUTFIELD:
+                return ((F_DUP_PUTFIELD, a1, None), 2)
+        return None
+    if m0 == M_IINC:
+        if i + 1 < n and (i + 1) not in targets:
+            m1, a1, _ = ops[i + 1]
+            if m1 == M_GOTO:
+                return ((F_IINC_BR, (a0, ops[i][2]), a1), 2)
+    return None
+
+
+def _fuse(mc: "MachineCode") -> None:
+    """Build the fused executable program xops/xbci_of/xweights from ops.
+
+    Branch targets (which, by legality, can only name group heads) are
+    remapped from canonical to executable pc space at the end.
+    """
+    ops = mc.ops
+    n = len(ops)
+    targets = set()
+    for mop, a, _ in ops:
+        if mop in _BRANCH_MOPS:
+            targets.add(a)
+    targets = frozenset(targets)
+
+    xops: list[tuple] = []
+    xbci: list[int] = []
+    xweights: list[int] = []
+    old2new = [-1] * (n + 1)
+    i = 0
+    while i < n:
+        old2new[i] = len(xops)
+        match = _match_group(ops, i, n, targets)
+        if match is None:
+            xops.append(ops[i])
+            xbci.append(mc.bci_of[i])
+            xweights.append(1)
+            i += 1
+        else:
+            (mop, a, b), width = match
+            xops.append((mop, a, b))
+            xbci.append(mc.bci_of[i])
+            xweights.append(width)
+            mc.fused_groups += 1
+            i += width
+
+    for idx, (mop, a, b) in enumerate(xops):
+        if mop in _BRANCH_MOPS:
+            assert old2new[a] >= 0, "branch into the interior of a fused group"
+            xops[idx] = (mop, old2new[a], b)
+        elif mop in _FUSED_BRANCH_MOPS:
+            fn, t = b
+            assert old2new[t] >= 0, "branch into the interior of a fused group"
+            xops[idx] = (mop, a, (fn, old2new[t]))
+        elif mop == F_IINC_BR:
+            assert old2new[b] >= 0, "branch into the interior of a fused group"
+            xops[idx] = (mop, a, old2new[b])
+
+    mc.xops = xops
+    mc.xbci_of = xbci
+    mc.xweights = xweights
+
+
+class InvokeSite:
+    """One compiled ``invokevirtual`` site.
+
+    Carries the precomputed arity (so the engine stops chasing
+    ``signature.nargs`` per call) and the site's monomorphic inline
+    cache: the last dispatched ``class_id`` and its resolved target.
+    The loader invalidates every site whenever a class is linked, so a
+    cache can never go stale across dynamic loading.
+    """
+
+    __slots__ = ("key", "proto", "nargs", "recv_index", "cid", "target")
+
+    def __init__(self, key: str, proto):
+        self.key = key
+        self.proto = proto
+        self.nargs = proto.mdef.signature.nargs + 1  # + receiver
+        self.recv_index = -self.nargs  # receiver slot, from stack top
+        self.cid = -1
+        self.target = None
+
+    def invalidate(self) -> None:
+        self.cid = -1
+        self.target = None
+
+    def __repr__(self) -> str:  # pragma: no cover
+        state = "empty" if self.cid < 0 else f"cid={self.cid}"
+        return f"<InvokeSite {self.key} {state}>"
+
+
 @dataclass
 class MachineCode:
-    """Compiled body of one method."""
+    """Compiled body of one method.
+
+    ``ops`` is the *canonical* (unfused) micro-op listing — disasm, the
+    invariant tests, and every per-bci artifact (reference maps, line
+    numbers) are defined against it.  The engine executes the derived
+    *executable* program ``xops`` instead, which the peephole pass may
+    have rewritten with superinstructions; without fusion the executable
+    program simply aliases the canonical one.  Frame pcs are executable
+    pcs, so ``xbci_of`` (not ``bci_of``) maps a live frame to its bci.
+    """
 
     qualname: str
     ops: list[tuple] = field(default_factory=list)
@@ -168,12 +460,21 @@ class MachineCode:
     max_stack: int = 0
     frame_words: int = 0
     n_yieldpoints: int = 0
+    #: executable program (fused); aliases ops/bci_of when fusion is off
+    xops: list[tuple] = None  # type: ignore[assignment]
+    xbci_of: list[int] = None  # type: ignore[assignment]
+    #: cycles charged per executable op (None ⇒ every op charges 1)
+    xweights: list[int] | None = None
+    #: number of superinstructions emitted (static count)
+    fused_groups: int = 0
+    #: threaded-dispatch handler table, bound lazily by the engine
+    entries: list | None = None
 
     def bci_at(self, pc: int) -> int:
         return self.bci_of[pc]
 
 
-def compile_method(loader, rc, rm) -> MachineCode:
+def compile_method(loader, rc, rm, config: EngineConfig | None = None) -> MachineCode:
     """Baseline-compile *rm* of class *rc* (the loader's ``compile_fn``)."""
     mdef = rm.mdef
     if mdef.native:
@@ -210,6 +511,13 @@ def compile_method(loader, rc, rm) -> MachineCode:
     for pc, target_bci in fixups:
         mop, _, b = ops[pc]
         ops[pc] = (mop, mc.pc_of_bci[target_bci], b)
+
+    if config is not None and config.fusion:
+        _fuse(mc)
+    else:
+        mc.xops = mc.ops
+        mc.xbci_of = mc.bci_of
+        mc.xweights = None
     return mc
 
 
@@ -257,9 +565,12 @@ def _translate(loader, rc, instr: Instr, bci: int, ops: list, emit, fixups) -> N
         emit(bci, M_INSTANCEOF if op is Op.INSTANCEOF else M_CHECKCAST, target)
     elif op is Op.INVOKESTATIC:
         rm = loader.resolve_static_method(str(instr.arg))
-        emit(bci, M_INVOKESTATIC, rm)
+        # b = precomputed arity, so the engine never chases signature.nargs
+        emit(bci, M_INVOKESTATIC, rm, rm.mdef.signature.nargs)
     elif op is Op.INVOKEVIRTUAL:
         key, proto = loader.resolve_virtual(str(instr.arg))
-        emit(bci, M_INVOKEVIRTUAL, key, proto)
+        site = InvokeSite(key, proto)
+        loader.register_ic_site(site)
+        emit(bci, M_INVOKEVIRTUAL, key, site)
     else:  # pragma: no cover - exhaustive over the ISA
         raise VMError(f"cannot compile opcode {op.name}")

@@ -119,6 +119,9 @@ class Loader:
         self.interned: dict[str, int] = {}
         self.temp_roots: list[int] = []
         self.bootstrapped = False
+        #: every compiled invokevirtual site (for inline-cache invalidation)
+        self.ic_sites: list = []
+        self.ic_invalidations = 0
         #: observer hook — DejaVu counts class-load side effects through this.
         self.on_class_linked: Callable[[RuntimeClass], None] | None = None
 
@@ -260,6 +263,24 @@ class Loader:
         return rm
 
     # ------------------------------------------------------------------
+    # inline-cache bookkeeping
+
+    def register_ic_site(self, site) -> None:
+        self.ic_sites.append(site)
+
+    def invalidate_inline_caches(self) -> None:
+        """Reset every invokevirtual cache (called on each class link).
+
+        Linking can only *add* vtables, never change an existing class's
+        dispatch, so flushing is stronger than strictly needed — but it
+        makes cache state a pure function of the (deterministic) class
+        load order, which keeps the determinism argument trivial.
+        """
+        for site in self.ic_sites:
+            site.invalidate()
+        self.ic_invalidations += 1
+
+    # ------------------------------------------------------------------
     # layout phase
 
     def ensure_layout(self, name: str) -> RuntimeClass:
@@ -344,6 +365,7 @@ class Loader:
         self._materialize_constants(rc)
         if self.bootstrapped:
             self._materialize_class_metadata(rc)
+        self.invalidate_inline_caches()
         if self.on_class_linked is not None:
             self.on_class_linked(rc)
         return rc

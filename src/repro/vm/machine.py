@@ -11,11 +11,12 @@ from __future__ import annotations
 import hashlib
 import random
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Callable, Iterable
 
 from repro.vm.classfile import ClassDef
 from repro.vm.compiler import compile_method
+from repro.vm.engineconfig import EngineConfig
 from repro.vm.errors import VMError
 from repro.vm.gc import Collector
 from repro.vm.interp import Engine
@@ -49,6 +50,21 @@ class VMConfig:
     max_stack_words: int = 65_536
     max_cycles: int = 200_000_000
     observe: bool = True
+    #: which dispatch/fusion/inline-cache layers the engine enables; any
+    #: combination produces bit-identical guest behavior (traces, clocks,
+    #: heap digests) — only host-side speed differs
+    engine: EngineConfig = field(default_factory=EngineConfig)
+
+
+def with_baseline_engine(config: VMConfig | None) -> VMConfig:
+    """A copy of *config* running the unfused if/elif engine.
+
+    Debug-hook clients (profiler, coverage, breakpoints, time travel)
+    hook every *canonical* micro-op, which only the baseline engine
+    dispatches one at a time.  Forcing it here changes nothing the guest
+    can observe — that is the EngineConfig determinism contract."""
+    base = config or VMConfig()
+    return replace(base, engine=EngineConfig.baseline())
 
 
 class Environment:
@@ -101,7 +117,12 @@ class VirtualMachine:
         self.observer = ExecutionObserver(self.config.observe)
 
         self.memory = Memory(self.config.semispace_words)
-        self.loader = Loader(compile_fn=compile_method)
+        engine_config = self.config.engine
+        self.loader = Loader(
+            compile_fn=lambda loader, rc, rm: compile_method(
+                loader, rc, rm, engine_config
+            )
+        )
         self.om = ObjectModel(self.memory, self.loader)
         self.loader.om = self.om
         self.monitors = MonitorTable(self.om)
@@ -190,6 +211,19 @@ class VirtualMachine:
             events=list(self.observer.events),
             deadlocked=self.deadlocked,
         )
+
+    def engine_stats(self) -> dict:
+        """Host-side dispatch statistics (never part of RunResult: they
+        describe how fast the host executed, not what the guest did)."""
+        stats = self.engine.stats()
+        stats["fused_sites"] = sum(
+            rm.code.fused_groups
+            for rm in self.loader.method_by_id
+            if rm.code is not None
+        )
+        stats["ic_sites"] = len(self.loader.ic_sites)
+        stats["ic_invalidations"] = self.loader.ic_invalidations
+        return stats
 
     # ------------------------------------------------------------------
     # non-determinism funnels

@@ -54,7 +54,8 @@ class Frame:
 
     @property
     def bci(self) -> int:
-        return self.code.bci_of[self.pc]
+        # frame pcs index the *executable* program (which may be fused)
+        return self.code.xbci_of[self.pc]
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<Frame {self.method.qualname} pc={self.pc} bci={self.bci}>"

@@ -21,7 +21,7 @@ from repro.api import GuestProgram
 from repro.vm.native import NativeResult
 
 
-def _source(n_workers: int, n_requests: int) -> str:
+def _source(n_workers: int, n_requests: int, work_scale: int) -> str:
     return f"""
 .class Queue
 .field buf [I
@@ -160,7 +160,7 @@ loop:
     iload 1
     iconst 7
     irem
-    iconst 10
+    iconst {work_scale}
     imul
     istore 2
     iconst 0
@@ -293,10 +293,15 @@ class _NetSource:
         return result
 
 
-def server(n_workers: int = 3, n_requests: int = 40, seed: int | None = 0) -> GuestProgram:
+def server(
+    n_workers: int = 3,
+    n_requests: int = 40,
+    seed: int | None = 0,
+    work_scale: int = 10,
+) -> GuestProgram:
     net = _NetSource(seed)
     return GuestProgram.from_source(
-        _source(n_workers, n_requests),
+        _source(n_workers, n_requests, work_scale),
         name="server",
         natives=[("Net.recv()I", net.recv, True)],
     )
