@@ -12,9 +12,14 @@ Commands:
 * ``disasm program.jasm``         — verify + disassemble
 * ``trace-info t.djv``            — describe a saved trace
 * ``engine-stats program.jasm``   — run + host-side dispatch statistics
+* ``explore --workload bank``     — systematic schedule exploration
+* ``races program.jasm t.djv``    — happens-before race detection on a trace
 
 Programs may be written in assembly (``.jasm``) or MiniJ (``.mj`` /
-``.minij``); the extension picks the front end.
+``.minij``); the extension picks the front end.  Everywhere a program
+path is accepted, ``--workload NAME`` builds a registered workload
+instead (see :mod:`repro.workloads.registry`); ``-W key=value`` overrides
+its build parameters.
 """
 
 from __future__ import annotations
@@ -43,6 +48,44 @@ def load_program(path: str, main: str) -> GuestProgram:
     if p.suffix == ".jasm":
         return GuestProgram.from_source(text, main=main, name=p.stem)
     raise VMError(f"unknown program type {p.suffix!r} (want .jasm, .mj, .minij)")
+
+
+def _workload_overrides(args) -> dict:
+    """Parse repeated ``-W key=value`` into build kwargs (ints when they
+    look like ints, strings otherwise)."""
+    overrides = {}
+    for item in getattr(args, "workload_arg", None) or ():
+        key, sep, value = item.partition("=")
+        if not sep or not key:
+            raise VMError(f"bad -W argument {item!r} (want key=value)")
+        try:
+            overrides[key] = int(value)
+        except ValueError:
+            overrides[key] = value
+    return overrides
+
+
+def _resolve_program(args, trace: "TraceLog | None" = None) -> GuestProgram:
+    """A program comes from a source path or from ``--workload``; when
+    rebuilding for a trace, the trace's recorded build kwargs win (so the
+    replayed program is the recorded one) unless overridden with -W."""
+    workload = getattr(args, "workload", None)
+    if workload is None:
+        if args.program is None:
+            raise VMError("need a program file or --workload NAME")
+        return load_program(args.program, args.main)
+    if args.program is not None:
+        raise VMError("give a program file or --workload, not both")
+    from repro.workloads.registry import get_workload
+
+    spec = get_workload(workload)
+    kwargs = dict(spec.defaults)
+    if trace is not None and trace.meta.get("workload") == spec.name:
+        kwargs.update(dict(trace.meta.get("workload_kwargs") or {}))
+    kwargs.update(_workload_overrides(args))
+    # so `record` can stamp the build into the trace meta
+    args._workload_meta = {"workload": spec.name, "workload_kwargs": kwargs}
+    return spec.build(kwargs)
 
 
 def _knobs(args) -> dict:
@@ -88,16 +131,17 @@ def _print_result(result, out=None) -> None:
 
 
 def cmd_run(args) -> int:
-    program = load_program(args.program, args.main)
+    program = _resolve_program(args)
     vm = build_vm(program, _config(args), **_knobs(args))
     _print_result(vm.run(program.main))
     return 0
 
 
 def cmd_record(args) -> int:
-    program = load_program(args.program, args.main)
+    program = _resolve_program(args)
     session = api_record(program, config=_config(args), **_knobs(args))
     _print_result(session.result)
+    session.trace.meta.update(getattr(args, "_workload_meta", {}))
     session.trace.save(args.out)
     print(
         f"-- trace: {session.trace.n_switch_records} switch records, "
@@ -108,8 +152,8 @@ def cmd_record(args) -> int:
 
 
 def cmd_replay(args) -> int:
-    program = load_program(args.program, args.main)
     trace = TraceLog.load(args.trace)
+    program = _resolve_program(args, trace)
     result = api_replay(program, trace, config=_config(args))
     _print_result(result)
     print("-- replay verified against the recorded END witnesses")
@@ -135,7 +179,7 @@ def cmd_trace_info(args) -> int:
 def cmd_engine_stats(args) -> int:
     """Run a program and report how the engine dispatched it (host-side
     statistics only — they never appear in a RunResult or a trace)."""
-    program = load_program(args.program, args.main)
+    program = _resolve_program(args)
     vm = build_vm(program, _config(args), **_knobs(args))
     result = vm.run(program.main)
     _print_result(result)
@@ -160,7 +204,7 @@ def cmd_disasm(args) -> int:
     from repro.vm import VirtualMachine
     from repro.vm.bytecode import disassemble
 
-    program = load_program(args.program, args.main)
+    program = _resolve_program(args)
     vm = VirtualMachine(_config(args))
     vm.declare(program.classdefs)
     for cd in program.classdefs:
@@ -182,8 +226,8 @@ def cmd_disasm(args) -> int:
 def cmd_profile(args) -> int:
     from repro.tools import ReplayProfiler
 
-    program = load_program(args.program, args.main)
     trace = TraceLog.load(args.trace)
+    program = _resolve_program(args, trace)
     report = ReplayProfiler(program, trace, _config(args)).run()
     print(report.format(args.top))
     return 0
@@ -192,8 +236,8 @@ def cmd_profile(args) -> int:
 def cmd_coverage(args) -> int:
     from repro.tools import ReplayCoverage
 
-    program = load_program(args.program, args.main)
     trace = TraceLog.load(args.trace)
+    program = _resolve_program(args, trace)
     print(ReplayCoverage(program, trace, _config(args)).run().format())
     return 0
 
@@ -201,8 +245,8 @@ def cmd_coverage(args) -> int:
 def cmd_serve(args) -> int:
     from repro.debugger import Debugger, DebuggerServer, ReplaySession
 
-    program = load_program(args.program, args.main)
     trace = TraceLog.load(args.trace)
+    program = _resolve_program(args, trace)
     session = ReplaySession(program, trace, config=_config(args))
     server = DebuggerServer(Debugger(session), port=args.port).start()
     print(f"debugger serving on {server.address[0]}:{server.address[1]}")
@@ -223,8 +267,8 @@ def cmd_debug(args) -> int:
     """A small interactive (or scripted) debugger REPL."""
     from repro.debugger import Debugger, ReplaySession
 
-    program = load_program(args.program, args.main)
     trace = TraceLog.load(args.trace)
+    program = _resolve_program(args, trace)
     session = ReplaySession(program, trace, config=_config(args))
     dbg = Debugger(session)
     print("dejavu debugger — commands: break M [bci] | cont | step [mode] | bt | "
@@ -275,6 +319,78 @@ def cmd_debug(args) -> int:
     return 0
 
 
+def cmd_workloads(args) -> int:
+    from repro.workloads.registry import REGISTRY
+
+    for name, spec in sorted(REGISTRY.items()):
+        alias = f" (alias: {', '.join(spec.aliases)})" if spec.aliases else ""
+        print(f"{name:<20}{spec.description}{alias}")
+        defaults = ", ".join(f"{k}={v}" for k, v in spec.defaults.items())
+        if defaults:
+            print(f"{'':<20}defaults: {defaults}")
+    return 0
+
+
+def cmd_explore(args) -> int:
+    """Systematically explore schedules of a workload; on failure, write
+    the ddmin-minimized failing schedule as a standard replayable trace."""
+    from repro.explore import Explorer, detect_races
+    from repro.workloads.registry import get_workload
+
+    if args.workload is not None:
+        spec = get_workload(args.workload)
+        kwargs = spec.merged_kwargs(_workload_overrides(args), explore=True)
+        factory = spec.program_factory(kwargs)
+        oracle = spec.oracle(kwargs)
+        meta = {"workload": spec.name, "workload_kwargs": kwargs}
+    elif args.program is not None:
+        factory = lambda: load_program(args.program, args.main)  # noqa: E731
+        oracle = None
+        meta = {}
+    else:
+        raise VMError("need a program file or --workload NAME")
+
+    report = Explorer(
+        factory,
+        oracle=oracle,
+        bound=args.bound,
+        budget=args.budget,
+        seed=args.seed if args.seed is not None else 0,
+        config=_config(args),
+    ).run()
+    print(report.format())
+    if report.minimized is None:
+        return 0
+
+    trace = report.minimized.trace
+    trace.meta.update(meta)
+    trace.save(args.out)
+    print(f"-- minimized failing trace -> {args.out}")
+    if not args.no_races:
+        races = detect_races(factory(), trace, config=_config(args))
+        print(races.format())
+    return 0
+
+
+def cmd_races(args) -> int:
+    """Replay a trace with the happens-before detector attached.
+
+    Exit status 1 means races were detected (0 = clean replay)."""
+    from repro.explore import detect_races
+
+    trace = TraceLog.load(args.trace)
+    program = _resolve_program(args, trace)
+    report = detect_races(program, trace, config=_config(args))
+    print(report.format())
+    stats = report.stats
+    print(
+        f"-- {stats['accesses']} shared-memory accesses, "
+        f"{stats['sync_edges']} sync edges, "
+        f"{stats['gc_invalidations']} gc invalidations"
+    )
+    return 1 if report.races else 0
+
+
 # ---------------------------------------------------------------------------
 
 
@@ -285,9 +401,29 @@ def make_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     def common(p, trace_arg=False):
-        p.add_argument("program", help="guest program (.jasm / .mj / .minij)")
+        p.add_argument(
+            "program",
+            nargs="?",
+            default=None,
+            help="guest program (.jasm / .mj / .minij); or use --workload",
+        )
         if trace_arg:
             p.add_argument("trace", help="recorded trace (.djv)")
+        p.add_argument(
+            "--workload",
+            default=None,
+            metavar="NAME",
+            help="build a registered workload instead of loading a file "
+            "(see `repro workloads`)",
+        )
+        p.add_argument(
+            "-W",
+            "--workload-arg",
+            action="append",
+            default=[],
+            metavar="K=V",
+            help="override a workload build parameter (repeatable)",
+        )
         p.add_argument("--main", default="Main.main()V")
         p.add_argument("--heap", type=int, default=400_000, help="semispace words")
         p.add_argument(
@@ -348,6 +484,34 @@ def make_parser() -> argparse.ArgumentParser:
     )
     common(p)
     p.set_defaults(fn=cmd_engine_stats)
+
+    p = sub.add_parser(
+        "explore",
+        help="systematic schedule exploration (preemption-bounded)",
+    )
+    common(p)
+    p.add_argument(
+        "--bound", type=int, default=2, help="max preemptions per schedule"
+    )
+    p.add_argument(
+        "--budget", type=int, default=250, help="max schedules to run"
+    )
+    p.add_argument("-o", "--out", default="failure.djv")
+    p.add_argument(
+        "--no-races",
+        action="store_true",
+        help="skip race detection on the minimized failing trace",
+    )
+    p.set_defaults(fn=cmd_explore)
+
+    p = sub.add_parser(
+        "races", help="happens-before race detection over a replay"
+    )
+    common(p, trace_arg=True)
+    p.set_defaults(fn=cmd_races)
+
+    p = sub.add_parser("workloads", help="list the registered workloads")
+    p.set_defaults(fn=cmd_workloads)
 
     return parser
 

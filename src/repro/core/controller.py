@@ -27,6 +27,7 @@ from repro.vm.memory import BOOT_DEJAVU
 from repro.vm.native import BLOCK, NativeCall, NativeResult
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.explore.policy import SchedulePolicy
     from repro.vm.loader import RuntimeMethod
     from repro.vm.machine import VirtualMachine
     from repro.vm.native import NativeDef
@@ -51,15 +52,23 @@ class DejaVu:
         symmetry: SymmetryConfig | None = None,
         switch_buffer_words: int = SWITCH_BUFFER_WORDS,
         value_buffer_words: int = VALUE_BUFFER_WORDS,
+        schedule: "SchedulePolicy | None" = None,
     ):
         if mode not in (MODE_RECORD, MODE_REPLAY):
             raise VMError(f"bad DejaVu mode {mode!r}")
         if mode == MODE_REPLAY and trace is None:
             raise VMError("replay mode requires a trace")
+        if schedule is not None and mode != MODE_RECORD:
+            raise VMError("a schedule policy only applies in record mode")
         if vm.dejavu is not None:
             raise VMError("VM already has a DejaVu attached")
         self.vm = vm
         self.mode = mode
+        #: optional record-side schedule source (repro.explore): when set,
+        #: it — not the timer's hardware bit — decides preemption at each
+        #: yield point, so a chosen schedule becomes an ordinary switch
+        #: log that replays through the unchanged replay path.
+        self.schedule = schedule
         self.symmetry_config = symmetry or SymmetryConfig()
         self.sym = SymmetryManager(self, self.symmetry_config)
 
@@ -234,7 +243,13 @@ class DejaVu:
             if live:
                 self.liveclock = False  # pause the clock
                 self.nyp += 1
-                if engine.hw_bit:  # preemption required by system clock
+                if self.schedule is not None:
+                    # a schedule policy replaces the interrupt bit: the
+                    # recorded delta is the policy's decision, verbatim
+                    fire = self.schedule.should_preempt(thread, self.nyp)
+                else:
+                    fire = engine.hw_bit  # preemption required by system clock
+                if fire:
                     self._record_thread_switch(self.nyp)
                     self.nyp = 0  # initialize the counter for the next switch
                     self.threadswitch_bit = True  # set the software switch bit

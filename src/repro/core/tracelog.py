@@ -40,7 +40,12 @@ FORMAT_VERSION = 2
 
 
 def zigzag(n: int) -> int:
-    return (n << 1) ^ (n >> 63) if n < 0 else n << 1
+    # Bit-identical to the classic `(n << 1) ^ (n >> 63)` for every value
+    # that fits a 64-bit word, but correct for arbitrary-precision ints
+    # too: the shift form assumes `n >> 63 == -1` for negatives, which
+    # fails below -(2**63) and yields a negative "unsigned" code that
+    # write_varint can never terminate on.
+    return -2 * n - 1 if n < 0 else 2 * n
 
 
 def unzigzag(z: int) -> int:

@@ -39,7 +39,12 @@ def encode(message: dict) -> bytes:
 
 
 def decode(line: bytes) -> dict:
-    return json.loads(line.decode())
+    message = json.loads(line.decode())
+    if not isinstance(message, dict):
+        # valid JSON but not a protocol message; dispatch would blow up
+        # on a list/scalar, and an uncaught error kills the serve loop
+        raise ValueError("protocol message must be a JSON object")
+    return message
 
 
 def dispatch(debugger: Debugger, request: dict) -> dict:

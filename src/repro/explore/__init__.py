@@ -1,0 +1,56 @@
+"""Systematic concurrency testing on the replay substrate (``repro explore``).
+
+The subsystem has four parts, layered strictly on existing mechanisms:
+
+* :mod:`repro.explore.policy` — a :class:`SchedulePolicy` replaces the
+  virtual timer as the record-side preemption source, so a schedule *is*
+  a DejaVu switch log;
+* :mod:`repro.explore.explorer` — CHESS-style preemption-bounded
+  enumeration of schedules, deduplicated by behaviour digest, emitting
+  every failure as a standard replayable ``.trace``;
+* :mod:`repro.explore.detector` — happens-before race detection (vector
+  clocks over shared-memory accesses), run during replay and therefore
+  perturbation-free;
+* :mod:`repro.explore.minimize` — ddmin over preemption positions, each
+  candidate re-validated by re-recording.
+"""
+
+from repro.explore.detector import (
+    AccessSite,
+    Race,
+    RaceDetector,
+    RaceReport,
+    detect_races,
+)
+from repro.explore.explorer import (
+    ExploreReport,
+    Explorer,
+    Failure,
+    default_oracle,
+    explore,
+)
+from repro.explore.minimize import ddmin
+from repro.explore.policy import (
+    DeltaSchedule,
+    SchedulePolicy,
+    deltas_from_positions,
+    positions_from_deltas,
+)
+
+__all__ = [
+    "AccessSite",
+    "DeltaSchedule",
+    "ExploreReport",
+    "Explorer",
+    "Failure",
+    "Race",
+    "RaceDetector",
+    "RaceReport",
+    "SchedulePolicy",
+    "ddmin",
+    "default_oracle",
+    "deltas_from_positions",
+    "detect_races",
+    "explore",
+    "positions_from_deltas",
+]

@@ -1,0 +1,322 @@
+"""Happens-before race detection over a deterministic execution.
+
+The detector maintains vector clocks per green thread and watches every
+shared-memory micro-op through the engine's ``mem_hook`` — field and
+array reads and writes, keyed by heap word address.  Synchronized-with
+edges come from the thread package's observation hooks:
+
+* monitor hand-offs — ``MonitorTable.on_release`` publishes the
+  releaser's clock into a per-lock clock, ``on_acquire`` joins it into
+  the acquirer (this covers ``wait``/``notify`` too: a wait is a full
+  release followed, on the far side, by a re-acquisition);
+* thread creation — ``Scheduler.on_spawn`` seeds the child's clock from
+  the parent's;
+* thread join — ``Scheduler.on_wakeup("join", dead, joiner)`` joins the
+  dead thread's final clock into the joiner.
+
+Two accesses to the same word race when neither happens before the other
+and at least one is a write.  Per word the detector keeps FastTrack-style
+epochs — the last write and the reads since it, each an ``(tid, clock)``
+pair plus its source site — so the happens-before test per access is a
+single clock comparison, not a full vector join.
+
+**Perturbation-freedom.**  Every hook is host-side and read-only: the
+detector allocates nothing in the guest heap, never blocks a thread, and
+never touches the logical clocks.  Attached to a *replay*, it analyses
+the recorded execution without the recorded execution being able to
+tell; attached to a *record* run it leaves the trace bit-identical to an
+undetected run (asserted by test).  It does force the baseline engine
+config — fused superinstructions would hide memory accesses — which by
+the EngineConfig determinism contract changes nothing guest-visible.
+
+Known blind spots, accepted and documented: memory touched only from
+inside native methods (e.g. ``System.arraycopy``) bypasses the bytecode
+funnel; and a garbage collection moves objects, so address-keyed state
+is discarded at each collection — races whose two halves straddle a
+collection are missed.  (Joins of already-finished threads *do* create
+an edge: the join native reports them to ``on_wakeup`` directly.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.controller import MODE_REPLAY, DejaVu
+from repro.vm.compiler import (
+    M_AALOAD,
+    M_AASTORE,
+    M_GETFIELD,
+    M_GETSTATIC,
+    M_IALOAD,
+    M_IASTORE,
+    M_PUTFIELD,
+    M_PUTSTATIC,
+)
+from repro.vm.layout import HEADER_WORDS
+from repro.vm.machine import VMConfig, with_baseline_engine
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.api import GuestProgram
+    from repro.core.tracelog import TraceLog
+    from repro.vm.machine import VirtualMachine
+    from repro.vm.scheduler_types import RunResult
+    from repro.vm.threads import GreenThread
+
+READ = "read"
+WRITE = "write"
+
+
+@dataclass(frozen=True)
+class AccessSite:
+    """One side of a race: where a thread touched the word."""
+
+    method: str  # qualified method name
+    bci: int
+    kind: str  # READ or WRITE
+    tid: int
+
+    def describe(self) -> str:
+        return f"{self.kind} at {self.method} bci {self.bci} (thread {self.tid})"
+
+
+@dataclass(frozen=True)
+class Race:
+    """An unordered conflicting pair: neither access happens before the other."""
+
+    location: str  # "Main.balance", "Queue.count", "[I[3]", ...
+    first: AccessSite  # the earlier access (program order of detection)
+    second: AccessSite
+
+    def describe(self) -> str:
+        return (
+            f"race on {self.location}: {self.first.describe()} "
+            f"|| {self.second.describe()}"
+        )
+
+
+class RaceDetector:
+    """Attach to a VM before ``run``; read ``races`` after."""
+
+    def __init__(self, vm: "VirtualMachine"):
+        self.vm = vm
+        self.races: list[Race] = []
+        self.stats = {
+            "accesses": 0,
+            "sync_edges": 0,
+            "gc_invalidations": 0,
+        }
+        self._seen: set[tuple] = set()
+        # vector clocks: tid -> {tid: clock}
+        self._vc: dict[int, dict[int, int]] = {}
+        # per-lock published clocks: lock addr -> {tid: clock}
+        self._lock_vc: dict[int, dict[int, int]] = {}
+        # FastTrack state per word address
+        self._write: dict[int, tuple[int, int, AccessSite]] = {}
+        self._reads: dict[int, dict[int, tuple[int, AccessSite]]] = {}
+        self._gc_seen = vm.collector.collections
+        vm.engine.mem_hook = self._on_mem
+        vm.monitors.on_acquire = self._on_acquire
+        vm.monitors.on_release = self._on_release
+        vm.scheduler.on_spawn = self._on_spawn
+        vm.scheduler.on_wakeup = self._on_wakeup
+
+    # ------------------------------------------------------------------
+    # vector clock plumbing
+
+    def _clock(self, tid: int) -> dict[int, int]:
+        vc = self._vc.get(tid)
+        if vc is None:
+            vc = {tid: 1}
+            self._vc[tid] = vc
+        return vc
+
+    @staticmethod
+    def _join(into: dict[int, int], other: dict[int, int]) -> None:
+        for tid, clk in other.items():
+            if clk > into.get(tid, 0):
+                into[tid] = clk
+
+    def _check_gc(self) -> None:
+        collections = self.vm.collector.collections
+        if collections != self._gc_seen:
+            # the collector moved every object: address-keyed state is
+            # meaningless now (re-keying through the forwarder would keep
+            # dead objects alive, i.e. perturb the heap — so we drop it)
+            self._gc_seen = collections
+            self._write.clear()
+            self._reads.clear()
+            self._lock_vc.clear()
+            self.stats["gc_invalidations"] += 1
+
+    # ------------------------------------------------------------------
+    # synchronized-with edges
+
+    def _on_spawn(self, parent: "GreenThread | None", child: "GreenThread") -> None:
+        child_vc = self._clock(child.tid)
+        if parent is not None:
+            self._join(child_vc, self._clock(parent.tid))
+            parent_vc = self._clock(parent.tid)
+            parent_vc[parent.tid] += 1
+            self.stats["sync_edges"] += 1
+
+    def _on_wakeup(self, cause: str, source: "GreenThread", target: "GreenThread") -> None:
+        self._join(self._clock(target.tid), self._clock(source.tid))
+        self.stats["sync_edges"] += 1
+
+    def _on_acquire(self, addr: int, thread: "GreenThread") -> None:
+        self._check_gc()
+        lock_vc = self._lock_vc.get(addr)
+        if lock_vc is not None:
+            self._join(self._clock(thread.tid), lock_vc)
+            self.stats["sync_edges"] += 1
+
+    def _on_release(self, addr: int, thread: "GreenThread") -> None:
+        self._check_gc()
+        vc = self._clock(thread.tid)
+        self._lock_vc[addr] = dict(vc)
+        vc[thread.tid] += 1
+
+    # ------------------------------------------------------------------
+    # memory accesses
+
+    def _on_mem(self, thread, frame, pc, mop, a, b, stack) -> None:
+        if mop == M_GETFIELD:
+            base = stack[-1]
+            if not base:
+                return
+            word, kind, loc = base + a, READ, self._field_name(base, a)
+        elif mop == M_PUTFIELD:
+            base = stack[-2]
+            if not base:
+                return
+            word, kind, loc = base + a, WRITE, self._field_name(base, a)
+        elif mop == M_GETSTATIC:
+            if not a.statics_addr:
+                return
+            word, kind, loc = a.statics_addr + b, READ, self._static_name(a, b)
+        elif mop == M_PUTSTATIC:
+            if not a.statics_addr:
+                return
+            word, kind, loc = a.statics_addr + b, WRITE, self._static_name(a, b)
+        elif mop == M_IALOAD or mop == M_AALOAD:
+            arr, idx = stack[-2], stack[-1]
+            if not self._index_ok(arr, idx):
+                return
+            word, kind, loc = arr + HEADER_WORDS + idx, READ, self._elem_name(arr, idx)
+        else:  # M_IASTORE / M_AASTORE
+            arr, idx = stack[-3], stack[-2]
+            if not self._index_ok(arr, idx):
+                return
+            word, kind, loc = arr + HEADER_WORDS + idx, WRITE, self._elem_name(arr, idx)
+        self._check_gc()
+        self.stats["accesses"] += 1
+
+        tid = thread.tid
+        vc = self._clock(tid)
+        site = AccessSite(
+            method=frame.method.qualname,
+            bci=frame.code.xbci_of[pc],
+            kind=kind,
+            tid=tid,
+        )
+        last_write = self._write.get(word)
+        if last_write is not None:
+            wt, wc, wsite = last_write
+            if wt != tid and wc > vc.get(wt, 0):
+                self._report(loc, wsite, site)
+        if kind == READ:
+            self._reads.setdefault(word, {})[tid] = (vc[tid], site)
+        else:
+            for rt, (rc, rsite) in self._reads.get(word, {}).items():
+                if rt != tid and rc > vc.get(rt, 0):
+                    self._report(loc, rsite, site)
+            self._write[word] = (tid, vc[tid], site)
+            self._reads[word] = {}
+
+    def _report(self, location: str, first: AccessSite, second: AccessSite) -> None:
+        key = (
+            location,
+            first.method,
+            first.bci,
+            first.kind,
+            second.method,
+            second.bci,
+            second.kind,
+        )
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        self.races.append(Race(location=location, first=first, second=second))
+
+    # ------------------------------------------------------------------
+    # naming (for reports only — never guest-visible)
+
+    def _field_name(self, base: int, offset: int) -> str:
+        try:
+            layout = self.vm.om.layout_of(base)
+        except Exception:
+            return f"?+{offset}"
+        for f in layout.instance_fields:
+            if f.offset == offset:
+                return f"{layout.name}.{f.name}"
+        return f"{layout.name}+{offset}"
+
+    def _static_name(self, rc, offset: int) -> str:
+        layout = rc.statics_layout
+        if layout is not None:
+            for f in layout.instance_fields:
+                if f.offset == offset:
+                    return f"{rc.name}.{f.name}"
+        return f"{rc.name}+{offset}"
+
+    def _elem_name(self, arr: int, idx: int) -> str:
+        try:
+            layout = self.vm.om.layout_of(arr)
+        except Exception:
+            return f"?[{idx}]"
+        return f"{layout.name}[{idx}]"
+
+    def _index_ok(self, arr: int, idx: int) -> bool:
+        if not arr:
+            return False
+        try:
+            return 0 <= idx < self.vm.om.array_length(arr)
+        except Exception:
+            return False
+
+
+@dataclass
+class RaceReport:
+    """Outcome of one detection replay."""
+
+    races: list[Race]
+    result: "RunResult"
+    stats: dict
+
+    def format(self) -> str:
+        if not self.races:
+            return "no races detected"
+        lines = [f"{len(self.races)} race(s) detected:"]
+        for race in self.races:
+            lines.append("  " + race.describe())
+        return "\n".join(lines)
+
+
+def detect_races(
+    program: "GuestProgram",
+    trace: "TraceLog",
+    *,
+    config: VMConfig | None = None,
+    symmetry=None,
+) -> RaceReport:
+    """Replay *trace* with the detector attached — perturbation-free by
+    construction: replay is accurate, so the analysed execution is the
+    recorded one, and the detector itself changes nothing observable."""
+    from repro.api import build_vm
+
+    vm = build_vm(program, with_baseline_engine(config))
+    DejaVu(vm, MODE_REPLAY, trace=trace, symmetry=symmetry)
+    detector = RaceDetector(vm)
+    result = vm.run(program.main)
+    return RaceReport(races=detector.races, result=result, stats=dict(detector.stats))

@@ -1,0 +1,58 @@
+"""Schedule minimization: ddmin over preemption positions.
+
+A failing schedule found by randomized exploration may carry preemptions
+that have nothing to do with the failure.  Classic delta debugging
+(Zeller & Hildebrandt's ddmin) over the *set of absolute preemption
+positions* strips them: removing a preemption leaves the survivors at
+the same global yield points, so each candidate subset is still a
+meaningful schedule, and each candidate is validated the only way that
+counts — by re-recording under it and asking the oracle.
+
+The result ships as a standard trace of the shortest schedule that still
+trips the bug (1-minimal: removing any single remaining preemption makes
+the failure disappear).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+
+def ddmin(
+    positions: Sequence[int],
+    still_fails: Callable[[tuple[int, ...]], bool],
+    *,
+    max_tests: int = 200,
+) -> tuple[tuple[int, ...], int]:
+    """Minimise *positions* such that ``still_fails`` stays True.
+
+    Returns ``(minimal_positions, tests_run)``.  Assumes
+    ``still_fails(tuple(positions))`` holds; the result is 1-minimal
+    unless ``max_tests`` re-validations run out first.
+    """
+    current = tuple(sorted(positions))
+    tests = 0
+    n = 2
+    while len(current) >= 2 and n <= len(current):
+        chunk = len(current) // n
+        reduced = False
+        # try removing one chunk at a time (test the complement)
+        for i in range(n):
+            lo = i * chunk
+            hi = (i + 1) * chunk if i < n - 1 else len(current)
+            candidate = current[:lo] + current[hi:]
+            if not candidate:
+                continue
+            if tests >= max_tests:
+                return current, tests
+            tests += 1
+            if still_fails(candidate):
+                current = candidate
+                n = max(n - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if n == len(current):
+                break
+            n = min(n * 2, len(current))
+    return current, tests

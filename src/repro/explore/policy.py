@@ -1,0 +1,104 @@
+"""Schedule policies: controlled preemption at yield points.
+
+DejaVu's record mode normally takes its preemption decisions from the
+virtual timer — the ``preemptive_hardware_bit`` sampled at each yield
+point.  A :class:`SchedulePolicy` replaces that source: the controller
+consults the policy at every *live* yield point, and the policy's yes/no
+answer is what gets recorded.  The consequence the explorer builds on:
+
+    a schedule **is** a DejaVu switch log.
+
+A schedule chosen by the explorer is a sequence of yield-point deltas;
+recording under it produces a trace whose switch stream is exactly that
+sequence, and the standard replay path (``repro replay``, the debugger,
+the profiler) consumes it with no knowledge that the schedule was chosen
+rather than observed.
+
+Positions vs deltas: a *position* is a 1-based index into the global
+sequence of live yield points of the run (the controller consults the
+policy exactly once per live yield point, across all threads).  A *delta*
+is the distance since the previous preemption — the Figure-2 ``nyp``
+value that lands in the switch stream.  ``deltas_from_positions`` converts
+between the two; the explorer thinks in positions (they are stable when a
+preemption is removed), the trace stores deltas.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Protocol
+
+from repro.vm.errors import VMError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.vm.threads import GreenThread
+
+
+class SchedulePolicy(Protocol):
+    """Decides, at each live yield point, whether to preempt now.
+
+    ``nyp`` is the controller's yield-point counter *after* the increment
+    for this yield point — i.e. the delta that will be recorded if the
+    policy answers True (the counter then resets).
+    """
+
+    def should_preempt(self, thread: "GreenThread", nyp: int) -> bool: ...
+
+
+def deltas_from_positions(positions: Iterable[int]) -> list[int]:
+    """Absolute preemption positions -> switch-stream deltas."""
+    deltas = []
+    prev = 0
+    for p in positions:
+        if p <= prev:
+            raise VMError(f"positions must be strictly increasing: {positions}")
+        deltas.append(p - prev)
+        prev = p
+    return deltas
+
+
+def positions_from_deltas(deltas: Iterable[int]) -> list[int]:
+    """Switch-stream deltas -> absolute preemption positions."""
+    positions = []
+    at = 0
+    for d in deltas:
+        at += d
+        positions.append(at)
+    return positions
+
+
+class DeltaSchedule:
+    """Preempt after exactly the given yield-point deltas, then never.
+
+    The deltas consumed are bit-identical to the switch stream the record
+    run emits, so ``DeltaSchedule(trace.switches)`` re-records the same
+    schedule and ``DeltaSchedule(deltas_from_positions(ps))`` realises an
+    explorer-chosen one.  ``consulted`` counts the live yield points seen
+    — after a run with no preemptions it is the schedule horizon.
+    """
+
+    def __init__(self, deltas: Iterable[int] = ()):
+        self.deltas = list(deltas)
+        if any(d < 1 for d in self.deltas):
+            raise VMError(f"deltas must be >= 1: {self.deltas}")
+        self._idx = 0
+        self._since_switch = 0
+        self.consulted = 0
+        self.fired = 0
+
+    @classmethod
+    def at_positions(cls, positions: Iterable[int]) -> "DeltaSchedule":
+        return cls(deltas_from_positions(positions))
+
+    @property
+    def exhausted(self) -> bool:
+        return self._idx >= len(self.deltas)
+
+    def should_preempt(self, thread: "GreenThread", nyp: int) -> bool:
+        self.consulted += 1
+        self._since_switch += 1
+        if self._idx < len(self.deltas) and self._since_switch >= self.deltas[self._idx]:
+            self._idx += 1
+            self._since_switch = 0
+            self.fired += 1
+            return True
+        return False

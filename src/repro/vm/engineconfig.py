@@ -39,7 +39,9 @@ class EngineConfig:
         """The seed engine: if/elif dispatch, no fusion, no caches.
 
         Debug-hook clients (profiler, coverage, debugger, time-travel)
-        require this — per-micro-op hooks need the unfused pc space.
+        and memory-hook clients (the repro.explore race detector) require
+        this — per-micro-op hooks need the unfused pc space, and a fused
+        superinstruction would hide the memory accesses inside it.
         """
         return cls(threaded_dispatch=False, fusion=False, inline_caches=False)
 

@@ -147,6 +147,21 @@ if TYPE_CHECKING:  # pragma: no cover
 _NEVER = 1 << 62
 _NO_VALUE = object()
 
+#: canonical micro-ops that touch guest shared memory — the set the
+#: engine's ``mem_hook`` observes (repro.explore race detection)
+_MEM_OPS = frozenset(
+    (
+        M_GETFIELD,
+        M_PUTFIELD,
+        M_GETSTATIC,
+        M_PUTSTATIC,
+        M_IALOAD,
+        M_IASTORE,
+        M_AALOAD,
+        M_AASTORE,
+    )
+)
+
 # Sentinel returns from threaded handlers (real pcs are >= 0).  A handler
 # that returns one of these has left the fast path: the loop folds pending
 # fused-cycle carries, commits the cycle counter, and acts.
@@ -979,6 +994,13 @@ class Engine:
         #: Debug hooks are per canonical micro-op, so they require an
         #: unfused engine (EngineConfig.baseline()).
         self.debug = None
+        #: optional shared-memory observation hook (repro.explore race
+        #: detection): called before every memory micro-op executes, with
+        #: the operand stack still holding the op's inputs.  Host-side and
+        #: read-only — attaching it perturbs nothing the guest can
+        #: observe.  Like debug hooks, it sees *canonical* micro-ops, so
+        #: clients force the baseline engine (with_baseline_engine).
+        self.mem_hook = None
         # -- engine stats (host-side observability; never guest-visible).
         #: monotonic fused execution counters: [pairs, triples].  The
         #: loops derive pending cycle carries from deltas of these, so a
@@ -1105,12 +1127,13 @@ class Engine:
     # ------------------------------------------------------------------
 
     def _execute(self, thread: GreenThread) -> None:
-        if self.debug is not None:
+        if self.debug is not None or self.mem_hook is not None:
             # Debug hooks fire once per *executable* op, so the debugger
             # tools (profiler, coverage, time travel, sessions) force the
             # baseline engine for canonical per-micro-op granularity; a
             # directly attached controller on a fused engine still works,
-            # checking at fused-group heads.
+            # checking at fused-group heads.  Memory hooks likewise only
+            # see ops the switch loop dispatches one at a time.
             self._execute_switch(thread)
         elif self.cfg.threaded_dispatch:
             self._execute_threaded(thread)
@@ -1146,6 +1169,7 @@ class Engine:
             scheduler.shadow_sync_bci(thread)
 
         debug = self.debug
+        memhook = self.mem_hook
         while True:
             if self.switch_pending:
                 park()
@@ -1158,6 +1182,10 @@ class Engine:
             cycles += 1
             if cycles >= limit:
                 limit = self._check_limit(cycles)
+
+            if memhook is not None and mop in _MEM_OPS:
+                # pre-execution observation: operands are still on the stack
+                memhook(thread, frame, pc, mop, a, b, stack)
 
             if mop == M_YIELDPOINT:
                 thread.yieldpoints += 1

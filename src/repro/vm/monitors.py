@@ -71,6 +71,12 @@ class MonitorTable:
         #: before any grant.  DejaVu uses neither.
         self.on_acquire: "Callable[[int, GreenThread], None] | None" = None
         self.acquire_gate: "Callable[[int, GreenThread], bool] | None" = None
+        #: observation hook (repro.explore race detection): fired when a
+        #: thread *fully* releases a lock — monitorexit of the outermost
+        #: recursion level, entering a wait, or thread-death cleanup —
+        #: before any hand-off.  With on_acquire it delimits the
+        #: synchronized-with edges of a happens-before analysis.
+        self.on_release: "Callable[[int, GreenThread], None] | None" = None
 
     def monitor(self, addr: int) -> Monitor:
         mon = self.monitors.get(addr)
@@ -126,6 +132,8 @@ class MonitorTable:
         if rec > 1:
             self.om.set_lock_word(addr, pack_lock(thread.tid, rec - 1))
             return None
+        if self.on_release is not None:
+            self.on_release(addr, thread)
         return self._release_and_handoff(addr)
 
     def _release_and_handoff(self, addr: int) -> "GreenThread | None":
@@ -178,6 +186,8 @@ class MonitorTable:
         thread.wait_recursion = rec
         thread.waiting_on = addr
         self.monitor(addr).waiters.append(thread)
+        if self.on_release is not None:
+            self.on_release(addr, thread)
         return self._release_and_handoff(addr)
 
     def notify_one(self, addr: int, thread: "GreenThread") -> "GreenThread | None":
@@ -245,6 +255,8 @@ class MonitorTable:
         for addr, _layout in self.om.walk_heap():
             owner, _rec = unpack_lock(self.om.memory.read(addr + 1))
             if owner == thread.tid:
+                if self.on_release is not None:
+                    self.on_release(addr, thread)
                 heir = self._release_and_handoff(addr)
                 if heir is not None:
                     heirs.append(heir)

@@ -219,10 +219,16 @@ def install_core_natives(vm: "VirtualMachine") -> None:
     def n_thread_join(ctx: NativeCall):
         target_addr = ctx.arg(0)
         target = _thread_for(vm, target_addr)
-        if target is None or not target.alive:
+        if target is None:
             return None
         me = sched.current
         assert me is not None
+        if not target.alive:
+            # joining a finished thread completes immediately, but it is
+            # still a synchronized-with edge for happens-before observers
+            if sched.on_wakeup is not None:
+                sched.on_wakeup("join", target, me)
+            return None
         target.joiners.append(me)
         sched.block_current(corelib.THREAD_BLOCKED)
         return BLOCK

@@ -128,6 +128,11 @@ class Scheduler:
         #: uses neither — it replays the package instead of steering it.
         self.dispatch_override: "Callable[[deque[GreenThread]], GreenThread | None] | None" = None
         self.on_dispatch: "Callable[[GreenThread], None] | None" = None
+        #: observation hooks (repro.explore race detection): thread
+        #: creation and cross-thread wakeups are the synchronized-with
+        #: edges a happens-before analysis needs.  Host-side, read-only.
+        self.on_spawn: "Callable[[GreenThread | None, GreenThread], None] | None" = None
+        self.on_wakeup: "Callable[[str, GreenThread, GreenThread], None] | None" = None
 
     # ------------------------------------------------------------------
     # thread creation
@@ -173,6 +178,8 @@ class Scheduler:
         self._set_state(thread, corelib.THREAD_READY)
         self.ready.append(thread)
         self.vm.observer.emit("thread_start", thread.tid, name)
+        if self.on_spawn is not None:
+            self.on_spawn(self.current, thread)
         return thread
 
     def _table_append(self, thread: GreenThread) -> None:
@@ -321,6 +328,8 @@ class Scheduler:
         self._set_state(thread, corelib.THREAD_TERMINATED)
         for joiner in thread.joiners:
             self.make_ready(joiner)
+            if self.on_wakeup is not None:
+                self.on_wakeup("join", thread, joiner)
         thread.joiners.clear()
         self.current = None
         self.vm.engine.switch_pending = True

@@ -67,6 +67,23 @@ class SeededJitterTimer:
         return self._rng.randint(self.lo, self.hi)
 
 
+class NeverTimer:
+    """A timer that never fires: preemption is someone else's job.
+
+    Used by :mod:`repro.explore`, which drives preemption through a
+    :class:`~repro.explore.policy.SchedulePolicy` at yield points instead
+    of through the interrupt bit — the schedule, not the timer, is the
+    only source of preemptive switches.  (Equivalent to ``timer=None``,
+    but self-describing at call sites.)
+    """
+
+    #: far beyond any reachable cycle budget
+    INTERVAL = 1 << 60
+
+    def next_interval(self) -> int:
+        return self.INTERVAL
+
+
 class HostTimer:
     """Interval derived from host-clock jitter: true non-determinism."""
 

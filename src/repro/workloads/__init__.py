@@ -25,24 +25,26 @@ from repro.workloads.gc_churn import gc_churn
 from repro.workloads.philosophers import philosophers
 from repro.workloads.producer_consumer import producer_consumer
 from repro.workloads.readers_writers import readers_writers
+from repro.workloads.registry import (
+    REGISTRY,
+    WorkloadSpec,
+    get_workload,
+    workload_names,
+)
 from repro.workloads.server import server
 from repro.workloads.sorter import sorter
 
+#: name -> zero-arg default-configuration factory (derived from the registry)
 ALL_WORKLOADS = {
-    "figure1_ab": lambda: figure1_ab(),
-    "figure1_cd": lambda: figure1_cd(),
-    "racy_bank": lambda: racy_bank(),
-    "synced_bank": lambda: synced_bank(),
-    "producer_consumer": lambda: producer_consumer(),
-    "philosophers": lambda: philosophers(),
-    "server": lambda: server(),
-    "sorter": lambda: sorter(),
-    "gc_churn": lambda: gc_churn(),
-    "readers_writers": lambda: readers_writers(),
+    name: spec.program_factory() for name, spec in REGISTRY.items()
 }
 
 __all__ = [
     "ALL_WORKLOADS",
+    "REGISTRY",
+    "WorkloadSpec",
+    "get_workload",
+    "workload_names",
     "readers_writers",
     "figure1_ab",
     "figure1_cd",

@@ -21,7 +21,41 @@ from repro.api import GuestProgram
 from repro.vm.native import NativeResult
 
 
-def _source(n_workers: int, n_requests: int, work_scale: int) -> str:
+def _served_update(served_window: int) -> str:
+    if served_window <= 0:
+        # getstatic/iadd/putstatic back to back: no yield point can fall
+        # between the read and the write, so the increment is atomic on
+        # green threads even though it is unsynchronized.
+        return """\
+    getstatic Main.served I
+    iconst 1
+    iadd
+    putstatic Main.served I"""
+    # Seeded atomicity bug: park the stale value in a local and burn a
+    # stall loop before writing it back.  The loop back-edge carries a
+    # yield point, so a preemption inside the window loses an update —
+    # the bug `repro explore` hunts on this workload.
+    return f"""\
+    getstatic Main.served I
+    istore 4
+    iconst 0
+    istore 5
+svcstall:
+    iload 5
+    iconst {served_window}
+    if_icmpge svcbump
+    iinc 5 1
+    goto svcstall
+svcbump:
+    iload 4
+    iconst 1
+    iadd
+    putstatic Main.served I"""
+
+
+def _source(
+    n_workers: int, n_requests: int, work_scale: int, served_window: int
+) -> str:
     return f"""
 .class Queue
 .field buf [I
@@ -178,10 +212,7 @@ respond:
     invokestatic System.printInt(I)V
     ldc "\\n"
     invokestatic System.print(LString;)V
-    getstatic Main.served I
-    iconst 1
-    iadd
-    putstatic Main.served I
+{_served_update(served_window)}
     goto loop
 done:
     return
@@ -298,10 +329,14 @@ def server(
     n_requests: int = 40,
     seed: int | None = 0,
     work_scale: int = 10,
+    served_window: int = 0,
 ) -> GuestProgram:
+    """``served_window > 0`` seeds an atomicity bug into the workers'
+    ``served`` counter update (a stall loop between read and write);
+    the default keeps the increment preemption-atomic."""
     net = _NetSource(seed)
     return GuestProgram.from_source(
-        _source(n_workers, n_requests, work_scale),
+        _source(n_workers, n_requests, work_scale, served_window),
         name="server",
         natives=[("Net.recv()I", net.recv, True)],
     )

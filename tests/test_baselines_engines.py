@@ -1,0 +1,111 @@
+"""Cross-engine matrix for the §5 baselines.
+
+The EngineConfig determinism contract says dispatch layers (threading,
+fusion, inline caches) are never guest-visible.  The baselines run on
+the same engine as DejaVu, so the contract must extend to them: every
+comparator has to behave *identically* under the ``baseline`` and
+``full`` engine configurations — same results, same trace content, and
+traces recorded under one engine must replay under the other.
+"""
+
+import pytest
+
+from repro.baselines import (
+    instant_replay_record,
+    instant_replay_replay,
+    rc_record,
+    rc_replay,
+    recap_record,
+    recap_replay,
+    repeated_execution,
+)
+from repro.core import compare_runs
+from repro.vm.engineconfig import EngineConfig
+from repro.vm.machine import VMConfig
+from repro.workloads import producer_consumer, racy_bank, synced_bank
+from tests.conftest import jitter_knobs
+
+ENGINES = {
+    "baseline": EngineConfig.baseline(),
+    "full": EngineConfig(),
+}
+
+
+def _cfg(engine: str) -> VMConfig:
+    return VMConfig(semispace_words=70_000, engine=ENGINES[engine])
+
+
+class TestInstantReplayAcrossEngines:
+    def test_record_identical(self):
+        res = {
+            e: instant_replay_record(synced_bank(), config=_cfg(e), **jitter_knobs(9))
+            for e in ENGINES
+        }
+        (r1, crew1), (r2, crew2) = res["baseline"], res["full"]
+        assert compare_runs(r1, r2).faithful
+        assert crew1.n_records == crew2.n_records
+        assert crew1.n_objects == crew2.n_objects
+
+    @pytest.mark.parametrize("rec_engine,rep_engine", [("baseline", "full"), ("full", "baseline")])
+    def test_cross_engine_replay(self, rec_engine, rep_engine):
+        res, crew = instant_replay_record(
+            synced_bank(), config=_cfg(rec_engine), **jitter_knobs(9)
+        )
+        res2 = instant_replay_replay(
+            synced_bank(), crew, config=_cfg(rep_engine), **jitter_knobs(77)
+        )
+        assert res.output_text == res2.output_text
+
+
+class TestRussinovichCogswellAcrossEngines:
+    def test_record_identical(self):
+        res = {e: rc_record(racy_bank(), config=_cfg(e), **jitter_knobs(4)) for e in ENGINES}
+        (r1, t1, s1), (r2, t2, s2) = res["baseline"], res["full"]
+        assert compare_runs(r1, r2).faithful
+        assert s1["dispatch_records"] == s2["dispatch_records"]
+        assert t1.switches == t2.switches
+        assert t1.values == t2.values
+
+    @pytest.mark.parametrize("rec_engine,rep_engine", [("baseline", "full"), ("full", "baseline")])
+    def test_cross_engine_replay(self, rec_engine, rep_engine):
+        res, trace, _ = rc_record(racy_bank(), config=_cfg(rec_engine), **jitter_knobs(4))
+        res2, map_ops = rc_replay(racy_bank(), trace, config=_cfg(rep_engine))
+        assert compare_runs(res, res2).faithful
+        assert map_ops > 0
+
+
+class TestRecapAcrossEngines:
+    def test_record_identical(self):
+        sessions = {
+            e: recap_record(racy_bank(), config=_cfg(e), **jitter_knobs(4))
+            for e in ENGINES
+        }
+        s1, s2 = sessions["baseline"], sessions["full"]
+        assert compare_runs(s1.result, s2.result).faithful
+        assert s1.read_records == s2.read_records
+        assert s1.trace.switches == s2.trace.switches
+        assert s1.trace.values == s2.trace.values
+
+    @pytest.mark.parametrize("rec_engine,rep_engine", [("baseline", "full"), ("full", "baseline")])
+    def test_cross_engine_replay(self, rec_engine, rep_engine):
+        session = recap_record(racy_bank(), config=_cfg(rec_engine), **jitter_knobs(4))
+        res2 = recap_replay(session, config=_cfg(rep_engine))
+        assert compare_runs(session.result, res2).faithful
+
+
+class TestRepeatedExecutionAcrossEngines:
+    def test_reports_identical(self):
+        reports = {
+            e: repeated_execution(
+                lambda: producer_consumer(items_per_producer=6),
+                runs=5,
+                config=_cfg(e),
+                base_seed=3,
+            )
+            for e in ENGINES
+        }
+        r1, r2 = reports["baseline"], reports["full"]
+        assert r1.outputs == r2.outputs
+        assert r1.distinct_outputs == r2.distinct_outputs
+        assert r1.distinct_behaviors == r2.distinct_behaviors
+        assert r1.reproduced_first == r2.reproduced_first

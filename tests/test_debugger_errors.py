@@ -1,0 +1,145 @@
+"""Debugger TCP protocol error paths, driven over raw sockets.
+
+The frontend tests exercise the happy path through ``DebuggerClient``;
+these go underneath it: garbage on the wire, protocol-shaped requests the
+dispatcher must reject, and connections that die mid-session.  The
+invariant throughout is that the *server* survives — a broken frontend
+must never take down the replay it is inspecting.
+"""
+
+import json
+import socket
+
+import pytest
+
+from repro.api import record
+from repro.debugger import Debugger, DebuggerClient, DebuggerServer, ReplaySession
+from repro.vm import SeededJitterTimer
+from repro.vm.machine import VMConfig
+from repro.workloads import racy_bank
+
+CFG = VMConfig(semispace_words=60_000)
+
+
+@pytest.fixture
+def server():
+    recorded = record(racy_bank(), config=CFG, timer=SeededJitterTimer(5, 40, 160))
+    session = ReplaySession(racy_bank(), recorded.trace, config=CFG)
+    srv = DebuggerServer(Debugger(session)).start()
+    yield srv
+    srv.stop()
+
+
+def _connect(srv) -> socket.socket:
+    return socket.create_connection(srv.address, timeout=5.0)
+
+
+def _send_line(sock: socket.socket, raw: bytes) -> dict:
+    sock.sendall(raw + b"\n")
+    buf = b""
+    while b"\n" not in buf:
+        chunk = sock.recv(4096)
+        assert chunk, "server closed the connection"
+        buf += chunk
+    line, _, _ = buf.partition(b"\n")
+    return json.loads(line.decode())
+
+
+class TestMalformedInput:
+    def test_non_json_line(self, server):
+        with _connect(server) as sock:
+            resp = _send_line(sock, b"this is not json {{{")
+            assert resp == {"ok": False, "error": "bad json"}
+
+    def test_truncated_json(self, server):
+        with _connect(server) as sock:
+            resp = _send_line(sock, b'{"id": 1, "cmd": "info"')
+            assert resp == {"ok": False, "error": "bad json"}
+
+    def test_json_but_not_an_object_is_handled(self, server):
+        # a bare array is valid JSON but not a protocol message; it must
+        # be rejected as bad json, not crash the serve loop
+        with _connect(server) as sock:
+            resp = _send_line(sock, b"[1, 2, 3]")
+            assert resp["ok"] is False
+
+    def test_blank_lines_ignored(self, server):
+        with _connect(server) as sock:
+            sock.sendall(b"\n   \n")
+            resp = _send_line(sock, b'{"id": 1, "cmd": "info", "args": {}}')
+            assert resp["ok"] is True and resp["id"] == 1
+
+    def test_server_usable_after_garbage(self, server):
+        with _connect(server) as sock:
+            assert _send_line(sock, b"\x00\xff garbage")["ok"] is False
+            resp = _send_line(sock, b'{"id": 2, "cmd": "info", "args": {}}')
+            assert resp["ok"] is True
+            assert resp["result"]["finished"] is False
+
+
+class TestBadRequests:
+    def test_unknown_command(self, server):
+        with _connect(server) as sock:
+            resp = _send_line(sock, b'{"id": 3, "cmd": "selfdestruct", "args": {}}')
+            assert resp["ok"] is False
+            assert "unknown command" in resp["error"]
+            assert resp["id"] == 3  # the error is correlated to the request
+
+    def test_missing_cmd_field(self, server):
+        with _connect(server) as sock:
+            resp = _send_line(sock, b'{"id": 4}')
+            assert resp["ok"] is False
+            assert "unknown command" in resp["error"]
+
+    def test_unexpected_argument(self, server):
+        with _connect(server) as sock:
+            resp = _send_line(sock, b'{"id": 5, "cmd": "cont", "args": {"warp": 9}}')
+            assert resp["ok"] is False
+            assert "bad arguments" in resp["error"]
+
+    def test_handler_exception_reported_not_fatal(self, server):
+        with _connect(server) as sock:
+            resp = _send_line(
+                sock, b'{"id": 6, "cmd": "break", "args": {"method": "No.such()V"}}'
+            )
+            assert resp["ok"] is False
+            assert "error" in resp
+            # and the session is still alive
+            assert _send_line(sock, b'{"id": 7, "cmd": "info", "args": {}}')["ok"]
+
+
+class TestDisconnects:
+    def test_disconnect_mid_session_then_reconnect(self, server):
+        with _connect(server) as sock:
+            resp = _send_line(
+                sock,
+                b'{"id": 1, "cmd": "break", "args": {"method": "Teller.run()V", "bci": 0}}',
+            )
+            assert resp["ok"] is True
+            # vanish without a goodbye, mid-session
+        with DebuggerClient(server.address) as client:
+            # server went back to accepting; debugger state survived
+            status = client.request("cont")
+            assert status["status"] == "breakpoint"
+
+    def test_disconnect_with_partial_line_in_flight(self, server):
+        with _connect(server) as sock:
+            sock.sendall(b'{"id": 1, "cmd": "inf')  # no newline, then gone
+        with DebuggerClient(server.address) as client:
+            assert client.request("info")["finished"] is False
+
+    def test_client_reports_server_shutdown(self):
+        recorded = record(racy_bank(), config=CFG, timer=SeededJitterTimer(5, 40, 160))
+        session = ReplaySession(racy_bank(), recorded.trace, config=CFG)
+        srv = DebuggerServer(Debugger(session)).start()
+        client = DebuggerClient(srv.address)
+        try:
+            assert client.request("info")["paused"] is False
+            srv.stop()
+            from repro.vm.errors import VMError
+
+            with pytest.raises(VMError):
+                client.request("info")
+        finally:
+            client.close()
+            srv.stop()

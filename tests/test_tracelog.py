@@ -56,6 +56,58 @@ class TestVarints:
         assert decode_words(encode_words(ws)) == ws
 
 
+#: every power-of-two boundary a word-width encoder could trip over
+_BOUNDARIES = sorted(
+    {
+        sign * ((1 << bits) + delta)
+        for bits in (31, 32, 62, 63, 64)
+        for delta in (-2, -1, 0, 1, 2)
+        for sign in (1, -1)
+    }
+    | {0, 1, -1}
+)
+
+
+class TestVarintBoundaries:
+    """Word-width edges.  The classic ``(n << 1) ^ (n >> 63)`` zig-zag is
+    only correct on a machine that wraps at 64 bits; in Python it goes
+    negative for ``n < -(1 << 63)`` and ``write_varint`` then never
+    terminates.  These tests pin the arbitrary-precision-safe encoding."""
+
+    @pytest.mark.parametrize("n", _BOUNDARIES)
+    def test_boundary_roundtrip(self, n):
+        out = bytearray()
+        write_varint(out, n)
+        value, pos = read_varint(bytes(out), 0)
+        assert value == n and pos == len(out)
+
+    @pytest.mark.parametrize("n", _BOUNDARIES)
+    def test_zigzag_code_is_nonnegative(self, n):
+        # the property whose violation made write_varint spin forever
+        code = zigzag(n)
+        assert code >= 0
+        assert unzigzag(code) == n
+
+    def test_regression_just_below_word_min(self):
+        # the exact first value the old shift-based zigzag mangled
+        n = -(1 << 63) - 1
+        assert zigzag(n) == 2 * (1 << 63) + 1
+        assert unzigzag(zigzag(n)) == n
+
+    def test_matches_shift_form_within_word_range(self):
+        # inside the 64-bit word range the encoding must stay identical
+        # to the classic form — traces written before the fix still load
+        for n in (0, 1, -1, 5, -5, (1 << 63) - 1, -(1 << 63)):
+            assert zigzag(n) == ((n << 1) ^ (n >> 63)) & ((1 << 64) - 1)
+
+    @given(st.integers(min_value=-(1 << 70), max_value=1 << 70))
+    def test_wide_roundtrip(self, n):
+        out = bytearray()
+        write_varint(out, n)
+        value, pos = read_varint(bytes(out), 0)
+        assert value == n and pos == len(out)
+
+
 class TestTraceLog:
     @given(words_lists, words_lists)
     def test_save_load_roundtrip(self, switches, values):
