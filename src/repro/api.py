@@ -17,12 +17,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
+from pathlib import Path
+
 from repro.core.controller import MODE_RECORD, MODE_REPLAY, DejaVu
 from repro.core.symmetry import SymmetryConfig
-from repro.core.tracelog import TraceLog
+from repro.core.tracelog import TraceLog, TraceWriter, config_fingerprint
 from repro.core.verify import ReplayReport, compare_runs
 from repro.vm.asm import assemble
 from repro.vm.classfile import ClassDef
+from repro.vm.errors import TracePrefixEnd
 from repro.vm.machine import _DEFAULT, Environment, VirtualMachine, VMConfig
 from repro.vm.scheduler_types import RunResult
 from repro.vm.timerdev import TimerSource, WallClock
@@ -92,18 +95,48 @@ def record(
     clock: WallClock | None = None,
     env: Environment | None = None,
     symmetry: SymmetryConfig | None = None,
+    out: "str | Path | None" = None,
+    extra_meta: dict | None = None,
+    vm_hook: "Callable[[VirtualMachine], None] | None" = None,
     **dejavu_kwargs,
 ) -> RecordedRun:
     """Execute *program* under DejaVu record mode; return results + trace.
+
+    With ``out`` set, the recording streams to ``<out>.tmp`` in full
+    checksummed segments as it runs and is atomically sealed onto *out* at
+    a clean end — if the run dies mid-record (guest error, injected fault,
+    host crash short of kernel death), the tmp file keeps every segment
+    flushed so far and :meth:`TraceLog.salvage` recovers the prefix.
+
+    ``vm_hook`` runs on the freshly built VM before the controller
+    attaches — the seam the fault-injection harness uses to sabotage
+    natives without its own copy of the record sequence.
 
     Extra keyword arguments (e.g. ``switch_buffer_words``) are forwarded
     to the :class:`DejaVu` controller.
     """
     vm = build_vm(program, config, timer=timer, clock=clock, env=env)
-    dejavu = DejaVu(vm, MODE_RECORD, symmetry=symmetry, **dejavu_kwargs)
-    result = vm.run(program.main)
-    trace = dejavu.trace()
-    trace.meta["program"] = program.name
+    if vm_hook is not None:
+        vm_hook(vm)
+    writer = TraceWriter(out) if out is not None else None
+    dejavu = DejaVu(vm, MODE_RECORD, symmetry=symmetry, writer=writer, **dejavu_kwargs)
+    try:
+        result = vm.run(program.main)
+        trace = dejavu.trace()
+        trace.meta["program"] = program.name
+        # fingerprint only what the guest can feel (heap/stack/cycles):
+        # engine toggles are guest-invisible and deliberately left out so
+        # trace files stay byte-identical across engine combinations
+        trace.meta["config"] = config_fingerprint(vm.config)
+        trace.meta.update(extra_meta or {})
+        if writer is not None:
+            writer.seal(trace.meta)
+    except BaseException:
+        # leave the tmp file exactly as the crash would: a salvageable
+        # prefix of intact segments, and nothing at the final path
+        if writer is not None:
+            writer.abandon()
+        raise
     return RecordedRun(result=result, trace=trace, stats=dict(dejavu.stats))
 
 
@@ -120,6 +153,60 @@ def replay(
     vm = build_vm(program, config)
     DejaVu(vm, MODE_REPLAY, trace=trace, symmetry=symmetry, **dejavu_kwargs)
     return vm.run(program.main)
+
+
+@dataclass
+class PrefixReplay:
+    """Outcome of :func:`replay_prefix` over a salvaged trace."""
+
+    result: RunResult
+    complete: bool  # True: the whole (truncated) trace drove a full run
+    words_consumed: int
+    detail: str = ""
+
+
+def replay_prefix(
+    program: GuestProgram,
+    trace: TraceLog,
+    *,
+    config: VMConfig | None = None,
+    symmetry: SymmetryConfig | None = None,
+    **dejavu_kwargs,
+) -> PrefixReplay:
+    """Replay a salvaged (truncated) trace to the end of its prefix.
+
+    A salvaged trace stops where the recorder died, so exhausting it is
+    the *expected* end state, not a divergence: the controller raises
+    :class:`TracePrefixEnd` there, and this harness converts it into a
+    partial :class:`RunResult` snapshot.  A trace that is not marked
+    truncated goes through the strict :func:`replay` path instead.
+    """
+    if not trace.truncated:
+        return PrefixReplay(
+            result=replay(program, trace, config=config, symmetry=symmetry,
+                          **dejavu_kwargs),
+            complete=True,
+            words_consumed=len(trace.values),
+            detail="trace is sealed; full strict replay",
+        )
+    vm = build_vm(program, config)
+    DejaVu(vm, MODE_REPLAY, trace=trace, symmetry=symmetry, **dejavu_kwargs)
+    try:
+        result = vm.run(program.main)
+        return PrefixReplay(
+            result=result,
+            complete=True,
+            words_consumed=len(trace.values),
+            detail="the surviving prefix drove the program to completion",
+        )
+    except TracePrefixEnd as end:
+        result = vm.finish()
+        return PrefixReplay(
+            result=result,
+            complete=False,
+            words_consumed=end.words_consumed,
+            detail=str(end),
+        )
 
 
 def record_and_replay(

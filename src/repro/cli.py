@@ -14,12 +14,23 @@ Commands:
 * ``engine-stats program.jasm``   — run + host-side dispatch statistics
 * ``explore --workload bank``     — systematic schedule exploration
 * ``races program.jasm t.djv``    — happens-before race detection on a trace
+* ``doctor t.djv``                — classify why a trace fails to replay
+* ``faults --seed 42 -W bank``    — run a fault-injection campaign
 
 Programs may be written in assembly (``.jasm``) or MiniJ (``.mj`` /
 ``.minij``); the extension picks the front end.  Everywhere a program
 path is accepted, ``--workload NAME`` builds a registered workload
 instead (see :mod:`repro.workloads.registry`); ``-W key=value`` overrides
 its build parameters.
+
+Exit status convention (all commands):
+
+* **0** — success: the command did its job and found nothing wrong;
+* **1** — a finding: replay diverged, races were detected, the doctor
+  classified a problem, a fault campaign had contract violations;
+* **2** — unusable input: bad usage, a missing/unreadable program, or a
+  file that is not a readable DejaVu trace (empty, bad magic, version
+  skew, corrupt framing).
 """
 
 from __future__ import annotations
@@ -31,7 +42,7 @@ from pathlib import Path
 from repro.api import GuestProgram, build_vm, record as api_record, replay as api_replay
 from repro.core import TraceLog
 from repro.vm.engineconfig import EngineConfig
-from repro.vm.errors import VMError
+from repro.vm.errors import TraceFormatError, UsageError, VMError
 from repro.vm.machine import Environment, VMConfig
 from repro.vm.timerdev import HostClock, HostTimer, SeededJitterClock, SeededJitterTimer
 
@@ -39,7 +50,7 @@ from repro.vm.timerdev import HostClock, HostTimer, SeededJitterClock, SeededJit
 def load_program(path: str, main: str) -> GuestProgram:
     p = Path(path)
     if not p.exists():
-        raise VMError(f"no such file: {path}")
+        raise UsageError(f"no such file: {path}")
     text = p.read_text()
     if p.suffix in (".mj", ".minij"):
         from repro.lang import compile_source
@@ -47,7 +58,7 @@ def load_program(path: str, main: str) -> GuestProgram:
         return GuestProgram(classdefs=compile_source(text), main=main, name=p.stem)
     if p.suffix == ".jasm":
         return GuestProgram.from_source(text, main=main, name=p.stem)
-    raise VMError(f"unknown program type {p.suffix!r} (want .jasm, .mj, .minij)")
+    raise UsageError(f"unknown program type {p.suffix!r} (want .jasm, .mj, .minij)")
 
 
 def _workload_overrides(args) -> dict:
@@ -57,7 +68,7 @@ def _workload_overrides(args) -> dict:
     for item in getattr(args, "workload_arg", None) or ():
         key, sep, value = item.partition("=")
         if not sep or not key:
-            raise VMError(f"bad -W argument {item!r} (want key=value)")
+            raise UsageError(f"bad -W argument {item!r} (want key=value)")
         try:
             overrides[key] = int(value)
         except ValueError:
@@ -72,10 +83,10 @@ def _resolve_program(args, trace: "TraceLog | None" = None) -> GuestProgram:
     workload = getattr(args, "workload", None)
     if workload is None:
         if args.program is None:
-            raise VMError("need a program file or --workload NAME")
+            raise UsageError("need a program file or --workload NAME")
         return load_program(args.program, args.main)
     if args.program is not None:
-        raise VMError("give a program file or --workload, not both")
+        raise UsageError("give a program file or --workload, not both")
     from repro.workloads.registry import get_workload
 
     spec = get_workload(workload)
@@ -139,10 +150,16 @@ def cmd_run(args) -> int:
 
 def cmd_record(args) -> int:
     program = _resolve_program(args)
-    session = api_record(program, config=_config(args), **_knobs(args))
+    # stream segments to <out>.tmp as the run progresses; a crash leaves
+    # a salvageable prefix there instead of nothing
+    session = api_record(
+        program,
+        config=_config(args),
+        out=args.out,
+        extra_meta=getattr(args, "_workload_meta", {}),
+        **_knobs(args),
+    )
     _print_result(session.result)
-    session.trace.meta.update(getattr(args, "_workload_meta", {}))
-    session.trace.save(args.out)
     print(
         f"-- trace: {session.trace.n_switch_records} switch records, "
         f"{session.trace.n_value_words} value words, "
@@ -348,7 +365,7 @@ def cmd_explore(args) -> int:
         oracle = None
         meta = {}
     else:
-        raise VMError("need a program file or --workload NAME")
+        raise UsageError("need a program file or --workload NAME")
 
     report = Explorer(
         factory,
@@ -389,6 +406,66 @@ def cmd_races(args) -> int:
         f"{stats['gc_invalidations']} gc invalidations"
     )
     return 1 if report.races else 0
+
+
+def cmd_doctor(args) -> int:
+    """Diagnose why a trace fails (or would fail) to replay.
+
+    Exit status follows the classification: 0 clean, 1 a finding
+    (truncation, corruption, mismatch, nondeterminism), 2 the file is not
+    a readable trace at all."""
+    from repro.core.doctor import diagnose
+
+    program = None
+    workload_kwargs = None
+    if getattr(args, "workload", None) is not None:
+        from repro.workloads.registry import get_workload
+
+        spec = get_workload(args.workload)
+        # intended build parameters: the defaults plus explicit -W, NOT
+        # merged with the trace meta — diffing them against the recording
+        # is the doctor's job
+        workload_kwargs = dict(spec.defaults)
+        workload_kwargs.update(_workload_overrides(args))
+        program = spec.build(workload_kwargs)
+    elif args.program is not None:
+        program = load_program(args.program, args.main)
+    report = diagnose(
+        args.trace,
+        program=program,
+        config=_config(args),
+        workload_kwargs=workload_kwargs,
+    )
+    print(report.format())
+    return report.exit_code
+
+
+def cmd_faults(args) -> int:
+    """Run a seeded fault-injection campaign against a workload.
+
+    Exit status 1 means the recovery contract was violated (a hang, a raw
+    traceback, or silent corruption); 0 means every fault ended in clean
+    recovery or a typed diagnostic."""
+    import tempfile
+
+    from repro.faults import FaultPlan, run_campaign
+
+    plan = FaultPlan.generate(args.seed if args.seed is not None else 42, args.count)
+    progress = None
+    if args.verbose:
+        progress = lambda o: print(  # noqa: E731
+            f"  {o.spec.describe()}: {o.outcome}"
+        )
+    with tempfile.TemporaryDirectory(prefix="repro-faults-") as workdir:
+        report = run_campaign(
+            plan,
+            workload=args.workload,
+            config=VMConfig(semispace_words=args.heap),
+            workdir=workdir,
+            progress=progress,
+        )
+    print(report.format())
+    return 0 if report.ok else 1
 
 
 # ---------------------------------------------------------------------------
@@ -510,6 +587,30 @@ def make_parser() -> argparse.ArgumentParser:
     common(p, trace_arg=True)
     p.set_defaults(fn=cmd_races)
 
+    p = sub.add_parser(
+        "doctor", help="classify why a trace fails to replay"
+    )
+    common(p, trace_arg=True)
+    p.set_defaults(fn=cmd_doctor)
+
+    p = sub.add_parser(
+        "faults", help="seeded fault-injection campaign against a workload"
+    )
+    p.add_argument(
+        "-W",
+        "--workload",
+        default="bank",
+        metavar="NAME",
+        help="registered workload to attack (default: bank)",
+    )
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--count", type=int, default=100, help="number of faults")
+    p.add_argument("--heap", type=int, default=200_000, help="semispace words")
+    p.add_argument(
+        "-v", "--verbose", action="store_true", help="print each fault outcome"
+    )
+    p.set_defaults(fn=cmd_faults)
+
     p = sub.add_parser("workloads", help="list the registered workloads")
     p.set_defaults(fn=cmd_workloads)
 
@@ -520,6 +621,13 @@ def main(argv: list[str] | None = None) -> int:
     args = make_parser().parse_args(argv)
     try:
         return args.fn(args)
+    except UsageError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except TraceFormatError as exc:
+        # the input file is not a usable trace — same tier as bad usage
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     except VMError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -14,16 +14,21 @@ in :mod:`repro.api`.
 """
 
 from repro.core.controller import MODE_RECORD, MODE_REPLAY, DejaVu, SymmetryConfig
-from repro.core.tracelog import TraceLog
+from repro.core.doctor import DoctorReport, diagnose
+from repro.core.tracelog import TraceLog, TraceWriter, config_fingerprint
 from repro.core.verify import ReplayReport, assert_faithful_replay, compare_runs
 
 __all__ = [
     "DejaVu",
+    "DoctorReport",
     "MODE_RECORD",
     "MODE_REPLAY",
     "ReplayReport",
     "SymmetryConfig",
     "TraceLog",
+    "TraceWriter",
     "assert_faithful_replay",
     "compare_runs",
+    "config_fingerprint",
+    "diagnose",
 ]

@@ -21,8 +21,8 @@ from typing import TYPE_CHECKING, Callable
 
 from repro.core import events as ev
 from repro.core.symmetry import SymmetryConfig, SymmetryManager
-from repro.core.tracelog import TraceBuffer, TraceLog
-from repro.vm.errors import ReplayDivergenceError, VMError
+from repro.core.tracelog import TraceBuffer, TraceLog, TraceWriter
+from repro.vm.errors import ReplayDivergenceError, TracePrefixEnd, VMError
 from repro.vm.memory import BOOT_DEJAVU
 from repro.vm.native import BLOCK, NativeCall, NativeResult
 
@@ -53,6 +53,7 @@ class DejaVu:
         switch_buffer_words: int = SWITCH_BUFFER_WORDS,
         value_buffer_words: int = VALUE_BUFFER_WORDS,
         schedule: "SchedulePolicy | None" = None,
+        writer: TraceWriter | None = None,
     ):
         if mode not in (MODE_RECORD, MODE_REPLAY):
             raise VMError(f"bad DejaVu mode {mode!r}")
@@ -60,6 +61,8 @@ class DejaVu:
             raise VMError("replay mode requires a trace")
         if schedule is not None and mode != MODE_RECORD:
             raise VMError("a schedule policy only applies in record mode")
+        if writer is not None and mode != MODE_RECORD:
+            raise VMError("a trace writer only applies in record mode")
         if vm.dejavu is not None:
             raise VMError("VM already has a DejaVu attached")
         self.vm = vm
@@ -77,13 +80,23 @@ class DejaVu:
         self.switch_buf.on_drain = self.sym.on_drain
         self.value_buf.on_drain = self.sym.on_drain
 
-        # record-side sinks
-        self._switch_sink: list[int] = []
-        self._value_sink: list[int] = []
+        # record-side sinks; a TraceWriter's sinks ARE lists, so attaching
+        # one streams full segments to disk without the controller (or the
+        # guest-heap buffers feeding it) behaving any differently
+        self.writer = writer
+        self._switch_sink: list[int] = (
+            writer.switch_sink if writer is not None else []
+        )
+        self._value_sink: list[int] = (
+            writer.value_sink if writer is not None else []
+        )
         # replay-side sources and cursors
         self._trace = trace
         self._switch_cursor = 0
         self._value_cursor = 0
+        #: a salvaged trace is a prefix, not a divergence: run to the end
+        #: of the prefix and stop cleanly instead of raising divergence
+        self.tolerate_truncation = bool(trace is not None and trace.truncated)
 
         # Figure 2 state
         self.nyp = 0
@@ -133,6 +146,12 @@ class DejaVu:
             self._trace.values, self._value_cursor
         )
         if word is None:
+            if self.tolerate_truncation:
+                raise TracePrefixEnd(
+                    "salvaged value stream exhausted (end of the surviving "
+                    "prefix)",
+                    words_consumed=self._value_cursor,
+                )
             raise ReplayDivergenceError(
                 "value trace exhausted", position=self._value_cursor
             )
@@ -189,6 +208,8 @@ class DejaVu:
     def _verify_end(self) -> None:
         """Replay-side accuracy check against the recorded END witnesses."""
         assert self._trace is not None
+        if self.tolerate_truncation:
+            return  # a prefix has no END witnesses to check against
         want = self._trace.meta.get("end")
         if want is None:
             return

@@ -1,0 +1,324 @@
+"""The replay-divergence doctor: *why* did this trace fail?
+
+A raw :class:`~repro.vm.errors.ReplayDivergenceError` tells you *that*
+replay diverged; a :class:`~repro.vm.errors.TraceFormatError` tells you a
+byte was wrong somewhere.  Neither tells you what to do next.  The doctor
+runs the whole differential diagnosis offline — validation, salvage,
+configuration comparison, then an instrumented replay — and classifies
+the failure into one actionable bucket:
+
+==========================  ================================================
+classification              meaning / the fix
+==========================  ================================================
+``clean``                   trace loads sealed and (given a program) replays
+                            faithfully — nothing is wrong
+``not-a-trace``             empty file or bad magic: wrong file entirely
+``version-skew``            a DejaVu trace, but a version this build cannot
+                            read — use the build that wrote it
+``truncated-tail``          the recorder died mid-run; the intact prefix was
+                            salvaged and replays to the point of death
+``corrupt-segment``         storage damage (CRC/footer mismatch) at a known
+                            segment — restore from a good copy
+``engine-config-mismatch``  the replay VM is sized differently from the
+                            recording VM (heap/stack/cycle budget) — replay
+                            under the recorded fingerprint
+``workload-kwargs-mismatch``the program being replayed was built with
+                            different parameters than the recorded one
+``nondeterminism``          file and configuration are fine, yet replay
+                            diverges: an unlogged source of nondeterminism
+                            (or the wrong program) — a genuine bug
+==========================  ================================================
+
+``repro doctor trace.djv`` drives :func:`diagnose` from the CLI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.tracelog import SalvageReport, TraceLog, config_fingerprint
+from repro.vm.errors import (
+    ReplayDivergenceError,
+    TraceFormatError,
+    VMError,
+)
+
+CLASS_CLEAN = "clean"
+CLASS_NOT_A_TRACE = "not-a-trace"
+CLASS_VERSION_SKEW = "version-skew"
+CLASS_TRUNCATED = "truncated-tail"
+CLASS_CORRUPT = "corrupt-segment"
+CLASS_CONFIG_MISMATCH = "engine-config-mismatch"
+CLASS_KWARGS_MISMATCH = "workload-kwargs-mismatch"
+CLASS_NONDETERMINISM = "nondeterminism"
+
+#: classifications that mean "the file itself is not usable as input"
+FORMAT_CLASSES = (CLASS_NOT_A_TRACE, CLASS_VERSION_SKEW)
+
+#: words of context shown on each side of a stream cursor
+STREAM_NEIGHBORHOOD = 5
+
+#: substrings of TraceFormatError messages that mean damage, not a torn
+#: tail (a torn tail is what a mid-run death leaves; damage means the
+#: bytes that ARE there have been altered)
+_CORRUPTION_MARKERS = (
+    "CRC mismatch",
+    "footer mismatch",
+    "unknown segment kind",
+    "implausible segment length",
+    "undecodable",
+    "trailing data",
+)
+
+
+def _stream_window(words: list[int], cursor: int, radius: int = STREAM_NEIGHBORHOOD) -> str:
+    """±radius words around *cursor*, cursor marked — the word-stream
+    analogue of the event neighborhood in :mod:`repro.core.verify`."""
+    lo = max(0, cursor - radius)
+    hi = min(len(words), cursor + radius + 1)
+    if lo >= hi:
+        return "  (stream empty)"
+    parts = []
+    for i in range(lo, hi):
+        mark = ">" if i == cursor else " "
+        parts.append(f" {mark}[{i}]={words[i]}")
+    return " ".join(parts)
+
+
+@dataclass
+class DoctorReport:
+    """The structured outcome of one :func:`diagnose` run."""
+
+    classification: str
+    detail: str
+    path: str
+    #: every check the doctor ran, in order, with its verdict
+    checks: list[str] = field(default_factory=list)
+    salvage: "SalvageReport | None" = None
+    #: where replay stopped/diverged (value-stream word cursor)
+    divergence_position: int | None = None
+    thread: int | None = None
+    method: str | None = None
+    bci: int | None = None
+    #: ±N-word windows of the switch and value streams at the cursors
+    switch_neighborhood: str = ""
+    value_neighborhood: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.classification == CLASS_CLEAN
+
+    @property
+    def exit_code(self) -> int:
+        """CLI convention: 0 clean, 1 finding, 2 unusable input."""
+        if self.ok:
+            return 0
+        return 2 if self.classification in FORMAT_CLASSES else 1
+
+    def format(self) -> str:
+        lines = [f"doctor: {self.path}",
+                 f"classification: {self.classification}",
+                 f"detail: {self.detail}"]
+        for check in self.checks:
+            lines.append(f"  - {check}")
+        if self.salvage is not None:
+            lines.append(f"salvage: {self.salvage.describe()}")
+        if self.divergence_position is not None:
+            lines.append(f"first divergent record: value-stream word "
+                         f"{self.divergence_position}")
+        if self.thread is not None:
+            where = f"thread {self.thread}"
+            if self.method is not None:
+                where += f" in {self.method}"
+                if self.bci is not None:
+                    where += f" @bci {self.bci}"
+            lines.append(f"replay stopped at: {where}")
+        if self.value_neighborhood:
+            lines.append("value stream at cursor:")
+            lines.append(self.value_neighborhood)
+        if self.switch_neighborhood:
+            lines.append("switch stream at cursor:")
+            lines.append(self.switch_neighborhood)
+        return "\n".join(lines)
+
+
+def classify_format_error(exc: TraceFormatError) -> str:
+    """Map a load failure to its doctor classification."""
+    text = str(exc)
+    if "not a DejaVu trace" in text or "empty file" in text:
+        return CLASS_NOT_A_TRACE
+    if "unsupported trace version" in text:
+        return CLASS_VERSION_SKEW
+    if any(marker in text for marker in _CORRUPTION_MARKERS):
+        return CLASS_CORRUPT
+    return CLASS_TRUNCATED
+
+
+def diagnose(
+    path,
+    *,
+    program=None,
+    config=None,
+    workload_kwargs: dict | None = None,
+) -> DoctorReport:
+    """Validate + salvage + replay-diagnose a trace file, offline.
+
+    *program* (a :class:`~repro.api.GuestProgram`) enables the replay
+    stage; without it the doctor stops after the static checks.  *config*
+    is the VM configuration the replay would run under — its fingerprint
+    is compared against the recorded one.  *workload_kwargs* are the build
+    parameters the caller intends to rebuild the program with (the CLI
+    passes the resolved ``--workload``/``-W`` set).
+    """
+    path = str(path)
+    report = DoctorReport(classification=CLASS_CLEAN, detail="", path=path)
+
+    # -- stage 1: load, salvaging if the sealed load fails ----------------
+    trace: TraceLog
+    try:
+        trace = TraceLog.load(path)
+        report.checks.append("load: sealed trace, all segment CRCs verify")
+    except TraceFormatError as exc:
+        classification = classify_format_error(exc)
+        report.checks.append(f"load: FAILED ({exc})")
+        if classification in FORMAT_CLASSES:
+            report.classification = classification
+            report.detail = str(exc)
+            return report
+        try:
+            trace = TraceLog.salvage(path)
+        except TraceFormatError as exc2:  # pragma: no cover - defensive
+            report.classification = CLASS_NOT_A_TRACE
+            report.detail = str(exc2)
+            report.checks.append(f"salvage: FAILED ({exc2})")
+            return report
+        report.salvage = trace.salvage_report
+        report.checks.append(f"salvage: {trace.salvage_report.describe()}")
+        report.classification = classification
+        report.detail = str(exc)
+
+    # -- stage 2: configuration fingerprints ------------------------------
+    recorded_fp = trace.meta.get("config")
+    if config is not None and recorded_fp is not None:
+        replay_fp = config_fingerprint(config)
+        if replay_fp != recorded_fp:
+            report.checks.append(
+                f"config: MISMATCH (recorded {recorded_fp}, replaying {replay_fp})"
+            )
+            if report.classification == CLASS_CLEAN:
+                report.classification = CLASS_CONFIG_MISMATCH
+                report.detail = (
+                    f"trace was recorded under '{recorded_fp}' but the replay "
+                    f"VM is configured '{replay_fp}' — heap/stack sizing "
+                    "changes GC timing and stack-growth events, so this "
+                    "replay can diverge for configuration reasons alone"
+                )
+            return report
+        report.checks.append(f"config: fingerprints match ({recorded_fp})"
+                             if recorded_fp else "config: no recorded fingerprint")
+    elif recorded_fp is None:
+        report.checks.append("config: trace carries no fingerprint (pre-v3?)")
+
+    # -- stage 3: workload build parameters -------------------------------
+    recorded_kwargs = dict(trace.meta.get("workload_kwargs") or {})
+    if workload_kwargs is not None and recorded_kwargs:
+        intended = dict(workload_kwargs)
+        if intended != recorded_kwargs:
+            diffs = sorted(
+                k for k in set(intended) | set(recorded_kwargs)
+                if intended.get(k) != recorded_kwargs.get(k)
+            )
+            report.checks.append(f"workload kwargs: MISMATCH on {diffs}")
+            if report.classification == CLASS_CLEAN:
+                report.classification = CLASS_KWARGS_MISMATCH
+                report.detail = (
+                    f"trace records workload kwargs {recorded_kwargs} but the "
+                    f"program would be rebuilt with {intended} (differs on "
+                    f"{', '.join(diffs)}) — a differently-built program is a "
+                    "different execution"
+                )
+            return report
+        report.checks.append("workload kwargs: match the recording")
+
+    # -- stage 4: instrumented replay -------------------------------------
+    if program is None:
+        report.checks.append("replay: skipped (no program given; static checks only)")
+        if report.classification == CLASS_CLEAN:
+            report.detail = (
+                "trace is sealed and intact; pass a program or --workload "
+                "for the replay stage"
+            )
+        return report
+    _replay_stage(report, trace, program, config)
+    return report
+
+
+def _replay_stage(report: DoctorReport, trace: TraceLog, program, config) -> None:
+    # local imports: repro.api imports repro.core, so importing it at
+    # module top would be circular
+    from repro.api import build_vm, replay_prefix
+    from repro.core.controller import MODE_REPLAY, DejaVu
+
+    if trace.truncated:
+        try:
+            prefix = replay_prefix(program, trace, config=config)
+        except VMError as exc:
+            # the prefix itself misbehaves — keep the truncation verdict
+            # but record that even the surviving prefix is suspect
+            report.checks.append(
+                f"prefix replay: FAILED ({type(exc).__name__}: {exc})"
+            )
+            report.detail = f"{report.detail} — and the salvaged prefix does " \
+                            f"not replay ({exc})"
+            return
+        report.checks.append(
+            f"prefix replay: consumed {prefix.words_consumed} value words, "
+            + ("ran to completion" if prefix.complete
+               else "stopped cleanly at the end of the prefix")
+        )
+        report.detail = (
+            f"{report.detail} — salvaged prefix replays "
+            f"({prefix.words_consumed} value words consumed)"
+        )
+        return
+
+    vm = build_vm(program, config)
+    DejaVu(vm, MODE_REPLAY, trace=trace)
+    try:
+        vm.run(program.main)
+    except ReplayDivergenceError as exc:
+        report.checks.append(f"replay: DIVERGED ({exc})")
+        report.classification = CLASS_NONDETERMINISM
+        report.detail = (
+            f"the file and configuration are sound, yet replay diverged: "
+            f"{exc} — an unlogged nondeterminism source, or the wrong "
+            "program for this trace"
+        )
+        _capture_failure_context(report, vm, trace, exc)
+        return
+    except VMError as exc:
+        report.checks.append(f"replay: FAILED ({type(exc).__name__}: {exc})")
+        report.classification = CLASS_NONDETERMINISM
+        report.detail = f"replay failed outright: {exc}"
+        _capture_failure_context(report, vm, trace, exc)
+        return
+    report.checks.append("replay: faithful (END witnesses verified)")
+    report.detail = "trace is sealed, intact, and replays faithfully"
+
+
+def _capture_failure_context(report, vm, trace: TraceLog, exc) -> None:
+    dv = vm.dejavu
+    if dv is not None:
+        report.divergence_position = getattr(exc, "position", None)
+        if report.divergence_position is None:
+            report.divergence_position = dv._value_cursor
+        report.value_neighborhood = _stream_window(trace.values, dv._value_cursor)
+        report.switch_neighborhood = _stream_window(trace.switches, dv._switch_cursor)
+    thread = vm.scheduler.current
+    if thread is not None:
+        report.thread = thread.tid
+        if thread.frames:
+            frame = thread.frames[-1]
+            report.method = frame.method.qualname
+            report.bci = frame.bci

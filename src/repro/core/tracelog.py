@@ -1,4 +1,4 @@
-"""Trace encoding and the guest-heap trace buffers.
+"""Trace encoding, crash-consistent persistence, and the guest-heap buffers.
 
 A trace has **two independent word streams**, mirroring the paper's
 footnote 7 ("logging data for non-reproducible events such as reading the
@@ -17,22 +17,70 @@ from the host when empty).  That is the paper's "symmetry in allocation":
 the buffers are DejaVu's biggest heap side effect, and making them
 identical in both modes keeps the allocation stream — hence GC timing,
 object addresses, and identity hashes — reproducible.
+
+Persistence: **format v3** (see DESIGN.md).  The file is a header followed
+by length-framed, CRC32-checksummed segments and a sealed footer::
+
+    "DJVU" u16=3 | segment* | footer-segment
+    segment := kind(1B) payload_len(u32le) crc32(u32le) payload
+
+Record mode streams segments to ``trace.djv.tmp`` and atomically renames
+on a clean end, so an interrupted record leaves either nothing or a
+salvageable prefix (:meth:`TraceLog.salvage`).  Segment framing is pure
+host-side I/O: the guest-heap buffers, their capacities and their flush
+points are identical in both modes and unaware of it, preserving the
+allocation symmetry.  v2 traces (the pre-segment format) still load,
+read-only.
 """
 
 from __future__ import annotations
 
 import io
+import os
+import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Callable
 
-from repro.vm.errors import VMError
+from repro.vm.errors import TraceFormatError, VMError
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.vm.machine import VirtualMachine
 
 MAGIC = b"DJVU"
-FORMAT_VERSION = 2
+FORMAT_VERSION = 3
+#: versions this build can read (v2 = legacy single-blob streams)
+READABLE_VERSIONS = (2, 3)
+
+#: segment kinds
+SEG_META = b"M"
+SEG_SWITCH = b"S"
+SEG_VALUE = b"V"
+SEG_FOOTER = b"F"
+_SEGMENT_KINDS = (SEG_META, SEG_SWITCH, SEG_VALUE, SEG_FOOTER)
+_SEG_HEADER_BYTES = 1 + 4 + 4  # kind + payload_len + crc32
+#: sanity bound so a corrupted length field cannot demand a giant read
+MAX_SEGMENT_BYTES = 1 << 26
+#: record-mode words per on-disk segment (host-side knob; guest-invisible)
+SEGMENT_WORDS = 4096
+
+_STREAM_OF_KIND = {SEG_SWITCH: "switch", SEG_VALUE: "value",
+                   SEG_META: "meta", SEG_FOOTER: "footer"}
+
+
+def config_fingerprint(config) -> str:
+    """The behaviour-affecting VM sizing as a short comparable string.
+
+    Heap and stack sizing change GC timing and stack-growth events, so a
+    replay under a different fingerprint can diverge for reasons that have
+    nothing to do with the trace.  Engine toggles are deliberately
+    excluded: the EngineConfig contract makes them guest-invisible.
+    """
+    return (
+        f"heap={config.semispace_words}"
+        f";stack={config.initial_stack_words}/{config.max_stack_words}"
+        f";maxcycles={config.max_cycles}"
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -64,12 +112,17 @@ def write_varint(out: bytearray, n: int) -> None:
             return
 
 
-def read_varint(data: bytes, pos: int) -> tuple[int, int]:
+def read_varint(data: bytes, pos: int, stream: str = "trace") -> tuple[int, int]:
     z = 0
     shift = 0
+    start = pos
     while True:
         if pos >= len(data):
-            raise VMError("truncated varint in trace")
+            raise TraceFormatError(
+                "truncated varint (continuation bit set at end of data)",
+                stream=stream,
+                offset=start,
+            )
         b = data[pos]
         pos += 1
         z |= (b & 0x7F) << shift
@@ -85,17 +138,57 @@ def encode_words(words: list[int]) -> bytes:
     return bytes(out)
 
 
-def decode_words(data: bytes) -> list[int]:
+def decode_words(data: bytes, stream: str = "trace") -> list[int]:
     words = []
     pos = 0
     while pos < len(data):
-        w, pos = read_varint(data, pos)
+        w, pos = read_varint(data, pos, stream)
         words.append(w)
     return words
 
 
 # ---------------------------------------------------------------------------
+# meta encoding (shared by v2 and v3: repr of sorted items, eval'd back)
+
+
+def _encode_meta(meta: dict) -> bytes:
+    return repr(sorted(meta.items())).encode()
+
+
+def _decode_meta(blob: bytes, stream: str = "meta") -> dict:
+    try:
+        return dict(eval(blob.decode()))  # noqa: S307 - own format
+    except Exception as exc:
+        raise TraceFormatError(
+            f"undecodable {stream} blob: {exc}", stream=stream, offset=0
+        ) from exc
+
+
+# ---------------------------------------------------------------------------
 # the persisted trace
+
+
+@dataclass
+class SalvageReport:
+    """What :meth:`TraceLog.salvage` found in a torn file."""
+
+    intact_segments: int = 0
+    switch_segments: int = 0
+    value_segments: int = 0
+    sealed: bool = False
+    stopped_at: int | None = None  # byte offset of the first damage
+    error: str | None = None  # why scanning stopped (None = clean EOF)
+
+    def describe(self) -> str:
+        if self.sealed:
+            return "file is sealed and intact (no salvage needed)"
+        where = f" at byte {self.stopped_at}" if self.stopped_at is not None else ""
+        why = f": {self.error}" if self.error else " (file ends mid-record)"
+        return (
+            f"salvaged {self.intact_segments} intact segments "
+            f"({self.switch_segments} switch, {self.value_segments} value), "
+            f"stopped{where}{why}"
+        )
 
 
 @dataclass
@@ -105,6 +198,8 @@ class TraceLog:
     switches: list[int] = field(default_factory=list)
     values: list[int] = field(default_factory=list)
     meta: dict = field(default_factory=dict)
+    #: set by :meth:`salvage` — None for cleanly loaded traces
+    salvage_report: "SalvageReport | None" = None
 
     @property
     def encoded_size_bytes(self) -> int:
@@ -118,37 +213,327 @@ class TraceLog:
     def n_value_words(self) -> int:
         return len(self.values)
 
+    @property
+    def truncated(self) -> bool:
+        return bool(self.meta.get("truncated"))
+
+    # -- writing -----------------------------------------------------------
+
     def save(self, path: str | Path) -> None:
+        """Persist as format v3, atomically (tmp file + rename)."""
+        writer = TraceWriter(path)
+        try:
+            for w in self.switches:
+                writer.switch_sink.append(w)
+            for w in self.values:
+                writer.value_sink.append(w)
+            writer.seal(self.meta)
+        except BaseException:
+            writer.abandon()
+            raise
+
+    def save_v2(self, path: str | Path) -> None:
+        """Write the legacy v2 format (tests / downgrade escape hatch)."""
         path = Path(path)
         with path.open("wb") as f:
             f.write(MAGIC)
-            f.write(FORMAT_VERSION.to_bytes(2, "little"))
-            meta_blob = repr(sorted(self.meta.items())).encode()
+            f.write((2).to_bytes(2, "little"))
+            meta_blob = _encode_meta(self.meta)
             f.write(len(meta_blob).to_bytes(4, "little"))
             f.write(meta_blob)
             for payload in (encode_words(self.switches), encode_words(self.values)):
                 f.write(len(payload).to_bytes(8, "little"))
                 f.write(payload)
 
+    # -- reading -----------------------------------------------------------
+
     @classmethod
     def load(cls, path: str | Path) -> "TraceLog":
-        data = Path(path).read_bytes()
+        """Load a sealed trace; any damage raises :class:`TraceFormatError`."""
+        log, report = cls._read(path, salvage=False)
+        return log
+
+    @classmethod
+    def salvage(cls, path: str | Path) -> "TraceLog":
+        """Recover every intact segment from a (possibly torn) trace file.
+
+        Returns a :class:`TraceLog` whose streams hold the surviving
+        prefix.  If the file turns out to be sealed and intact, the result
+        equals :meth:`load`; otherwise ``meta["truncated"]`` is set and
+        ``salvage_report`` says where scanning stopped.  Files that are
+        not DejaVu traces at all (bad magic, unreadable version) are not
+        salvageable and still raise :class:`TraceFormatError`.
+        """
+        log, report = cls._read(path, salvage=True)
+        log.salvage_report = report
+        if not report.sealed:
+            log.meta["truncated"] = True
+        return log
+
+    @classmethod
+    def _read(cls, path: str | Path, *, salvage: bool) -> "tuple[TraceLog, SalvageReport]":
+        path = Path(path)
+        try:
+            data = path.read_bytes()
+        except OSError as exc:
+            raise TraceFormatError(f"cannot read trace: {exc}", stream="header") from exc
+        if len(data) == 0:
+            raise TraceFormatError("empty file (not a DejaVu trace)",
+                                   stream="header", offset=0)
+        if data[:4] != MAGIC:
+            raise TraceFormatError(
+                f"not a DejaVu trace: {path.name} (bad magic {data[:4]!r})",
+                stream="header", offset=0,
+            )
+        if len(data) < 6:
+            raise TraceFormatError("header torn before version field",
+                                   stream="header", offset=4)
+        version = int.from_bytes(data[4:6], "little")
+        if version not in READABLE_VERSIONS:
+            raise TraceFormatError(
+                f"unsupported trace version {version} "
+                f"(this build reads {', '.join(map(str, READABLE_VERSIONS))})",
+                stream="header", offset=4,
+            )
+        if version == 2:
+            return cls._read_v2(data), SalvageReport(sealed=True)
+        return cls._read_v3(data, salvage=salvage)
+
+    @classmethod
+    def _read_v2(cls, data: bytes) -> "TraceLog":
         buf = io.BytesIO(data)
-        if buf.read(4) != MAGIC:
-            raise VMError(f"not a DejaVu trace: {path}")
-        version = int.from_bytes(buf.read(2), "little")
-        if version != FORMAT_VERSION:
-            raise VMError(f"unsupported trace version {version}")
+        buf.read(6)
         meta_len = int.from_bytes(buf.read(4), "little")
-        meta = dict(eval(buf.read(meta_len).decode()))  # noqa: S307 - own format
+        meta_blob = buf.read(meta_len)
+        if len(meta_blob) != meta_len:
+            raise TraceFormatError("truncated meta blob", stream="meta",
+                                   offset=10)
+        meta = _decode_meta(meta_blob)
         streams = []
-        for _ in range(2):
+        for name in ("switch", "value"):
             payload_len = int.from_bytes(buf.read(8), "little")
             payload = buf.read(payload_len)
             if len(payload) != payload_len:
-                raise VMError("truncated trace payload")
-            streams.append(decode_words(payload))
+                raise TraceFormatError(
+                    f"truncated {name} payload ({len(payload)} of {payload_len} bytes)",
+                    stream=name, offset=buf.tell() - len(payload),
+                )
+            streams.append(decode_words(payload, name))
+        meta.setdefault("format_version", 2)
         return cls(switches=streams[0], values=streams[1], meta=meta)
+
+    @classmethod
+    def _read_v3(cls, data: bytes, *, salvage: bool) -> "tuple[TraceLog, SalvageReport]":
+        switches: list[int] = []
+        values: list[int] = []
+        meta: dict = {}
+        footer: dict | None = None
+        report = SalvageReport()
+        stream_crcs = {SEG_SWITCH: 0, SEG_VALUE: 0}
+        error: TraceFormatError | None = None
+        pos = 6
+        seg_index = 0
+        while pos < len(data):
+            if footer is not None:
+                error = TraceFormatError(
+                    f"{len(data) - pos} bytes of trailing data after the footer",
+                    stream="footer", offset=pos,
+                )
+                break
+            if pos + _SEG_HEADER_BYTES > len(data):
+                error = TraceFormatError(
+                    f"torn segment header (segment {seg_index}: "
+                    f"{len(data) - pos} of {_SEG_HEADER_BYTES} header bytes)",
+                    stream="segment", offset=pos,
+                )
+                break
+            kind = data[pos:pos + 1]
+            payload_len = int.from_bytes(data[pos + 1:pos + 5], "little")
+            want_crc = int.from_bytes(data[pos + 5:pos + 9], "little")
+            if kind not in _SEGMENT_KINDS:
+                error = TraceFormatError(
+                    f"unknown segment kind {kind!r} (segment {seg_index})",
+                    stream="segment", offset=pos,
+                )
+                break
+            if payload_len > MAX_SEGMENT_BYTES:
+                error = TraceFormatError(
+                    f"implausible segment length {payload_len} "
+                    f"(segment {seg_index}; cap is {MAX_SEGMENT_BYTES})",
+                    stream=_STREAM_OF_KIND[kind], offset=pos,
+                )
+                break
+            payload = data[pos + 9:pos + 9 + payload_len]
+            if len(payload) != payload_len:
+                error = TraceFormatError(
+                    f"torn segment payload (segment {seg_index}, "
+                    f"{_STREAM_OF_KIND[kind]}: {len(payload)} of {payload_len} bytes)",
+                    stream=_STREAM_OF_KIND[kind], offset=pos + 9,
+                )
+                break
+            if zlib.crc32(payload) != want_crc:
+                error = TraceFormatError(
+                    f"segment CRC mismatch (segment {seg_index}, "
+                    f"{_STREAM_OF_KIND[kind]} stream)",
+                    stream=_STREAM_OF_KIND[kind], offset=pos,
+                )
+                break
+            if kind == SEG_SWITCH:
+                switches.extend(decode_words(payload, "switch"))
+                stream_crcs[SEG_SWITCH] = zlib.crc32(payload, stream_crcs[SEG_SWITCH])
+                report.switch_segments += 1
+            elif kind == SEG_VALUE:
+                values.extend(decode_words(payload, "value"))
+                stream_crcs[SEG_VALUE] = zlib.crc32(payload, stream_crcs[SEG_VALUE])
+                report.value_segments += 1
+            elif kind == SEG_META:
+                meta.update(_decode_meta(payload))
+            else:  # footer
+                footer = _decode_meta(payload, "footer")
+            report.intact_segments += 1
+            seg_index += 1
+            pos += _SEG_HEADER_BYTES + payload_len
+
+        if error is not None:
+            report.stopped_at = error.offset
+            report.error = str(error)
+            if not salvage:
+                raise error
+        if footer is None:
+            if not salvage:
+                raise TraceFormatError(
+                    "trace has no footer: the file is unsealed "
+                    "(recorder died mid-run?) — try salvage",
+                    stream="footer", offset=len(data),
+                )
+        else:
+            cls._check_footer(footer, switches, values, report, stream_crcs)
+            report.sealed = error is None
+        return cls(switches=switches, values=values, meta=meta), report
+
+    @staticmethod
+    def _check_footer(footer, switches, values, report, stream_crcs) -> None:
+        checks = (
+            ("n_switch_words", len(switches)),
+            ("n_value_words", len(values)),
+            ("n_switch_segments", report.switch_segments),
+            ("n_value_segments", report.value_segments),
+            ("switch_crc", stream_crcs[SEG_SWITCH]),
+            ("value_crc", stream_crcs[SEG_VALUE]),
+        )
+        for key, got in checks:
+            want = footer.get(key)
+            if want != got:
+                raise TraceFormatError(
+                    f"footer mismatch on {key}: footer says {want!r}, "
+                    f"file holds {got!r}",
+                    stream="footer",
+                )
+
+
+# ---------------------------------------------------------------------------
+# crash-consistent streaming writer
+
+
+class _SpillList(list):
+    """A word sink that spills full segments to the writer as it grows.
+
+    It *is* the host-side word list (``DejaVu`` appends flushed guest
+    buffers into it and ``trace()`` reads it back whole); the spill is a
+    side channel to disk and never mutates the list, so attaching a writer
+    changes nothing the controller — let alone the guest — can observe.
+    """
+
+    def __init__(self, writer: "TraceWriter", kind: bytes):
+        super().__init__()
+        self._writer = writer
+        self._kind = kind
+        self._spilled = 0  # words already written to disk
+
+    def append(self, word: int) -> None:
+        super().append(word)
+        if len(self) - self._spilled >= self._writer.segment_words:
+            self.spill()
+
+    def spill(self) -> None:
+        pending = self[self._spilled:]
+        if not pending:
+            return
+        self._writer._write_stream_segment(self._kind, pending)
+        self._spilled = len(self)
+
+
+class TraceWriter:
+    """Streams a recording to ``<path>.tmp`` and seals it atomically.
+
+    Every full segment is framed, checksummed, and flushed to the OS as it
+    completes, so a crash mid-record leaves a prefix of intact segments
+    that :meth:`TraceLog.salvage` can recover.  :meth:`seal` writes the
+    meta segment and footer, fsyncs, and ``os.replace``\\ s the tmp file
+    onto the final path — the final name never holds a torn file.
+    """
+
+    def __init__(self, path: str | Path, *, segment_words: int = SEGMENT_WORDS):
+        if segment_words <= 0:
+            raise VMError(f"segment_words must be positive, got {segment_words}")
+        self.path = Path(path)
+        self.tmp_path = self.path.with_name(self.path.name + ".tmp")
+        self.segment_words = segment_words
+        self._f = self.tmp_path.open("wb")
+        self._f.write(MAGIC)
+        self._f.write(FORMAT_VERSION.to_bytes(2, "little"))
+        self._f.flush()
+        self.switch_sink = _SpillList(self, SEG_SWITCH)
+        self.value_sink = _SpillList(self, SEG_VALUE)
+        self._stream_crcs = {SEG_SWITCH: 0, SEG_VALUE: 0}
+        self._seg_counts = {SEG_SWITCH: 0, SEG_VALUE: 0}
+        self._sealed = False
+
+    def _write_segment(self, kind: bytes, payload: bytes) -> None:
+        self._f.write(kind)
+        self._f.write(len(payload).to_bytes(4, "little"))
+        self._f.write(zlib.crc32(payload).to_bytes(4, "little"))
+        self._f.write(payload)
+        self._f.flush()
+
+    def _write_stream_segment(self, kind: bytes, words: list[int]) -> None:
+        payload = encode_words(words)
+        self._stream_crcs[kind] = zlib.crc32(payload, self._stream_crcs[kind])
+        self._seg_counts[kind] += 1
+        self._write_segment(kind, payload)
+
+    def seal(self, meta: dict) -> None:
+        """Flush remaining words, write meta + footer, rename into place."""
+        if self._sealed:
+            raise VMError("TraceWriter already sealed")
+        self.switch_sink.spill()
+        self.value_sink.spill()
+        if meta:
+            self._write_segment(SEG_META, _encode_meta(meta))
+        footer = {
+            "n_switch_words": len(self.switch_sink),
+            "n_value_words": len(self.value_sink),
+            "n_switch_segments": self._seg_counts[SEG_SWITCH],
+            "n_value_segments": self._seg_counts[SEG_VALUE],
+            "switch_crc": self._stream_crcs[SEG_SWITCH],
+            "value_crc": self._stream_crcs[SEG_VALUE],
+            "config": meta.get("config"),
+        }
+        self._write_segment(SEG_FOOTER, _encode_meta(footer))
+        self._f.flush()
+        os.fsync(self._f.fileno())
+        self._f.close()
+        os.replace(self.tmp_path, self.path)
+        self._sealed = True
+
+    def abandon(self) -> None:
+        """Stop writing, leaving the tmp file as-is (the crash outcome)."""
+        if not self._f.closed:
+            self._f.close()
+
+    @property
+    def sealed(self) -> bool:
+        return self._sealed
 
 
 # ---------------------------------------------------------------------------

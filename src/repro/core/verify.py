@@ -16,15 +16,61 @@ In addition the replay engine performs *online* checks (record-kind and
 method-id mismatches raise :class:`ReplayDivergenceError` mid-run), so a
 diverging replay fails fast rather than producing a plausible-looking but
 wrong execution.
+
+When event streams diverge, the report carries a ±``NEIGHBORHOOD``-event
+window of both streams around the first divergent index, plus the thread
+the divergent event belongs to — the raw material the divergence doctor
+(:mod:`repro.core.doctor`) builds its diagnosis from.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.vm.errors import ReplayDivergenceError
 from repro.vm.observer import first_divergence
 from repro.vm.scheduler_types import RunResult
+
+#: events of context shown on each side of a divergence
+NEIGHBORHOOD = 5
+
+#: event kinds whose payload starts with a thread id
+_TID_EVENTS = {"thread_start", "thread_end", "stack_grow", "trap"}
+
+
+def event_thread(event: tuple | None) -> int | None:
+    """Best-effort thread id of an observer event (None when it has none)."""
+    if not event:
+        return None
+    kind = event[0]
+    if kind in _TID_EVENTS:
+        return event[1]
+    if kind == "switch":  # ("switch", from_tid, to_tid, cycles)
+        return event[2]
+    return None
+
+
+def format_neighborhood(
+    recorded: list[tuple],
+    replayed: list[tuple],
+    idx: int,
+    radius: int = NEIGHBORHOOD,
+) -> str:
+    """Side-by-side ±radius window of both event streams around *idx*."""
+    lo = max(0, idx - radius)
+    hi = idx + radius + 1
+    lines = []
+    for i in range(lo, hi):
+        rec = recorded[i] if i < len(recorded) else None
+        rep = replayed[i] if i < len(replayed) else None
+        if rec is None and rep is None:
+            break
+        marker = ">>" if i == idx else "  "
+        same = "==" if rec == rep else "!="
+        lines.append(
+            f"{marker} [{i:5d}] recorded {rec!r:<48} {same} replayed {rep!r}"
+        )
+    return "\n".join(lines)
 
 
 @dataclass
@@ -34,9 +80,24 @@ class ReplayReport:
     first_event_divergence: int | None = None
     record_event: tuple | None = None
     replay_event: tuple | None = None
+    #: thread id of the first divergent event, when the event names one
+    divergent_thread: int | None = None
+    #: formatted ±NEIGHBORHOOD window of both streams (empty if faithful
+    #: or the divergence is not in the event streams)
+    neighborhood: str = field(default="", repr=False)
 
     def __bool__(self) -> bool:  # pragma: no cover - convenience
         return self.faithful
+
+    def format(self) -> str:
+        lines = [("replay is accurate" if self.faithful else "REPLAY DIVERGED")
+                 + f": {self.detail}"]
+        if self.divergent_thread is not None:
+            lines.append(f"divergent event belongs to thread {self.divergent_thread}")
+        if self.neighborhood:
+            lines.append("event neighborhood (recorded vs replayed):")
+            lines.append(self.neighborhood)
+        return "\n".join(lines)
 
 
 def compare_runs(recorded: RunResult, replayed: RunResult) -> ReplayReport:
@@ -54,6 +115,8 @@ def compare_runs(recorded: RunResult, replayed: RunResult) -> ReplayReport:
             first_event_divergence=idx,
             record_event=rec_ev,
             replay_event=rep_ev,
+            divergent_thread=event_thread(rec_ev) or event_thread(rep_ev),
+            neighborhood=format_neighborhood(recorded.events, replayed.events, idx),
         )
     if recorded.output != replayed.output:
         return ReplayReport(False, "outputs differ")

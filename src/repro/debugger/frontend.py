@@ -1,9 +1,17 @@
 """The third tier: a TCP server around the debugger core, plus a client.
 
 ``DebuggerServer`` accepts one frontend connection at a time and serves
-protocol requests against its :class:`~repro.debugger.core.Debugger`.
+framed protocol requests against its :class:`~repro.debugger.core.Debugger`.
 ``DebuggerClient`` is the thin frontend side — what the paper's Swing GUI
 would be built on — exposing each protocol command as a method.
+
+Hardening posture: the server must survive **any** single bad client — a
+frame split across sends, an oversized length prefix, garbage bytes, a
+peer that vanishes mid-request — because killing the serve loop kills the
+replay session it is inspecting.  The client, for its part, retries the
+initial connect with capped exponential backoff + jitter (servers take a
+moment to come up), applies a per-request timeout so a dead server cannot
+hang it, and exposes a transport-level keepalive ``ping``.
 
 The server runs on a background (host) thread; the guest VM only executes
 inside request handling, so the session stays single-threaded from the
@@ -12,12 +20,21 @@ guest's point of view.
 
 from __future__ import annotations
 
+import random
 import socket
 import threading
+import time
 
 from repro.debugger.core import Debugger
-from repro.debugger.protocol import COMMANDS, decode, dispatch, encode
-from repro.vm.errors import VMError
+from repro.debugger.protocol import (
+    COMMANDS,
+    FrameDecoder,
+    FrameError,
+    TransportError,
+    decode,
+    dispatch,
+    frame,
+)
 
 
 class DebuggerServer:
@@ -30,6 +47,10 @@ class DebuggerServer:
         self.address = self._sock.getsockname()
         self._thread: threading.Thread | None = None
         self._stop = threading.Event()
+        #: connections served (including ones that ended badly) — lets
+        #: tests assert the loop survived a hostile client
+        self.connections_served = 0
+        self.frame_errors = 0
 
     def start(self) -> "DebuggerServer":
         self._thread = threading.Thread(target=self._serve, daemon=True)
@@ -45,11 +66,18 @@ class DebuggerServer:
                 continue
             except OSError:
                 return
-            with conn:
-                self._serve_connection(conn)
+            self.connections_served += 1
+            try:
+                with conn:
+                    self._serve_connection(conn)
+            except Exception:
+                # one bad client must never take down the serve loop (and
+                # with it the replay session it is observing): drop the
+                # connection, go back to accepting
+                continue
 
     def _serve_connection(self, conn: socket.socket) -> None:
-        buf = b""
+        decoder = FrameDecoder()
         conn.settimeout(0.2)
         while not self._stop.is_set():
             try:
@@ -57,21 +85,37 @@ class DebuggerServer:
             except TimeoutError:
                 continue
             except OSError:
-                return
+                return  # client vanished mid-request: tear down gracefully
             if not chunk:
+                return  # orderly client disconnect
+            try:
+                payloads = decoder.feed(chunk)
+            except FrameError as exc:
+                # the stream cannot be resynchronised: answer once (best
+                # effort) and close this connection only
+                self.frame_errors += 1
+                self._send(conn, {"ok": False, "error": str(exc)})
                 return
-            buf += chunk
-            while b"\n" in buf:
-                line, buf = buf.split(b"\n", 1)
-                if not line.strip():
-                    continue
+            for payload in payloads:
                 try:
-                    request = decode(line)
+                    request = decode(payload)
                 except ValueError:
-                    conn.sendall(encode({"ok": False, "error": "bad json"}))
+                    if not self._send(conn, {"ok": False, "error": "bad json"}):
+                        return
                     continue
                 response = dispatch(self.debugger, request)
-                conn.sendall(encode(response))
+                if not self._send(conn, response):
+                    return
+
+    @staticmethod
+    def _send(conn: socket.socket, message: dict) -> bool:
+        """Send one frame; False means the client is gone (stop serving
+        this connection, but never crash the loop)."""
+        try:
+            conn.sendall(frame(message))
+            return True
+        except OSError:
+            return False
 
     def stop(self) -> None:
         self._stop.set()
@@ -84,14 +128,55 @@ class DebuggerServer:
 
 
 class DebuggerClient:
-    """Thin frontend: one method per protocol command."""
+    """Thin frontend: one method per protocol command.
+
+    ``timeout`` bounds every request round trip.  Construction connects
+    immediately; use :meth:`connect` for retry-with-backoff semantics
+    when the server may not be accepting yet.
+    """
 
     def __init__(self, address: tuple[str, int], timeout: float = 10.0):
         self._sock = socket.create_connection(address, timeout=timeout)
-        self._buf = b""
+        self.timeout = timeout
+        self._decoder = FrameDecoder()
         self._next_id = 0
         self.bytes_sent = 0
         self.bytes_received = 0
+
+    @classmethod
+    def connect(
+        cls,
+        address: tuple[str, int],
+        *,
+        timeout: float = 10.0,
+        attempts: int = 6,
+        base_delay: float = 0.05,
+        max_delay: float = 1.0,
+        jitter_seed: int | None = 0,
+    ) -> "DebuggerClient":
+        """Connect with capped exponential backoff + jitter.
+
+        Delay before retry *i* is ``min(max_delay, base_delay * 2**i)``
+        scaled by a jitter factor in [0.5, 1.0) — jitter is drawn from a
+        seeded RNG so tests (and coordinated fleets of frontends) stay
+        deterministic.  Raises :class:`TransportError` after the final
+        attempt fails.
+        """
+        rng = random.Random(jitter_seed)
+        last_error: Exception | None = None
+        for attempt in range(max(1, attempts)):
+            try:
+                return cls(address, timeout=timeout)
+            except OSError as exc:
+                last_error = exc
+                if attempt == attempts - 1:
+                    break
+                delay = min(max_delay, base_delay * (2 ** attempt))
+                time.sleep(delay * (0.5 + rng.random() / 2))
+        raise TransportError(
+            f"could not connect to debugger at {address[0]}:{address[1]} "
+            f"after {attempts} attempts: {last_error}"
+        )
 
     def close(self) -> None:
         self._sock.close()
@@ -102,24 +187,46 @@ class DebuggerClient:
     def __exit__(self, *exc) -> None:
         self.close()
 
-    def request(self, cmd: str, **args):
+    def ping(self) -> bool:
+        """Transport keepalive: round-trip a ping without touching the
+        debugger session.  True iff the server answered."""
+        try:
+            return self.request("ping") == "pong"
+        except TransportError:
+            return False
+
+    def request(self, cmd: str, timeout: float | None = None, **args):
         self._next_id += 1
-        payload = encode({"id": self._next_id, "cmd": cmd, "args": args})
-        self._sock.sendall(payload)
+        payload = frame({"id": self._next_id, "cmd": cmd, "args": args})
+        self._sock.settimeout(timeout if timeout is not None else self.timeout)
+        try:
+            self._sock.sendall(payload)
+        except OSError as exc:
+            raise TransportError(f"send failed: {exc}") from exc
         self.bytes_sent += len(payload)
-        while b"\n" not in self._buf:
-            chunk = self._sock.recv(4096)
-            if not chunk:
-                raise VMError("debugger server closed the connection")
-            self._buf += chunk
-            self.bytes_received += len(chunk)
-        line, self._buf = self._buf.split(b"\n", 1)
-        response = decode(line)
+        response = decode(self._read_frame())
         if response.get("id") != self._next_id:
-            raise VMError("out-of-order debugger response")
+            raise TransportError("out-of-order debugger response")
         if not response.get("ok"):
-            raise VMError(f"debugger error: {response.get('error')}")
+            raise TransportError(f"debugger error: {response.get('error')}")
         return response.get("result")
+
+    def _read_frame(self) -> bytes:
+        frames: list[bytes] = []
+        while not frames:
+            try:
+                chunk = self._sock.recv(4096)
+            except TimeoutError as exc:
+                raise TransportError(
+                    f"debugger request timed out after {self.timeout}s"
+                ) from exc
+            except OSError as exc:
+                raise TransportError(f"receive failed: {exc}") from exc
+            if not chunk:
+                raise TransportError("debugger server closed the connection")
+            self.bytes_received += len(chunk)
+            frames = self._decoder.feed(chunk)
+        return frames[0]
 
     def __getattr__(self, name: str):
         if name in COMMANDS:

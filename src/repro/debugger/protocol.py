@@ -1,12 +1,22 @@
-"""Wire protocol between debugger core and frontend: JSON lines over TCP.
+"""Wire protocol between debugger core and frontend: framed JSON over TCP.
 
 The paper's GUI runs on a third JVM and talks to the debugger JVM over
 TCP, minimising bandwidth by "transmitting small packets of data rather
-than large images".  Our packets are single-line JSON objects::
+than large images".  Our packets are JSON objects::
 
     → {"id": 7, "cmd": "backtrace", "args": {}}
     ← {"id": 7, "ok": true, "result": [...]}
     ← {"id": 8, "ok": false, "error": "no such method"}
+
+each carried in a **length-prefixed frame**: a 4-byte big-endian payload
+length followed by the JSON bytes.  Length prefixes make partial reads a
+non-event (the decoder simply waits for the rest) and make garbage
+*detectable*: random bytes parse as an implausible length, which is
+rejected up front with a bounded read — the receiver never tries to
+buffer gigabytes on a bad prefix.  A frame whose payload is not a JSON
+object is an application-level error (answered in-band); a frame whose
+*length* is invalid is a transport-level error (the connection cannot be
+resynchronised and must close).
 """
 
 from __future__ import annotations
@@ -15,6 +25,24 @@ import json
 from typing import Callable
 
 from repro.debugger.core import Debugger
+from repro.vm.errors import VMError
+
+#: frames larger than this are rejected without reading the payload —
+#: real responses are "small packets", so 1 MiB is generous
+MAX_FRAME_BYTES = 1 << 20
+#: length prefix size (u32 big-endian)
+LEN_BYTES = 4
+
+
+class TransportError(VMError):
+    """The debugger connection itself failed: unframeable bytes, an
+    oversized length prefix, a timeout, or a peer that vanished."""
+
+
+class FrameError(TransportError):
+    """The byte stream cannot be parsed as frames; resync is impossible
+    and the connection must be torn down."""
+
 
 #: command name -> (method name on Debugger, allowed argument names)
 COMMANDS: dict[str, tuple[str, tuple[str, ...]]] = {
@@ -33,13 +61,18 @@ COMMANDS: dict[str, tuple[str, tuple[str, ...]]] = {
     "info": ("info", ()),
 }
 
+#: handled at the transport layer, without touching the Debugger: the
+#: keepalive probe both sides use to tell "slow" from "dead"
+PING_COMMAND = "ping"
+
 
 def encode(message: dict) -> bytes:
-    return (json.dumps(message, separators=(",", ":")) + "\n").encode()
+    """JSON payload bytes (no framing)."""
+    return json.dumps(message, separators=(",", ":")).encode()
 
 
-def decode(line: bytes) -> dict:
-    message = json.loads(line.decode())
+def decode(data: bytes) -> dict:
+    message = json.loads(data.decode())
     if not isinstance(message, dict):
         # valid JSON but not a protocol message; dispatch would blow up
         # on a list/scalar, and an uncaught error kills the serve loop
@@ -47,11 +80,61 @@ def decode(line: bytes) -> dict:
     return message
 
 
+def frame(message: dict) -> bytes:
+    """One wire frame: length prefix + JSON payload."""
+    payload = encode(message)
+    if len(payload) > MAX_FRAME_BYTES:  # pragma: no cover - defensive
+        raise FrameError(f"outgoing frame of {len(payload)} bytes exceeds cap")
+    return len(payload).to_bytes(LEN_BYTES, "big") + payload
+
+
+class FrameDecoder:
+    """Incremental frame reassembly over arbitrary byte chunks.
+
+    ``feed`` never blocks and never over-buffers: the declared length is
+    validated *before* any payload accumulates, so an adversarial or
+    corrupted prefix costs at most ``LEN_BYTES`` of buffered data plus
+    one :class:`FrameError`.
+    """
+
+    def __init__(self, max_frame_bytes: int = MAX_FRAME_BYTES):
+        self.max_frame_bytes = max_frame_bytes
+        self._buf = b""
+
+    @property
+    def pending_bytes(self) -> int:
+        return len(self._buf)
+
+    def feed(self, data: bytes) -> list[bytes]:
+        """Buffer *data*; return every complete frame payload now available.
+
+        Raises :class:`FrameError` on an oversized or absurd length
+        prefix — the caller must close the connection (there is no way to
+        find the next frame boundary in a stream with a broken prefix).
+        """
+        self._buf += data
+        payloads: list[bytes] = []
+        while len(self._buf) >= LEN_BYTES:
+            length = int.from_bytes(self._buf[:LEN_BYTES], "big")
+            if length > self.max_frame_bytes:
+                raise FrameError(
+                    f"frame length {length} exceeds the {self.max_frame_bytes}"
+                    f"-byte cap (garbage or hostile prefix); closing"
+                )
+            if len(self._buf) < LEN_BYTES + length:
+                break  # partial frame: wait for more bytes
+            payloads.append(self._buf[LEN_BYTES:LEN_BYTES + length])
+            self._buf = self._buf[LEN_BYTES + length:]
+        return payloads
+
+
 def dispatch(debugger: Debugger, request: dict) -> dict:
     """Execute one request against the debugger core."""
     req_id = request.get("id")
     cmd = request.get("cmd")
     args = request.get("args") or {}
+    if cmd == PING_COMMAND:
+        return {"id": req_id, "ok": True, "result": "pong"}
     spec = COMMANDS.get(cmd)
     if spec is None:
         return {"id": req_id, "ok": False, "error": f"unknown command {cmd!r}"}

@@ -1,0 +1,262 @@
+"""The fault-injection campaign runner.
+
+``run_campaign`` executes every fault in a :class:`FaultPlan` against one
+workload and classifies each outcome.  The platform's contract is that a
+fault may cost data but never correctness: every run must end in
+
+* ``recovered``        — the operation completed (salvage + prefix replay
+                         succeeded; a delayed frame was still served);
+* ``diagnosed:<what>`` — a *typed* diagnostic was produced (a doctor
+                         classification, a :class:`TransportError`, …);
+* ``not-triggered``    — the planned fault never fired (e.g. the run had
+                         fewer non-deterministic native calls than the
+                         plan's index).
+
+Everything else is a harness finding: ``undetected`` (damage the format
+layer failed to notice — a silent wrong answer waiting to happen),
+``hang`` (no outcome within the watchdog), or ``unclassified:<Type>``
+(a raw, untyped exception).  ``CampaignReport.ok`` is True only when no
+such findings occurred.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.api import record as api_record, replay_prefix
+from repro.core.doctor import CLASS_CLEAN, CLASS_TRUNCATED, diagnose
+from repro.core.tracelog import TraceLog
+from repro.faults.inject import (
+    InjectedFault,
+    apply_trace_fault,
+    arm_native_fault,
+    send_faulted_request,
+)
+from repro.faults.plan import LAYER_TRANSPORT, FaultPlan, FaultSpec
+from repro.vm.errors import VMError
+from repro.vm.machine import VMConfig
+from repro.vm.timerdev import SeededJitterTimer
+
+#: outcomes that satisfy the recovery-or-typed-diagnostic contract
+_OK_OUTCOMES = ("recovered", "not-triggered")
+
+
+@dataclass
+class FaultOutcome:
+    spec: FaultSpec
+    outcome: str
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.outcome in _OK_OUTCOMES or self.outcome.startswith("diagnosed:")
+
+
+@dataclass
+class CampaignReport:
+    seed: int
+    workload: str
+    outcomes: list[FaultOutcome] = field(default_factory=list)
+
+    @property
+    def bad(self) -> list[FaultOutcome]:
+        return [o for o in self.outcomes if not o.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.bad
+
+    def tally(self) -> dict[str, int]:
+        return dict(Counter(o.outcome for o in self.outcomes))
+
+    def format(self) -> str:
+        lines = [
+            f"fault campaign: workload={self.workload} seed={self.seed} "
+            f"faults={len(self.outcomes)}"
+        ]
+        for outcome, n in sorted(self.tally().items()):
+            lines.append(f"  {outcome:<36}{n}")
+        if self.bad:
+            lines.append("FINDINGS (contract violations):")
+            for o in self.bad:
+                lines.append(f"  {o.spec.describe()}: {o.outcome} — {o.detail}")
+        else:
+            lines.append("every fault ended in clean recovery or a typed diagnostic")
+        return "\n".join(lines)
+
+
+def run_campaign(
+    plan: FaultPlan,
+    *,
+    workload: str | None = None,
+    program_factory=None,
+    workload_kwargs: dict | None = None,
+    config: VMConfig | None = None,
+    workdir: str | Path,
+    fault_timeout: float = 30.0,
+    progress=None,
+) -> CampaignReport:
+    """Run every fault in *plan*; returns the classified outcomes.
+
+    The target program comes from a registered *workload* name or a
+    *program_factory* callable (fresh :class:`GuestProgram` per call —
+    VMs are single-run, so every injection builds its own).  *workdir*
+    holds the baseline recording and the damaged copies.
+    """
+    if (workload is None) == (program_factory is None):
+        raise ValueError("pass exactly one of workload / program_factory")
+    kwargs = dict(workload_kwargs or {})
+    if workload is not None:
+        from repro.workloads.registry import get_workload
+
+        spec = get_workload(workload)
+        kwargs = dict(spec.defaults) | kwargs
+        program_factory = lambda: spec.build(kwargs)  # noqa: E731
+        workload_name = spec.name
+        extra_meta = {"workload": spec.name, "workload_kwargs": kwargs}
+    else:
+        workload_name = program_factory().name
+        extra_meta = {}
+
+    config = config or VMConfig(semispace_words=200_000)
+    workdir = Path(workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+
+    # one clean baseline recording: the artifact the trace faults damage
+    baseline_path = workdir / "baseline.djv"
+    api_record(
+        program_factory(),
+        config=config,
+        timer=SeededJitterTimer(plan.seed, 40, 160),
+        out=baseline_path,
+        extra_meta=extra_meta,
+    )
+    baseline_blob = baseline_path.read_bytes()
+
+    # one debugger server, reused by every transport fault: surviving all
+    # of them on a single serve loop IS the hardening claim
+    server = None
+    if plan.by_layer(LAYER_TRANSPORT):
+        from repro.debugger import Debugger, DebuggerServer, ReplaySession
+
+        session = ReplaySession(
+            program_factory(), TraceLog.load(baseline_path), config=config
+        )
+        server = DebuggerServer(Debugger(session)).start()
+
+    report = CampaignReport(seed=plan.seed, workload=workload_name)
+    try:
+        for fault_spec in plan:
+            outcome, detail = _run_one_guarded(
+                fault_spec,
+                baseline_blob=baseline_blob,
+                program_factory=program_factory,
+                config=config,
+                workdir=workdir,
+                seed=plan.seed,
+                server=server,
+                timeout=fault_timeout,
+            )
+            report.outcomes.append(FaultOutcome(fault_spec, outcome, detail))
+            if progress is not None:
+                progress(report.outcomes[-1])
+    finally:
+        if server is not None:
+            server.stop()
+    return report
+
+
+def _run_one_guarded(spec: FaultSpec, *, timeout: float, **ctx) -> tuple[str, str]:
+    """One fault under a watchdog: a fault that produces no outcome in
+    *timeout* seconds is itself a finding (``hang``)."""
+    box: dict = {}
+
+    def _runner():
+        try:
+            box["outcome"] = _run_one(spec, **ctx)
+        except VMError as exc:
+            box["outcome"] = (f"diagnosed:{type(exc).__name__}", str(exc))
+        except Exception as exc:  # noqa: BLE001 - the whole point
+            box["outcome"] = (f"unclassified:{type(exc).__name__}", str(exc))
+
+    thread = threading.Thread(target=_runner, daemon=True)
+    thread.start()
+    thread.join(timeout)
+    if thread.is_alive():
+        return "hang", f"no outcome within {timeout}s"
+    return box["outcome"]
+
+
+def _run_one(
+    spec: FaultSpec,
+    *,
+    baseline_blob: bytes,
+    program_factory,
+    config,
+    workdir: Path,
+    seed: int,
+    server,
+) -> tuple[str, str]:
+    if spec.layer == "trace":
+        return _run_trace_fault(spec, baseline_blob, program_factory, config, workdir)
+    if spec.layer == "native":
+        return _run_native_fault(spec, program_factory, config, workdir, seed)
+    assert server is not None
+    return send_faulted_request(server.address, spec)
+
+
+def _run_trace_fault(
+    spec: FaultSpec, baseline_blob: bytes, program_factory, config, workdir: Path
+) -> tuple[str, str]:
+    damaged = apply_trace_fault(baseline_blob, spec)
+    path = workdir / f"fault-{spec.index:03d}.djv"
+    path.write_bytes(damaged)
+    report = diagnose(path, program=program_factory(), config=config)
+    path.unlink()
+    if report.classification == CLASS_CLEAN:
+        return (
+            "undetected",
+            f"{len(baseline_blob) - len(damaged) or 'bit'}-level damage loaded "
+            f"and replayed as clean — silent corruption",
+        )
+    if report.classification == CLASS_TRUNCATED:
+        if any("prefix replay: FAILED" in c for c in report.checks):
+            return f"diagnosed:{report.classification}", report.detail
+        return "recovered", f"salvaged prefix replays ({report.detail})"
+    return f"diagnosed:{report.classification}", report.detail
+
+
+def _run_native_fault(
+    spec: FaultSpec, program_factory, config, workdir: Path, seed: int
+) -> tuple[str, str]:
+    (fail_at,) = spec.params
+    out = workdir / f"native-{spec.index:03d}.djv"
+    tmp = out.with_name(out.name + ".tmp")
+    try:
+        api_record(
+            program_factory(),
+            config=config,
+            timer=SeededJitterTimer(seed, 40, 160),
+            out=out,
+            vm_hook=lambda vm: arm_native_fault(vm, fail_at),
+        )
+        return (
+            "not-triggered",
+            f"run completed before non-deterministic native call #{fail_at}",
+        )
+    except InjectedFault as exc:
+        # the record run died exactly as a real environment failure would;
+        # the crash-consistency contract says the tmp file salvages
+        trace = TraceLog.salvage(tmp)
+        prefix = replay_prefix(program_factory(), trace, config=config)
+        return (
+            "recovered",
+            f"{exc}; salvaged tmp replays "
+            f"({prefix.words_consumed} value words consumed)",
+        )
+    finally:
+        for p in (out, tmp):
+            p.unlink(missing_ok=True)

@@ -1,0 +1,42 @@
+"""Pytest fixtures for fault-injection tests.
+
+Star-import (or list in ``pytest_plugins``) from a conftest::
+
+    from repro.faults.fixtures import *  # noqa: F401,F403
+
+Tests control the plan with markers::
+
+    @pytest.mark.fault_seed(7)
+    @pytest.mark.fault_count(25)
+    def test_something(fault_plan): ...
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.plan import FaultPlan
+
+DEFAULT_SEED = 42
+DEFAULT_COUNT = 20
+
+
+@pytest.fixture
+def fault_seed(request) -> int:
+    marker = request.node.get_closest_marker("fault_seed")
+    return marker.args[0] if marker else DEFAULT_SEED
+
+
+@pytest.fixture
+def fault_plan(request, fault_seed) -> FaultPlan:
+    marker = request.node.get_closest_marker("fault_count")
+    count = marker.args[0] if marker else DEFAULT_COUNT
+    return FaultPlan.generate(fault_seed, count)
+
+
+@pytest.fixture
+def fault_workdir(tmp_path):
+    """Scratch directory for campaign artifacts (baseline + damaged copies)."""
+    d = tmp_path / "faults"
+    d.mkdir()
+    return d

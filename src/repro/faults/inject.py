@@ -1,0 +1,195 @@
+"""Fault injectors: the mechanics of making each surface misbehave.
+
+Each injector either applies damage to an artifact (trace bytes), arms a
+time bomb inside a VM (native layer), or performs one sabotaged exchange
+against a live debugger server (transport layer).  Injectors are
+mechanical — classification of what happened afterwards belongs to
+:mod:`repro.faults.campaign`.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import TYPE_CHECKING
+
+from repro.core.tracelog import (
+    MAGIC,
+    MAX_SEGMENT_BYTES,
+    SEG_FOOTER,
+    SEG_META,
+    SEG_SWITCH,
+    SEG_VALUE,
+    _SEG_HEADER_BYTES,
+)
+from repro.debugger.protocol import FrameDecoder, TransportError, decode, frame
+from repro.faults.plan import FaultSpec
+from repro.vm.errors import VMError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.vm.machine import VirtualMachine
+
+_HEADER_BYTES = len(MAGIC) + 2  # magic + u16 version
+
+_SEG_KINDS = (SEG_META, SEG_SWITCH, SEG_VALUE, SEG_FOOTER)
+
+
+class InjectedFault(VMError):
+    """The typed error an armed native raises — what a failing syscall,
+    exhausted fd table, or dead network looks like to the guest."""
+
+
+# ---------------------------------------------------------------------------
+# trace-file faults
+
+
+def segment_boundaries(blob: bytes) -> list[int]:
+    """Byte offsets just *after* each complete segment — the positions a
+    crash between flushes can leave a tmp file cut at."""
+    offsets: list[int] = []
+    pos = _HEADER_BYTES
+    while pos + _SEG_HEADER_BYTES <= len(blob):
+        kind = blob[pos:pos + 1]
+        if kind not in _SEG_KINDS:
+            break
+        length = int.from_bytes(blob[pos + 1:pos + 5], "little")
+        if length > MAX_SEGMENT_BYTES:
+            break
+        end = pos + _SEG_HEADER_BYTES + length
+        if end > len(blob):
+            break
+        offsets.append(end)
+        pos = end
+    return offsets
+
+
+def apply_trace_fault(blob: bytes, spec: FaultSpec) -> bytes:
+    """Damaged copy of *blob* per *spec* (``bit-flip`` / ``truncate`` /
+    ``torn-write``).  Fractional positions resolve against this blob."""
+    if spec.kind == "bit-flip":
+        frac, bit = spec.params
+        pos = min(len(blob) - 1, int(frac * len(blob)))
+        damaged = bytearray(blob)
+        damaged[pos] ^= 1 << bit
+        return bytes(damaged)
+    if spec.kind == "truncate":
+        (frac,) = spec.params
+        cut = max(1, min(len(blob) - 1, int(frac * len(blob))))
+        return blob[:cut]
+    if spec.kind == "torn-write":
+        # a crash between segment flushes: the tmp file ends exactly at a
+        # segment boundary (or right after the header, before any flush),
+        # with no footer
+        (frac,) = spec.params
+        candidates = [_HEADER_BYTES] + segment_boundaries(blob)[:-1]
+        cut = candidates[min(len(candidates) - 1, int(frac * len(candidates)))]
+        return blob[:cut]
+    raise ValueError(f"not a trace fault: {spec.kind}")
+
+
+# ---------------------------------------------------------------------------
+# native-layer faults
+
+
+def arm_native_fault(vm: "VirtualMachine", fail_at: int) -> dict:
+    """Wrap every non-deterministic native so the *fail_at*-th call (over
+    all of them, in call order) raises :class:`InjectedFault`.
+
+    Returns a live ``{"calls": n}`` counter so the harness can tell a
+    triggered fault from a run that never reached the n-th call.
+    """
+    from repro.vm.native import NativeDef
+
+    state = {"calls": 0}
+
+    def _wrap(nd):
+        def faulty(ctx):
+            state["calls"] += 1
+            if state["calls"] == fail_at:
+                raise InjectedFault(
+                    f"injected environment failure in {nd.qualname} "
+                    f"(non-deterministic native call #{fail_at})"
+                )
+            return nd.fn(ctx)
+
+        return NativeDef(nd.qualname, faulty, nondet=True)
+
+    for qualname, nd in list(vm.natives._natives.items()):
+        if nd.nondet:
+            vm.natives._natives[qualname] = _wrap(nd)
+    return state
+
+
+# ---------------------------------------------------------------------------
+# transport-layer faults
+
+_PROBE = {"id": 1, "cmd": "info", "args": {}}
+
+
+def send_faulted_request(
+    address: tuple[str, int], spec: FaultSpec, *, timeout: float = 2.0
+) -> tuple[str, str]:
+    """One debugger exchange with *spec*'s transport fault applied.
+
+    Returns ``(outcome, detail)`` where outcome is ``"recovered"`` (the
+    exchange still worked) or ``"diagnosed:..."`` (a typed transport
+    failure).  Anything else — a hang, an unexpected exception — escapes
+    to the campaign's watchdog and is a harness failure.
+    """
+    if spec.kind == "delay-frame":
+        (delay,) = spec.params
+        with socket.create_connection(address, timeout=timeout) as sock:
+            time.sleep(delay)  # the frame arrives late, but intact
+            sock.sendall(frame(_PROBE))
+            response = _read_response(sock, timeout)
+        if response.get("ok"):
+            return "recovered", f"frame delayed {delay}s; request still served"
+        return "diagnosed:server-error", str(response.get("error"))
+
+    if spec.kind == "drop-frame":
+        with socket.create_connection(address, timeout=timeout) as sock:
+            # the request frame vanishes in transit: send nothing, wait
+            sock.settimeout(0.3)
+            try:
+                chunk = sock.recv(4096)
+            except TimeoutError:
+                return (
+                    "diagnosed:timeout",
+                    "dropped frame produced no response; timeout fired as designed",
+                )
+            if chunk == b"":
+                return "diagnosed:closed", "server closed the idle connection"
+            return "recovered", "server answered an unsent request?!"
+
+    if spec.kind == "garble-frame":
+        frac, bit = spec.params
+        wire = bytearray(frame(_PROBE))
+        wire[min(len(wire) - 1, int(frac * len(wire)))] ^= 1 << bit
+        with socket.create_connection(address, timeout=timeout) as sock:
+            sock.sendall(bytes(wire))
+            try:
+                response = _read_response(sock, min(timeout, 1.0))
+            except TransportError as exc:
+                return "diagnosed:transport", str(exc)
+            if response.get("ok"):
+                # the flip missed anything load-bearing (e.g. hit a digit
+                # of the id) and the request still parsed
+                return "recovered", "garbled frame still parsed and was served"
+            return "diagnosed:rejected", str(response.get("error"))
+
+    raise ValueError(f"not a transport fault: {spec.kind}")
+
+
+def _read_response(sock: socket.socket, timeout: float) -> dict:
+    decoder = FrameDecoder()
+    sock.settimeout(timeout)
+    frames: list[bytes] = []
+    while not frames:
+        try:
+            chunk = sock.recv(4096)
+        except TimeoutError as exc:
+            raise TransportError("no response frame within the timeout") from exc
+        if not chunk:
+            raise TransportError("server closed the connection mid-response")
+        frames = decoder.feed(chunk)
+    return decode(frames[0])

@@ -1,0 +1,114 @@
+"""Deterministic fault plans.
+
+A :class:`FaultPlan` is a seeded, reproducible list of :class:`FaultSpec`
+entries across the platform's three fault surfaces:
+
+* ``trace``     — damage to the bytes of a recorded trace file (a bit
+  flip from bad storage, a truncated tail from a full disk, a torn write
+  from a crash mid-flush);
+* ``native``    — the host environment failing underneath the guest (the
+  Nth non-deterministic native call raises);
+* ``transport`` — the debugger wire misbehaving (a dropped, delayed, or
+  garbled frame).
+
+Specs are *symbolic*: byte positions are stored as fractions in [0, 1)
+and resolved against the actual artifact at injection time, so the same
+plan applies to any workload while ``FaultPlan.generate(seed, count)``
+stays byte-for-byte reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+LAYER_TRACE = "trace"
+LAYER_NATIVE = "native"
+LAYER_TRANSPORT = "transport"
+
+#: every fault kind, with its layer
+KINDS: dict[str, str] = {
+    "bit-flip": LAYER_TRACE,
+    "truncate": LAYER_TRACE,
+    "torn-write": LAYER_TRACE,
+    "native-error": LAYER_NATIVE,
+    "drop-frame": LAYER_TRANSPORT,
+    "delay-frame": LAYER_TRANSPORT,
+    "garble-frame": LAYER_TRANSPORT,
+}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One planned fault.  ``params`` meaning by kind:
+
+    ========================  =============================================
+    ``bit-flip``              ``(position_frac, bit)`` — flip bit *bit* of
+                              the byte at ``frac * (size - 1)``
+    ``truncate``              ``(position_frac,)`` — drop everything from
+                              that byte on
+    ``torn-write``            ``(boundary_frac,)`` — crash after the K-th
+                              flushed segment (resolved against the
+                              recording's segment boundaries)
+    ``native-error``          ``(n,)`` — the n-th non-deterministic native
+                              call raises
+    ``drop-frame``            ``()`` — the request frame never arrives
+    ``delay-frame``           ``(delay_s,)`` — the frame arrives late
+    ``garble-frame``          ``(position_frac, bit)`` — flip one bit of
+                              the encoded frame before sending
+    ========================  =============================================
+    """
+
+    index: int
+    kind: str
+    params: tuple = ()
+
+    @property
+    def layer(self) -> str:
+        return KINDS[self.kind]
+
+    def describe(self) -> str:
+        return f"#{self.index:03d} {self.layer}/{self.kind}{self.params!r}"
+
+
+@dataclass
+class FaultPlan:
+    seed: int
+    specs: list[FaultSpec] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __iter__(self):
+        return iter(self.specs)
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        count: int,
+        layers: tuple[str, ...] = (LAYER_TRACE, LAYER_NATIVE, LAYER_TRANSPORT),
+    ) -> "FaultPlan":
+        """*count* faults drawn uniformly over the kinds of *layers*."""
+        rng = random.Random(seed)
+        kinds = [k for k, layer in KINDS.items() if layer in layers]
+        if not kinds:
+            raise ValueError(f"no fault kinds in layers {layers!r}")
+        specs = []
+        for i in range(count):
+            kind = rng.choice(kinds)
+            if kind == "bit-flip" or kind == "garble-frame":
+                params = (rng.random(), rng.randrange(8))
+            elif kind == "truncate" or kind == "torn-write":
+                params = (rng.random(),)
+            elif kind == "native-error":
+                params = (rng.randrange(1, 9),)
+            elif kind == "delay-frame":
+                params = (round(rng.uniform(0.01, 0.08), 3),)
+            else:  # drop-frame
+                params = ()
+            specs.append(FaultSpec(index=i, kind=kind, params=params))
+        return cls(seed=seed, specs=specs)
+
+    def by_layer(self, layer: str) -> list[FaultSpec]:
+        return [s for s in self.specs if s.layer == layer]

@@ -57,6 +57,42 @@ class VMTrap(VMError):
         super().__init__(f"{kind}: {message}" if message else kind)
 
 
+class UsageError(VMError):
+    """The user asked for something malformed (CLI arguments, missing
+    files, unknown workloads).  Distinct from runtime failures so the CLI
+    can map it to exit status 2."""
+
+
+class TraceFormatError(VMError):
+    """A persisted trace is unreadable: bad magic, unsupported version,
+    failed CRC, torn segment, or a truncated varint.
+
+    ``stream`` names which part of the file broke (``"switch"``,
+    ``"value"``, ``"meta"``, ``"footer"``, ``"header"``, or a segment
+    label) and ``offset`` is the byte offset into that stream/file where
+    decoding stopped — the two facts a salvage or a doctor report needs.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        stream: str | None = None,
+        offset: int | None = None,
+    ):
+        self.stream = stream
+        self.offset = offset
+        where = ""
+        if stream is not None:
+            where = f"[{stream}"
+            if offset is not None:
+                where += f" @byte {offset}"
+            where += "] "
+        elif offset is not None:
+            where = f"[@byte {offset}] "
+        super().__init__(f"{where}{message}")
+
+
 class ReplayDivergenceError(VMError):
     """Replay observed state inconsistent with the recorded execution.
 
@@ -69,4 +105,18 @@ class ReplayDivergenceError(VMError):
         self.position = position
         if position is not None:
             message = f"at trace position {position}: {message}"
+        super().__init__(message)
+
+
+class TracePrefixEnd(VMError):
+    """A replay of a *salvaged* (truncated) trace consumed the whole
+    surviving prefix.  Not a divergence: the recording simply stops here,
+    because the recorder died mid-run.  Raised only when the controller
+    runs with ``tolerate_truncation`` (set automatically for traces whose
+    meta carries ``truncated: True``); harness code catches it to report
+    how far the prefix carried the re-execution.
+    """
+
+    def __init__(self, message: str, *, words_consumed: int = 0):
+        self.words_consumed = words_consumed
         super().__init__(message)

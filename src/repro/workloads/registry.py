@@ -62,13 +62,27 @@ class WorkloadSpec:
             kwargs.update(overrides)
         return kwargs
 
+    def _check_known(self, resolved: dict) -> None:
+        unknown = set(resolved) - set(self.defaults) - set(self.explore_kwargs)
+        if unknown:
+            from repro.vm.errors import UsageError
+
+            raise UsageError(
+                f"workload {self.name!r} has no parameter "
+                f"{', '.join(sorted(unknown))} (known: "
+                f"{', '.join(sorted(set(self.defaults) | set(self.explore_kwargs)))})"
+            )
+
     def build(self, kwargs: "dict | None" = None) -> "GuestProgram":
-        return self.factory(**(kwargs or self.defaults))
+        resolved = kwargs or self.defaults
+        self._check_known(resolved)
+        return self.factory(**resolved)
 
     def program_factory(self, kwargs: "dict | None" = None):
         """A zero-arg factory producing a *fresh* program per call (stateful
         natives — e.g. the server's network source — are per-instance)."""
         resolved = dict(kwargs) if kwargs is not None else dict(self.defaults)
+        self._check_known(resolved)
         return lambda: self.factory(**resolved)
 
     def oracle(self, kwargs: "dict | None" = None) -> "Oracle | None":

@@ -60,14 +60,14 @@ class TestRun:
 
     def test_missing_file(self, capsys):
         code, _, err = run_cli(["run", "/nope/missing.jasm"], capsys)
-        assert code == 1
+        assert code == 2  # usage error, not a finding
         assert "no such file" in err
 
     def test_unknown_extension(self, tmp_path, capsys):
         p = tmp_path / "x.txt"
         p.write_text("")
         code, _, err = run_cli(["run", str(p)], capsys)
-        assert code == 1
+        assert code == 2
         assert "unknown program type" in err
 
 
@@ -95,6 +95,76 @@ class TestRecordReplay:
         run_cli(["record", mj_file, "--seed", "7", "-o", trace], capsys)
         code, _, err = run_cli(["replay", jasm_file, trace], capsys)
         assert code == 1
+
+
+class TestExitCodes:
+    """The documented convention: 0 ok, 1 finding, 2 unusable input."""
+
+    @pytest.fixture
+    def bad_traces(self, tmp_path):
+        empty = tmp_path / "empty.djv"
+        empty.write_bytes(b"")
+        notatrace = tmp_path / "not.djv"
+        notatrace.write_bytes(b"PNG\x89 definitely not a trace")
+        skew = tmp_path / "future.djv"
+        skew.write_bytes(b"DJVU" + (99).to_bytes(2, "little") + b"\x00" * 16)
+        return {"empty": empty, "not-a-trace": notatrace, "version-skew": skew}
+
+    @pytest.mark.parametrize("which", ["empty", "not-a-trace", "version-skew"])
+    def test_replay_unusable_trace_exits_2(self, bad_traces, which, mj_file, capsys):
+        code, _, err = run_cli(["replay", mj_file, str(bad_traces[which])], capsys)
+        assert code == 2
+        # one-line typed error on stderr, no traceback
+        assert err.startswith("error: ")
+        assert len(err.strip().splitlines()) == 1
+
+    @pytest.mark.parametrize("which", ["empty", "not-a-trace", "version-skew"])
+    def test_doctor_unusable_trace_exits_2(self, bad_traces, which, capsys):
+        code, out, _ = run_cli(["doctor", str(bad_traces[which])], capsys)
+        assert code == 2
+        assert "classification:" in out
+
+    def test_doctor_clean_trace_exits_0(self, mj_file, tmp_path, capsys):
+        trace = str(tmp_path / "t.djv")
+        run_cli(["record", mj_file, "--seed", "7", "-o", trace], capsys)
+        code, out, _ = run_cli(["doctor", mj_file, trace], capsys)
+        assert code == 0
+        assert "classification: clean" in out
+
+    def test_doctor_truncated_trace_exits_1(self, mj_file, tmp_path, capsys):
+        trace = tmp_path / "t.djv"
+        run_cli(["record", mj_file, "--seed", "7", "-o", str(trace)], capsys)
+        trace.write_bytes(trace.read_bytes()[:-11])
+        code, out, _ = run_cli(["doctor", mj_file, str(trace)], capsys)
+        assert code == 1
+        assert "classification: truncated-tail" in out
+
+    def test_unknown_workload_parameter_exits_2(self, capsys):
+        code, _, err = run_cli(
+            ["run", "--workload", "bank", "-W", "bogus=1"], capsys
+        )
+        assert code == 2
+        assert "no parameter" in err
+
+    def test_unknown_workload_parameter_in_explore_exits_2(self, capsys):
+        # explore builds programs through program_factory, not build() —
+        # both paths must reject unknown keys as a usage error, not a
+        # TypeError from the factory
+        code, _, err = run_cli(
+            ["explore", "--workload", "bank", "-W", "bogus=1"], capsys
+        )
+        assert code == 2
+        assert "no parameter" in err
+
+
+class TestFaultsCommand:
+    def test_small_campaign_is_clean(self, capsys):
+        code, out, _ = run_cli(
+            ["faults", "--seed", "3", "--count", "8", "-W", "bank",
+             "--heap", "60000"], capsys
+        )
+        assert code == 0
+        assert "clean recovery or a typed diagnostic" in out
 
 
 class TestDisasm:

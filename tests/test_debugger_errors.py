@@ -1,19 +1,30 @@
-"""Debugger TCP protocol error paths, driven over raw sockets.
+"""Debugger TCP transport error paths, driven over raw sockets.
 
 The frontend tests exercise the happy path through ``DebuggerClient``;
-these go underneath it: garbage on the wire, protocol-shaped requests the
-dispatcher must reject, and connections that die mid-session.  The
-invariant throughout is that the *server* survives — a broken frontend
-must never take down the replay it is inspecting.
+these go underneath it: frames split across sends, oversized length
+prefixes, garbage on the wire, protocol-shaped requests the dispatcher
+must reject, and connections that die mid-response.  The invariant
+throughout is that the *server* survives — a broken frontend must never
+take down the replay it is inspecting.
 """
 
-import json
 import socket
+import time
 
 import pytest
 
 from repro.api import record
 from repro.debugger import Debugger, DebuggerClient, DebuggerServer, ReplaySession
+from repro.debugger.protocol import (
+    LEN_BYTES,
+    MAX_FRAME_BYTES,
+    FrameDecoder,
+    FrameError,
+    TransportError,
+    decode,
+    encode,
+    frame,
+)
 from repro.vm import SeededJitterTimer
 from repro.vm.machine import VMConfig
 from repro.workloads import racy_bank
@@ -34,86 +45,143 @@ def _connect(srv) -> socket.socket:
     return socket.create_connection(srv.address, timeout=5.0)
 
 
-def _send_line(sock: socket.socket, raw: bytes) -> dict:
-    sock.sendall(raw + b"\n")
-    buf = b""
-    while b"\n" not in buf:
+def _recv_frame(sock: socket.socket) -> dict:
+    decoder = FrameDecoder()
+    frames = []
+    while not frames:
         chunk = sock.recv(4096)
         assert chunk, "server closed the connection"
-        buf += chunk
-    line, _, _ = buf.partition(b"\n")
-    return json.loads(line.decode())
+        frames = decoder.feed(chunk)
+    return decode(frames[0])
+
+
+def _roundtrip(sock: socket.socket, message: dict) -> dict:
+    sock.sendall(frame(message))
+    return _recv_frame(sock)
+
+
+def _send_raw(sock: socket.socket, raw: bytes) -> dict:
+    """Frame arbitrary (possibly non-JSON) payload bytes and read the reply."""
+    sock.sendall(len(raw).to_bytes(LEN_BYTES, "big") + raw)
+    return _recv_frame(sock)
+
+
+class TestFrameDecoder:
+    def test_frame_split_across_two_feeds(self):
+        decoder = FrameDecoder()
+        wire = frame({"id": 1, "cmd": "info", "args": {}})
+        cut = len(wire) // 2
+        assert decoder.feed(wire[:cut]) == []
+        payloads = decoder.feed(wire[cut:])
+        assert [decode(p) for p in payloads] == [{"id": 1, "cmd": "info", "args": {}}]
+        assert decoder.pending_bytes == 0
+
+    def test_many_frames_in_one_feed(self):
+        decoder = FrameDecoder()
+        wire = b"".join(frame({"id": i}) for i in range(5))
+        assert [decode(p)["id"] for p in decoder.feed(wire)] == [0, 1, 2, 3, 4]
+
+    def test_byte_at_a_time_delivery(self):
+        decoder = FrameDecoder()
+        wire = frame({"id": 9, "cmd": "ping"})
+        got = []
+        for i in range(len(wire)):
+            got.extend(decoder.feed(wire[i:i + 1]))
+        assert decode(got[0])["id"] == 9
+
+    def test_oversized_length_prefix_rejected_without_buffering(self):
+        decoder = FrameDecoder()
+        huge = (MAX_FRAME_BYTES + 1).to_bytes(LEN_BYTES, "big")
+        with pytest.raises(FrameError):
+            decoder.feed(huge + b"x" * 100)
+        # the bounded read: nothing was accumulated beyond the bad prefix
+        assert decoder.pending_bytes <= LEN_BYTES + 100
+
+    def test_garbage_parses_as_implausible_length(self):
+        # random ASCII bytes decode to a length around 2**30 — detected
+        # up front instead of waiting for gigabytes that never arrive
+        decoder = FrameDecoder()
+        with pytest.raises(FrameError):
+            decoder.feed(b"GET / HTTP/1.1\r\n")
 
 
 class TestMalformedInput:
-    def test_non_json_line(self, server):
+    def test_non_json_payload(self, server):
         with _connect(server) as sock:
-            resp = _send_line(sock, b"this is not json {{{")
+            resp = _send_raw(sock, b"this is not json {{{")
             assert resp == {"ok": False, "error": "bad json"}
 
-    def test_truncated_json(self, server):
+    def test_truncated_json_payload(self, server):
         with _connect(server) as sock:
-            resp = _send_line(sock, b'{"id": 1, "cmd": "info"')
+            resp = _send_raw(sock, b'{"id": 1, "cmd": "info"')
             assert resp == {"ok": False, "error": "bad json"}
 
     def test_json_but_not_an_object_is_handled(self, server):
         # a bare array is valid JSON but not a protocol message; it must
         # be rejected as bad json, not crash the serve loop
         with _connect(server) as sock:
-            resp = _send_line(sock, b"[1, 2, 3]")
+            resp = _send_raw(sock, b"[1, 2, 3]")
             assert resp["ok"] is False
 
-    def test_blank_lines_ignored(self, server):
+    def test_server_usable_after_bad_payload(self, server):
         with _connect(server) as sock:
-            sock.sendall(b"\n   \n")
-            resp = _send_line(sock, b'{"id": 1, "cmd": "info", "args": {}}')
-            assert resp["ok"] is True and resp["id"] == 1
-
-    def test_server_usable_after_garbage(self, server):
-        with _connect(server) as sock:
-            assert _send_line(sock, b"\x00\xff garbage")["ok"] is False
-            resp = _send_line(sock, b'{"id": 2, "cmd": "info", "args": {}}')
+            assert _send_raw(sock, b"\x00\xff garbage")["ok"] is False
+            resp = _roundtrip(sock, {"id": 2, "cmd": "info", "args": {}})
             assert resp["ok"] is True
             assert resp["result"]["finished"] is False
+
+    def test_oversized_length_prefix_closes_connection(self, server):
+        with _connect(server) as sock:
+            sock.sendall((MAX_FRAME_BYTES * 4).to_bytes(LEN_BYTES, "big"))
+            # best-effort error frame, then the server closes this
+            # connection (the stream cannot be resynchronised)
+            resp = _recv_frame(sock)
+            assert resp["ok"] is False
+            assert "cap" in resp["error"]
+            assert sock.recv(4096) == b""
+        # ... but the serve loop is still alive for the next client
+        with DebuggerClient(server.address) as client:
+            assert client.request("info")["finished"] is False
+        assert server.frame_errors == 1
 
 
 class TestBadRequests:
     def test_unknown_command(self, server):
         with _connect(server) as sock:
-            resp = _send_line(sock, b'{"id": 3, "cmd": "selfdestruct", "args": {}}')
+            resp = _roundtrip(sock, {"id": 3, "cmd": "selfdestruct", "args": {}})
             assert resp["ok"] is False
             assert "unknown command" in resp["error"]
             assert resp["id"] == 3  # the error is correlated to the request
 
     def test_missing_cmd_field(self, server):
         with _connect(server) as sock:
-            resp = _send_line(sock, b'{"id": 4}')
+            resp = _roundtrip(sock, {"id": 4})
             assert resp["ok"] is False
             assert "unknown command" in resp["error"]
 
     def test_unexpected_argument(self, server):
         with _connect(server) as sock:
-            resp = _send_line(sock, b'{"id": 5, "cmd": "cont", "args": {"warp": 9}}')
+            resp = _roundtrip(sock, {"id": 5, "cmd": "cont", "args": {"warp": 9}})
             assert resp["ok"] is False
             assert "bad arguments" in resp["error"]
 
     def test_handler_exception_reported_not_fatal(self, server):
         with _connect(server) as sock:
-            resp = _send_line(
-                sock, b'{"id": 6, "cmd": "break", "args": {"method": "No.such()V"}}'
+            resp = _roundtrip(
+                sock, {"id": 6, "cmd": "break", "args": {"method": "No.such()V"}}
             )
             assert resp["ok"] is False
             assert "error" in resp
             # and the session is still alive
-            assert _send_line(sock, b'{"id": 7, "cmd": "info", "args": {}}')["ok"]
+            assert _roundtrip(sock, {"id": 7, "cmd": "info", "args": {}})["ok"]
 
 
 class TestDisconnects:
     def test_disconnect_mid_session_then_reconnect(self, server):
         with _connect(server) as sock:
-            resp = _send_line(
+            resp = _roundtrip(
                 sock,
-                b'{"id": 1, "cmd": "break", "args": {"method": "Teller.run()V", "bci": 0}}',
+                {"id": 1, "cmd": "break", "args": {"method": "Teller.run()V", "bci": 0}},
             )
             assert resp["ok"] is True
             # vanish without a goodbye, mid-session
@@ -122,9 +190,21 @@ class TestDisconnects:
             status = client.request("cont")
             assert status["status"] == "breakpoint"
 
-    def test_disconnect_with_partial_line_in_flight(self, server):
+    def test_disconnect_with_partial_frame_in_flight(self, server):
         with _connect(server) as sock:
-            sock.sendall(b'{"id": 1, "cmd": "inf')  # no newline, then gone
+            wire = frame({"id": 1, "cmd": "info", "args": {}})
+            sock.sendall(wire[: len(wire) - 3])  # frame never completes, then gone
+        with DebuggerClient(server.address) as client:
+            assert client.request("info")["finished"] is False
+
+    def test_client_vanishes_mid_response(self, server):
+        # a response the server cannot deliver (peer reset the socket)
+        # must not crash the serve loop
+        with _connect(server) as sock:
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_LINGER,
+                            b"\x01\x00\x00\x00\x00\x00\x00\x00")  # RST on close
+            sock.sendall(frame({"id": 1, "cmd": "info", "args": {}}))
+        time.sleep(0.1)  # let the server hit the dead socket
         with DebuggerClient(server.address) as client:
             assert client.request("info")["finished"] is False
 
@@ -136,10 +216,84 @@ class TestDisconnects:
         try:
             assert client.request("info")["paused"] is False
             srv.stop()
-            from repro.vm.errors import VMError
-
-            with pytest.raises(VMError):
+            with pytest.raises(TransportError):
                 client.request("info")
         finally:
             client.close()
             srv.stop()
+
+
+class TestClientHardening:
+    def test_ping_keepalive(self, server):
+        with DebuggerClient(server.address) as client:
+            assert client.ping() is True
+
+    def test_per_request_timeout_raises_transport_error(self, server):
+        # connect directly to a socket that will never answer: a bound,
+        # listening socket whose backlog accepts but nobody serves
+        quiet = socket.socket()
+        quiet.bind(("127.0.0.1", 0))
+        quiet.listen(1)
+        try:
+            client = DebuggerClient(quiet.getsockname(), timeout=0.2)
+            with pytest.raises(TransportError, match="timed out"):
+                client.request("info")
+            client.close()
+        finally:
+            quiet.close()
+
+    def test_connect_retry_gives_up_with_typed_error(self):
+        # grab a port with no listener
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        addr = probe.getsockname()
+        probe.close()
+        start = time.monotonic()
+        with pytest.raises(TransportError, match="could not connect"):
+            DebuggerClient.connect(addr, attempts=3, base_delay=0.01, max_delay=0.05)
+        # backoff actually waited between attempts
+        assert time.monotonic() - start >= 0.01
+
+    def test_reconnect_after_backoff_succeeds(self):
+        recorded = record(racy_bank(), config=CFG, timer=SeededJitterTimer(5, 40, 160))
+        session = ReplaySession(racy_bank(), recorded.trace, config=CFG)
+        # reserve an address, but start the server only after a delay —
+        # the client's backoff loop must ride it out and then connect
+        placeholder = socket.socket()
+        placeholder.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        placeholder.bind(("127.0.0.1", 0))
+        host, port = placeholder.getsockname()
+        placeholder.close()
+
+        import threading
+
+        srv_box: list[DebuggerServer] = []
+
+        def bring_up():
+            time.sleep(0.15)
+            srv_box.append(DebuggerServer(Debugger(session), host=host, port=port).start())
+
+        t = threading.Thread(target=bring_up)
+        t.start()
+        try:
+            client = DebuggerClient.connect(
+                (host, port), attempts=10, base_delay=0.05, max_delay=0.2
+            )
+            with client:
+                assert client.ping() is True
+                assert client.request("info")["finished"] is False
+        finally:
+            t.join()
+            if srv_box:
+                srv_box[0].stop()
+
+
+class TestEncodeFrameSymmetry:
+    def test_frame_roundtrip(self):
+        msg = {"id": 42, "cmd": "step", "args": {"mode": "into"}}
+        wire = frame(msg)
+        assert int.from_bytes(wire[:LEN_BYTES], "big") == len(wire) - LEN_BYTES
+        assert decode(FrameDecoder().feed(wire)[0]) == msg
+
+    def test_encode_is_compact_json(self):
+        assert b"\n" not in encode({"id": 1, "cmd": "info"})
