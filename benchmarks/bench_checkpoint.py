@@ -1,0 +1,198 @@
+#!/usr/bin/env python
+"""Checkpoint benchmark: late time-travel seeks, from-zero vs checkpointed.
+
+Records the ``server`` workload once, then measures a late backward seek
+(``goto_cycles`` to ~90% of the run) two ways: on a plain
+:class:`TimeTravelSession` (every seek replays the whole prefix from
+cycle zero) and on a checkpoint-accelerated session (restore the nearest
+earlier snapshot, replay at most one interval).  Both paths are asserted
+to land on the identical machine state — checkpoints change seek cost,
+never the state seen.
+
+Usage:
+
+    PYTHONPATH=src python benchmarks/bench_checkpoint.py            # full
+    PYTHONPATH=src python benchmarks/bench_checkpoint.py --quick    # 1 rep
+    PYTHONPATH=src python benchmarks/bench_checkpoint.py --check    # CI smoke
+
+The full run writes ``BENCH_checkpoint.json`` at the repo root;
+``--check`` re-measures once and fails (exit 1) if the checkpointed
+seek is less than 5x faster than the from-zero seek.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.api import record  # noqa: E402
+from repro.core.checkpoint import machine_digest  # noqa: E402
+from repro.debugger.timetravel import TimeTravelSession  # noqa: E402
+from repro.vm.machine import Environment, VMConfig  # noqa: E402
+from repro.vm.timerdev import SeededJitterClock, SeededJitterTimer  # noqa: E402
+from repro.workloads import server  # noqa: E402
+
+RESULT_PATH = REPO_ROOT / "BENCH_checkpoint.json"
+SEED = 7
+HEAP = 400_000
+
+#: sized so a full from-zero replay takes whole seconds — late seeks are
+#: exactly the case where O(trace) hurts and O(interval) pays off
+WORKLOADS = {
+    "server": lambda: server(4, 600, 5, work_scale=600),
+}
+
+
+def _config() -> VMConfig:
+    return VMConfig(semispace_words=HEAP)
+
+
+def _record_trace(name: str):
+    return record(
+        WORKLOADS[name](),
+        config=_config(),
+        timer=SeededJitterTimer(SEED, 40, 200),
+        clock=SeededJitterClock(SEED),
+        env=Environment(SEED),
+    )
+
+
+def _session(name: str, trace, every: int | None) -> TimeTravelSession:
+    return TimeTravelSession(
+        WORKLOADS[name](), trace, config=_config(), checkpoint_every=every
+    )
+
+
+def measure(reps: int) -> dict:
+    """Best-of-*reps* seek times per workload (min wall time)."""
+    results: dict = {}
+    for name in WORKLOADS:
+        recorded = _record_trace(name)
+        end = recorded.result.cycles
+        target = end * 9 // 10
+        every = max(500, end // 20)
+
+        # checkpointed session, warmed by one travel to the end (this is
+        # where the snapshots are captured — the one-time cost a debugging
+        # session pays anyway on its first pass over the trace)
+        fast = _session(name, recorded.trace, every)
+        t0 = time.perf_counter()
+        fast.goto_cycles(end + 1)
+        warm_s = time.perf_counter() - t0
+        assert fast._snapshots, "no checkpoints captured while travelling"
+
+        best_zero = best_ckpt = float("inf")
+        digest_zero = digest_ckpt = None
+        for _ in range(reps):
+            plain = _session(name, recorded.trace, None)
+            t0 = time.perf_counter()
+            point_zero = plain.goto_cycles(target)
+            best_zero = min(best_zero, time.perf_counter() - t0)
+            digest_zero = machine_digest(plain.session.vm)
+
+            restores_before = fast.restores
+            t0 = time.perf_counter()
+            point_ckpt = fast.goto_cycles(target)
+            best_ckpt = min(best_ckpt, time.perf_counter() - t0)
+            digest_ckpt = machine_digest(fast.session.vm)
+            assert fast.restores == restores_before + 1, (
+                f"{name}: seek was not checkpoint-accelerated"
+            )
+            assert point_ckpt == point_zero, (
+                f"{name}: checkpointed seek landed on a different timepoint"
+            )
+        assert digest_ckpt == digest_zero, (
+            f"{name}: checkpointed seek reached a different machine state"
+        )
+        results[name] = {
+            "cycles": end,
+            "target_cycles": target,
+            "checkpoint_every": every,
+            "n_snapshots": len(fast._snapshots),
+            "warmup_s": round(warm_s, 4),
+            "seek_from_zero_s": round(best_zero, 4),
+            "seek_checkpointed_s": round(best_ckpt, 4),
+            "speedup": round(best_zero / best_ckpt, 2),
+        }
+    return results
+
+
+def _print(results: dict) -> None:
+    for name, row in results.items():
+        print(
+            f"{name} ({row['cycles']} cycles, interval {row['checkpoint_every']}, "
+            f"{row['n_snapshots']} snapshots)"
+        )
+        print(
+            f"  seek to {row['target_cycles']}: "
+            f"from-zero {row['seek_from_zero_s']:.3f}s  "
+            f"checkpointed {row['seek_checkpointed_s']:.3f}s  "
+            f"speedup {row['speedup']:.1f}x"
+        )
+
+
+def cmd_measure(args) -> int:
+    results = measure(args.reps)
+    payload = {
+        "host": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "config": {
+            "semispace_words": HEAP,
+            "seed": SEED,
+            "timer": [40, 200],
+            "reps": args.reps,
+            "workloads": {"server": [4, 600, 5, 600]},
+        },
+        "results": results,
+    }
+    _print(results)
+    if not args.no_write:
+        RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {RESULT_PATH}")
+    return 0
+
+
+def cmd_check(args) -> int:
+    """CI smoke: the checkpointed late seek must stay at least 5x faster
+    than the from-zero seek (the paper-level claim, not a host-speed pin)."""
+    results = measure(args.reps)
+    _print(results)
+    failed = False
+    for name, row in results.items():
+        if row["speedup"] < 5.0:
+            print(f"FAIL {name}: speedup {row['speedup']:.1f}x < 5x floor")
+            failed = True
+        else:
+            print(f"ok {name}: speedup {row['speedup']:.1f}x >= 5x floor")
+    return 1 if failed else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="re-measure and fail if the checkpointed seek is < 5x faster",
+    )
+    parser.add_argument("--reps", type=int, default=None, help="repetitions per seek")
+    parser.add_argument("--quick", action="store_true", help="single repetition")
+    parser.add_argument(
+        "--no-write", action="store_true", help="measure but do not write the JSON"
+    )
+    args = parser.parse_args(argv)
+    if args.reps is None:
+        args.reps = 1 if args.quick else 3
+    return cmd_check(args) if args.check else cmd_measure(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,7 +25,12 @@ from repro.core.tracelog import TraceLog, TraceWriter, config_fingerprint
 from repro.core.verify import ReplayReport, compare_runs
 from repro.vm.asm import assemble
 from repro.vm.classfile import ClassDef
-from repro.vm.errors import TracePrefixEnd
+from repro.vm.errors import (
+    CheckpointConfigMismatch,
+    CheckpointError,
+    TracePrefixEnd,
+    VMError,
+)
 from repro.vm.machine import _DEFAULT, Environment, VirtualMachine, VMConfig
 from repro.vm.scheduler_types import RunResult
 from repro.vm.timerdev import TimerSource, WallClock
@@ -98,6 +103,7 @@ def record(
     out: "str | Path | None" = None,
     extra_meta: dict | None = None,
     vm_hook: "Callable[[VirtualMachine], None] | None" = None,
+    checkpoint_every: int | None = None,
     **dejavu_kwargs,
 ) -> RecordedRun:
     """Execute *program* under DejaVu record mode; return results + trace.
@@ -112,6 +118,12 @@ def record(
     attaches — the seam the fault-injection harness uses to sabotage
     natives without its own copy of the record sequence.
 
+    ``checkpoint_every`` captures a machine snapshot every N cycles into
+    ``<out>.ckpt`` (record-mode snapshots serve digests and listings;
+    only replay-side checkpoints are restorable).  The capture hook is
+    host-side and guest-invisible, so the recording itself stays
+    byte-identical with checkpointing on or off.
+
     Extra keyword arguments (e.g. ``switch_buffer_words``) are forwarded
     to the :class:`DejaVu` controller.
     """
@@ -120,6 +132,7 @@ def record(
         vm_hook(vm)
     writer = TraceWriter(out) if out is not None else None
     dejavu = DejaVu(vm, MODE_RECORD, symmetry=symmetry, writer=writer, **dejavu_kwargs)
+    recorder = _make_recorder(vm, checkpoint_every, out)
     try:
         result = vm.run(program.main)
         trace = dejavu.trace()
@@ -131,13 +144,32 @@ def record(
         trace.meta.update(extra_meta or {})
         if writer is not None:
             writer.seal(trace.meta)
+        if recorder is not None:
+            recorder.seal(program=program.name)
     except BaseException:
         # leave the tmp file exactly as the crash would: a salvageable
         # prefix of intact segments, and nothing at the final path
         if writer is not None:
             writer.abandon()
+        if recorder is not None:
+            recorder.abandon()
         raise
     return RecordedRun(result=result, trace=trace, stats=dict(dejavu.stats))
+
+
+def _make_recorder(vm, checkpoint_every, out, checkpoint_out=None):
+    if not checkpoint_every:
+        return None
+    from repro.core.checkpoint import (
+        CheckpointRecorder,
+        CheckpointWriter,
+        sidecar_path,
+    )
+
+    if checkpoint_out is None and out is not None:
+        checkpoint_out = sidecar_path(out)
+    writer = CheckpointWriter(checkpoint_out) if checkpoint_out is not None else None
+    return CheckpointRecorder(vm, checkpoint_every, writer=writer)
 
 
 def replay(
@@ -146,13 +178,107 @@ def replay(
     *,
     config: VMConfig | None = None,
     symmetry: SymmetryConfig | None = None,
+    checkpoint_every: int | None = None,
+    checkpoint_out: "str | Path | None" = None,
     **dejavu_kwargs,
 ) -> RunResult:
     """Re-execute *program* driven by *trace*; raises
-    :class:`~repro.vm.errors.ReplayDivergenceError` if replay diverges."""
+    :class:`~repro.vm.errors.ReplayDivergenceError` if replay diverges.
+
+    ``checkpoint_every`` captures restorable machine snapshots every N
+    cycles; with ``checkpoint_out`` they stream to that sidecar file
+    (sealed atomically at a clean end, salvageable from its tmp after a
+    crash — the artifact :func:`resume_replay` and ``repro replay
+    --resume`` pick up).
+    """
     vm = build_vm(program, config)
     DejaVu(vm, MODE_REPLAY, trace=trace, symmetry=symmetry, **dejavu_kwargs)
-    return vm.run(program.main)
+    recorder = _make_recorder(vm, checkpoint_every, None, checkpoint_out)
+    try:
+        result = vm.run(program.main)
+        if recorder is not None:
+            recorder.seal(program=program.name)
+    except BaseException:
+        if recorder is not None:
+            recorder.abandon()
+        raise
+    return result
+
+
+@dataclass
+class ResumedReplay:
+    """Outcome of :func:`resume_replay`: the result plus where the
+    fallback ladder actually landed."""
+
+    result: RunResult
+    #: cycle count of the checkpoint the run resumed from (None: zero)
+    resumed_from: int | None
+    #: human-readable ladder steps, in the order they were taken
+    attempts: list[str] = field(default_factory=list)
+
+    @property
+    def from_zero(self) -> bool:
+        return self.resumed_from is None
+
+
+def resume_replay(
+    program: GuestProgram,
+    trace: TraceLog,
+    *,
+    checkpoints: "str | Path | None" = None,
+    config: VMConfig | None = None,
+    symmetry: SymmetryConfig | None = None,
+) -> ResumedReplay:
+    """Finish a replay from the newest usable checkpoint in *checkpoints*
+    (a ``<trace>.ckpt`` sidecar path; a crashed writer's ``.tmp`` is
+    picked up automatically).
+
+    Degrades gracefully: CRC-damaged sidecar tails and digest-failing
+    snapshots are skipped at load, a snapshot whose restore or resumed
+    replay fails falls back to the next earlier one, and when nothing
+    survives the replay runs from cycle zero.  The only non-recoverable
+    case is :class:`CheckpointConfigMismatch` — every checkpoint shares
+    the config, so it propagates as a typed diagnostic instead.
+    """
+    from repro.core.checkpoint import CheckpointStore, restore_vm
+
+    attempts: list[str] = []
+    store = None
+    if checkpoints is not None:
+        try:
+            store = CheckpointStore.load(checkpoints)
+        except CheckpointError as exc:
+            attempts.append(f"sidecar unusable: {exc}")
+    if store is not None:
+        if store.error:
+            attempts.append(f"sidecar scan stopped early: {store.error}")
+        if store.skipped:
+            attempts.append(
+                f"skipped {store.skipped} snapshot(s) failing digest verification"
+            )
+        for snap in store.newest_first():
+            try:
+                vm = restore_vm(
+                    snap, program, trace, config=config, symmetry=symmetry
+                )
+            except CheckpointConfigMismatch:
+                raise
+            except VMError as exc:
+                attempts.append(f"checkpoint @{snap.cycles} unusable: {exc}")
+                continue
+            try:
+                vm.engine.run()
+                result = vm.finish()
+            except VMError as exc:
+                attempts.append(
+                    f"resumed @{snap.cycles} but replay failed: {exc}"
+                )
+                continue
+            attempts.append(f"resumed from checkpoint @{snap.cycles}")
+            return ResumedReplay(result, snap.cycles, attempts)
+    attempts.append("replayed from cycle zero")
+    result = replay(program, trace, config=config, symmetry=symmetry)
+    return ResumedReplay(result, None, attempts)
 
 
 @dataclass

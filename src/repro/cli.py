@@ -16,6 +16,9 @@ Commands:
 * ``races program.jasm t.djv``    — happens-before race detection on a trace
 * ``doctor t.djv``                — classify why a trace fails to replay
 * ``faults --seed 42 -W bank``    — run a fault-injection campaign
+* ``checkpoint list t.djv``       — inspect/verify/prune a trace's
+  checkpoint sidecar (``repro replay --checkpoint-every N`` writes one;
+  ``repro replay --resume`` finishes a replay from it)
 
 Programs may be written in assembly (``.jasm``) or MiniJ (``.mj`` /
 ``.minij``); the extension picks the front end.  Everywhere a program
@@ -169,11 +172,77 @@ def cmd_record(args) -> int:
 
 
 def cmd_replay(args) -> int:
+    from repro.core.checkpoint import sidecar_path
+
     trace = TraceLog.load(args.trace)
     program = _resolve_program(args, trace)
-    result = api_replay(program, trace, config=_config(args))
+    if args.resume:
+        from repro.api import resume_replay
+
+        resumed = resume_replay(
+            program, trace, checkpoints=sidecar_path(args.trace), config=_config(args)
+        )
+        for step in resumed.attempts:
+            print(f"-- {step}")
+        _print_result(resumed.result)
+        print("-- replay verified against the recorded END witnesses")
+        return 0
+    checkpoint_out = sidecar_path(args.trace) if args.checkpoint_every else None
+    result = api_replay(
+        program,
+        trace,
+        config=_config(args),
+        checkpoint_every=args.checkpoint_every or None,
+        checkpoint_out=checkpoint_out,
+    )
     _print_result(result)
     print("-- replay verified against the recorded END witnesses")
+    if checkpoint_out is not None:
+        print(f"-- checkpoints -> {checkpoint_out}")
+    return 0
+
+
+def cmd_checkpoint(args) -> int:
+    """Inspect, verify, or prune a trace's ``.ckpt`` sidecar.
+
+    ``verify`` exit status: 0 the sidecar is sealed and every snapshot
+    passes its digest; 1 it is damaged/unsealed (resume still degrades
+    gracefully); 2 there is no readable sidecar at all."""
+    from repro.core.checkpoint import CheckpointStore, CheckpointWriter, sidecar_path
+    from repro.vm.errors import CheckpointFormatError
+
+    sidecar = sidecar_path(args.trace)
+    try:
+        store = CheckpointStore.load(sidecar)
+    except CheckpointFormatError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.action == "list":
+        print(f"{store.path}: {store.describe()}")
+        for key, value in sorted(store.meta.items()):
+            print(f"  meta {key} = {value}")
+        for snap in sorted(store.snapshots, key=lambda s: s.cycles):
+            print(f"  {snap.describe()}")
+        return 0
+
+    if args.action == "verify":
+        print(f"{store.path}: {store.describe()}")
+        for note in store.notes:
+            print(f"  {note}")
+        return 1 if store.damaged else 0
+
+    # prune: rewrite the sidecar keeping only the newest --keep snapshots
+    # (late seeks are what checkpoints accelerate; early ones cost little)
+    kept = sorted(store.snapshots, key=lambda s: s.cycles)[-max(1, args.keep):]
+    writer = CheckpointWriter(sidecar)
+    for snap in kept:
+        writer.add(snap)
+    writer.seal(store.meta)
+    print(
+        f"pruned {store.path}: kept {len(kept)} of "
+        f"{len(store.snapshots)} snapshot(s)"
+    )
     return 0
 
 
@@ -288,8 +357,9 @@ def cmd_debug(args) -> int:
     program = _resolve_program(args, trace)
     session = ReplaySession(program, trace, config=_config(args))
     dbg = Debugger(session)
-    print("dejavu debugger — commands: break M [bci] | cont | step [mode] | bt | "
-          "threads | static Cls field | lines M | output | info | finish | quit")
+    print("dejavu debugger — commands: break M [bci] | cont | step [mode] | "
+          "jump CYCLES | bt | threads | static Cls field | lines M | output | "
+          "info | finish | quit")
     while True:
         try:
             line = input("(djv) ") if sys.stdin.isatty() else sys.stdin.readline()
@@ -311,6 +381,8 @@ def cmd_debug(args) -> int:
                 print(dbg.cont())
             elif cmd == "step":
                 print(dbg.step(rest[0] if rest else "into"))
+            elif cmd == "jump":
+                print(dbg.jump(int(rest[0])))
             elif cmd == "bt":
                 for frame in dbg.backtrace():
                     print(f"  {frame['method']} @bci {frame['bci']} (line {frame['line']})")
@@ -450,7 +522,11 @@ def cmd_faults(args) -> int:
 
     from repro.faults import FaultPlan, run_campaign
 
-    plan = FaultPlan.generate(args.seed if args.seed is not None else 42, args.count)
+    seed = args.seed if args.seed is not None else 42
+    if args.layers:
+        plan = FaultPlan.generate(seed, args.count, layers=tuple(args.layers))
+    else:
+        plan = FaultPlan.generate(seed, args.count)
     progress = None
     if args.verbose:
         progress = lambda o: print(  # noqa: E731
@@ -462,6 +538,7 @@ def cmd_faults(args) -> int:
             workload=args.workload,
             config=VMConfig(semispace_words=args.heap),
             workdir=workdir,
+            fault_timeout=args.watchdog,
             progress=progress,
         )
     print(report.format())
@@ -528,7 +605,34 @@ def make_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("replay", help="re-execute a recorded trace")
     common(p, trace_arg=True)
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="finish the replay from the newest usable checkpoint in "
+        "<trace>.ckpt (graceful fallback to replay-from-zero)",
+    )
+    p.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="capture a verified machine snapshot every N cycles into "
+        "<trace>.ckpt",
+    )
     p.set_defaults(fn=cmd_replay)
+
+    p = sub.add_parser(
+        "checkpoint", help="inspect/verify/prune a trace's checkpoint sidecar"
+    )
+    p.add_argument("action", choices=("list", "verify", "prune"))
+    p.add_argument("trace", help="recorded trace (.djv); sidecar is <trace>.ckpt")
+    p.add_argument(
+        "--keep",
+        type=int,
+        default=4,
+        help="snapshots to keep when pruning (newest first; default 4)",
+    )
+    p.set_defaults(fn=cmd_checkpoint)
 
     p = sub.add_parser("debug", help="interactive debugger over a replay")
     common(p, trace_arg=True)
@@ -606,6 +710,22 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=42)
     p.add_argument("--count", type=int, default=100, help="number of faults")
     p.add_argument("--heap", type=int, default=200_000, help="semispace words")
+    p.add_argument(
+        "--layers",
+        action="append",
+        default=None,
+        choices=("trace", "native", "transport", "checkpoint"),
+        help="fault layers to draw from (repeatable; default: trace, "
+        "native, transport — checkpoint is opt-in)",
+    )
+    p.add_argument(
+        "--watchdog",
+        type=float,
+        default=30.0,
+        metavar="SECS",
+        help="per-fault watchdog: a fault with no outcome within SECS "
+        "seconds is reported as a hang (default 30)",
+    )
     p.add_argument(
         "-v", "--verbose", action="store_true", help="print each fault outcome"
     )

@@ -1,0 +1,779 @@
+"""Verified checkpoint/restore: the recovery primitive for replay.
+
+The paper gets time travel "for free" by re-replaying from cycle zero —
+the degenerate single-checkpoint scheme.  This module adds the periodic-
+checkpoint scheme of rr/iReplayer on top of the deterministic replayer:
+
+* :func:`capture_snapshot` — a complete, digest-verified copy of machine
+  state (heap words, thread stacks, scheduler/monitor queues, trace
+  cursors, logical clocks) taken at a *safe point*;
+* :func:`restore_vm` — rehydrate a snapshot into a fresh VM whose
+  continued replay is bit-identical to the original run's continuation;
+* :class:`CheckpointWriter` / :class:`CheckpointStore` — the
+  ``<trace>.ckpt`` sidecar file, framed exactly like trace format v3
+  (CRC-checksummed length-framed segments, atomic-rename seal, salvage
+  by prefix scan);
+* :class:`CheckpointRecorder` — the safe-point hook that captures every
+  N cycles during replay (or record, for digests/listing only).
+
+Safe-point rule
+---------------
+A snapshot is taken only where ``Engine.run()`` finds no current thread:
+every frame pc and shadow bci is committed, no native call or allocation
+is in flight, and the next action is ``scheduler.schedule()``.  Capture
+happens *before* schedule() runs, so a restored run re-executes the
+dispatch — including any replayed clock reads ``_wake_timed`` performs —
+exactly as the original did.  The hook is host-side and guest-invisible:
+recordings are byte-identical with checkpointing on or off.
+
+Restore strategy
+----------------
+Heap words are copied wholesale, so restore only needs to rebuild the
+*host-side* structures that mirror them.  The class table is replayed
+through the real loader in class-id order (ids are assigned append-only
+and supers/element-classes always precede their dependents, so this
+reproduces layouts, method ids and compiled code exactly), then every
+other host structure — threads, frames, monitors, queues, cursors — is
+patched from the snapshot.  Only replay-mode snapshots are restorable:
+replay funnels clocks, natives and the environment through the trace, so
+no host timer/RNG state needs to be rewound.
+
+Failure ladder
+--------------
+Every consumer degrades gracefully.  A damaged sidecar tail is dropped
+by the prefix scan (CRC); a tampered snapshot body fails its machine
+digest and is skipped; a restore or resumed replay that errors falls
+back to the next earlier checkpoint; and when nothing survives, replay
+starts from cycle zero.  Only :class:`CheckpointConfigMismatch` refuses
+to fall back — all checkpoints share the config, and frame pcs index the
+config-compiled instruction stream, so restoring across configs would
+silently run the wrong code.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import zlib
+from collections import deque
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable
+
+from repro.core.tracelog import _decode_meta, _encode_meta, config_fingerprint
+from repro.vm.errors import (
+    CheckpointConfigMismatch,
+    CheckpointError,
+    CheckpointFormatError,
+)
+from repro.vm.threads import Frame, GreenThread
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.api import GuestProgram
+    from repro.core.tracelog import TraceLog
+    from repro.vm.machine import VMConfig, VirtualMachine
+
+CKPT_MAGIC = b"DJVC"
+CKPT_VERSION = 1
+
+SEG_SNAPSHOT = b"C"
+SEG_CKPT_META = b"M"
+SEG_CKPT_FOOTER = b"F"
+
+_SEG_HEADER_BYTES = 1 + 4 + 4  # kind + payload length + CRC32
+_HEADER_BYTES = len(CKPT_MAGIC) + 2
+#: sanity bound used by the prefix scan to reject garbage lengths
+MAX_SNAPSHOT_BYTES = 1 << 28
+
+#: default capture interval (cycles) for checkpoint-accelerated jumps
+DEFAULT_CHECKPOINT_INTERVAL = 25_000
+
+
+def sidecar_path(trace_path) -> Path:
+    """The checkpoint sidecar belonging to *trace_path* (``<trace>.ckpt``)."""
+    return Path(str(trace_path) + ".ckpt")
+
+
+# ---------------------------------------------------------------------------
+# snapshots
+
+
+class Snapshot:
+    """One captured machine state: a header dict plus the heap words.
+
+    The header is everything host-side (scheduler, monitors, cursors,
+    counters — see :func:`capture_snapshot`); ``words`` is the entire
+    ``Memory.words`` list.  ``header["digest"]`` is a blake2b over the
+    canonical header encoding (digest key excluded) and the canonical
+    words encoding: equal digests mean equal machine states.
+    """
+
+    __slots__ = ("header", "words", "_words_blob")
+
+    def __init__(self, header: dict, words: list, words_blob: bytes | None = None):
+        self.header = header
+        self.words = words
+        self._words_blob = words_blob
+
+    @property
+    def cycles(self) -> int:
+        return self.header["cycles"]
+
+    @property
+    def mode(self) -> str:
+        return self.header["mode"]
+
+    @property
+    def digest(self) -> str:
+        return self.header["digest"]
+
+    def words_blob(self) -> bytes:
+        if self._words_blob is None:
+            self._words_blob = json.dumps(
+                self.words, separators=(",", ":")
+            ).encode()
+        return self._words_blob
+
+    def computed_digest(self) -> str:
+        return _digest_of(self.header, self.words_blob())
+
+    def verify(self) -> None:
+        """Recompute the machine digest; raises on any mismatch (tamper
+        the segment CRC missed, or a decoder bug)."""
+        want = self.header.get("digest")
+        got = self.computed_digest()
+        if want != got:
+            raise CheckpointFormatError(
+                f"snapshot @cycle {self.header.get('cycles', '?')}: machine "
+                f"digest mismatch (stored {want}, computed {got})"
+            )
+
+    def describe(self) -> str:
+        h = self.header
+        return (
+            f"@cycle {h['cycles']:<10} mode={h['mode']} "
+            f"threads={len(h['threads'])} digest={h['digest'][:12]}…"
+        )
+
+
+def _digest_of(header: dict, words_blob: bytes) -> str:
+    canonical = {k: v for k, v in header.items() if k != "digest"}
+    h = hashlib.blake2b(digest_size=16)
+    h.update(_encode_meta(canonical))
+    h.update(words_blob)
+    return h.hexdigest()
+
+
+def _pack_thread(t: GreenThread) -> tuple:
+    return (
+        t.tid,
+        t.guest_addr,
+        t.state,
+        t.stack_addr,
+        t.stack_capacity,
+        t.stack_used,
+        t.stack_grows,
+        t.shadow_addr,
+        t.wakeup_time,
+        t.waiting_on,
+        t.wait_recursion,
+        t.pending_recursion,
+        t.interrupted,
+        tuple(j.tid for j in t.joiners),
+        t.name,
+        t.yieldpoints,
+        tuple(
+            (f.method.method_id, f.pc, tuple(f.locals), tuple(f.stack))
+            for f in t.frames
+        ),
+    )
+
+
+def _pack_buffer(buf) -> tuple:
+    return (buf.addr, buf._fill, buf._pos, buf.flushes, buf.refills)
+
+
+def capture_snapshot(vm: "VirtualMachine") -> Snapshot:
+    """A complete machine snapshot.  Read-only: capturing perturbs
+    nothing the guest (or the recorder) can observe.
+
+    Capture is legal at any point — a paused debugger uses the digest to
+    compare machine states mid-run — but only snapshots taken at a safe
+    point (``scheduler.current is None``, i.e. ``current == -1`` in the
+    header) can be restored.
+    """
+    dv = vm.dejavu
+    if dv is None:
+        raise CheckpointError(
+            "checkpoints require an attached DejaVu controller "
+            "(trace cursors are part of the machine state)"
+        )
+    engine = vm.engine
+    sched = vm.scheduler
+    mem = vm.memory
+    loader = vm.loader
+    sym = dv.sym
+    header = {
+        "format": CKPT_VERSION,
+        "mode": dv.mode,
+        "config": config_fingerprint(vm.config),
+        "engine": vm.config.engine.describe(),
+        "cycles": engine.cycles,
+        "current": sched.current.tid if sched.current is not None else -1,
+        # memory (words travel alongside the header)
+        "semi": mem.semi,
+        "active": mem.active,
+        "bump": mem.bump,
+        # engine
+        "hw_bit": engine.hw_bit,
+        "switch_pending": engine.switch_pending,
+        "fstat": tuple(engine._fstat),
+        # scheduler / thread package
+        "threads": tuple(_pack_thread(t) for t in sched.threads),
+        "ready": tuple(t.tid for t in sched.ready),
+        "timed": tuple(t.tid for t in sched.timed),
+        "last_running": (
+            sched._last_running.tid if sched._last_running is not None else -1
+        ),
+        "switch_count": sched.switch_count,
+        "table_addr": sched._table_addr,
+        # monitors (insertion order is GC-visitation order: preserve it)
+        "monitors": tuple(
+            (addr, tuple(t.tid for t in m.entry), tuple(t.tid for t in m.waiters))
+            for addr, m in vm.monitors.monitors.items()
+        ),
+        "mon_stats": (
+            vm.monitors.acquisitions,
+            vm.monitors.contentions,
+            vm.monitors.notifies,
+        ),
+        # loader (replayed through the real loader on restore)
+        "class_table": tuple(
+            ("A" if lay.is_array else "S" if lay.name.startswith("Statics$") else "C",
+             lay.name)
+            for lay in loader.class_table
+        ),
+        "linked": tuple(
+            rc.name
+            for rc in sorted(loader.classes.values(), key=lambda c: c.class_id)
+            if rc.linked
+        ),
+        "class_addrs": tuple(
+            (rc.name, rc.statics_addr, rc.constants_addr)
+            for rc in sorted(loader.classes.values(), key=lambda c: c.class_id)
+        ),
+        "interned": tuple(loader.interned.items()),
+        "n_methods": len(loader.method_by_id),
+        "alloc_count": vm.om.alloc_count,
+        # collector
+        "gc": (vm.collector.collections, vm.collector.total_evacuated_words),
+        # run-visible VM state
+        "output": tuple(vm.output),
+        "traps": tuple(vm.trap_reports),
+        "deadlocked": vm.deadlocked,
+        "events": tuple(vm.observer.events),
+        # DejaVu controller (trace cursors + guest-heap buffer positions)
+        "dv": (
+            ("liveclock", dv.liveclock),
+            ("nyp", dv.nyp),
+            ("replay_nyp", dv._replay_nyp),
+            ("stats", tuple(sorted(dv.stats.items()))),
+            ("switch_buf", _pack_buffer(dv.switch_buf)),
+            ("switch_cursor", dv._switch_cursor),
+            ("sym", (sym._io_classes_loaded, sym.io_warmups,
+                     sym.eager_grows, sym.overflow_grows)),
+            ("threadswitch_bit", dv.threadswitch_bit),
+            ("value_buf", _pack_buffer(dv.value_buf)),
+            ("value_cursor", dv._value_cursor),
+        ),
+    }
+    snap = Snapshot(header, list(mem.words))
+    header["digest"] = _digest_of(header, snap.words_blob())
+    return snap
+
+
+def machine_digest(vm: "VirtualMachine") -> str:
+    """Digest of the complete machine state (heap *and* host mirrors) —
+    a much stronger equality witness than ``vm.heap_digest()``."""
+    return capture_snapshot(vm).digest
+
+
+# ---------------------------------------------------------------------------
+# restore
+
+
+def restore_vm(
+    snapshot: Snapshot,
+    program: "GuestProgram",
+    trace: "TraceLog",
+    *,
+    config: "VMConfig | None" = None,
+    symmetry=None,
+) -> "VirtualMachine":
+    """Rehydrate *snapshot* into a fresh VM ready to continue replaying
+    *trace* from the snapshot's cycle.  Drive it with ``vm.engine.run()``
+    and ``vm.finish()`` — not ``vm.run()`` (the program is already
+    mid-flight)."""
+    from repro.api import build_vm
+    from repro.core.controller import MODE_REPLAY, DejaVu
+
+    h = snapshot.header
+    if h.get("format") != CKPT_VERSION:
+        raise CheckpointFormatError(
+            f"unsupported snapshot format {h.get('format')!r}"
+        )
+    if h.get("mode") != MODE_REPLAY:
+        raise CheckpointError(
+            f"only replay-mode snapshots are restorable (snapshot is "
+            f"{h.get('mode')!r}: record-side host state — timers, RNG — "
+            f"is not captured)"
+        )
+    if h.get("current", -1) != -1:
+        raise CheckpointError(
+            "snapshot was not taken at a scheduler safe point "
+            f"(thread {h['current']} was running)"
+        )
+    snapshot.verify()
+
+    vm = build_vm(program, config)
+    fp = config_fingerprint(vm.config)
+    if fp != h["config"]:
+        raise CheckpointConfigMismatch(
+            f"checkpoint captured under [{h['config']}] but the restore "
+            f"VM is [{fp}]"
+        )
+    engine_desc = vm.config.engine.describe()
+    if engine_desc != h["engine"]:
+        raise CheckpointConfigMismatch(
+            f"checkpoint frame pcs index {h['engine']!r}-compiled code "
+            f"but the restore engine is {engine_desc!r}"
+        )
+
+    dv = DejaVu(vm, MODE_REPLAY, trace=trace, symmetry=symmetry)
+    vm.start(program.main)
+
+    _replay_class_table(vm.loader, h)
+
+    # -- memory: wholesale
+    mem = vm.memory
+    mem.words[:] = snapshot.words
+    mem.active = h["active"]
+    mem.bump = h["bump"]
+    mem.limit = mem.base[mem.active] + mem.semi
+
+    # -- loader heap pointers (the words were overwritten above)
+    loader = vm.loader
+    for name, statics_addr, constants_addr in h["class_addrs"]:
+        rc = loader.classes[name]
+        rc.statics_addr = statics_addr
+        rc.constants_addr = constants_addr
+    loader.interned = dict(h["interned"])
+    loader.temp_roots.clear()
+    vm.om.alloc_count = h["alloc_count"]
+
+    # -- thread package
+    sched = vm.scheduler
+    threads = [_unpack_thread(packed, loader) for packed in h["threads"]]
+    by_tid = {t.tid: t for t in threads}
+    for t, packed in zip(threads, h["threads"]):
+        t.joiners = [by_tid[tid] for tid in packed[13]]
+    sched.threads = threads
+    sched.ready = deque(by_tid[tid] for tid in h["ready"])
+    sched.timed = [by_tid[tid] for tid in h["timed"]]
+    sched.current = None
+    last = h["last_running"]
+    sched._last_running = by_tid[last] if last >= 0 else None
+    sched.switch_count = h["switch_count"]
+    sched._table_addr = h["table_addr"]
+
+    # -- monitors
+    mt = vm.monitors
+    mt.monitors = {}
+    for addr, entry_tids, waiter_tids in h["monitors"]:
+        from repro.vm.monitors import Monitor
+
+        mon = Monitor(addr)
+        mon.entry = deque(by_tid[tid] for tid in entry_tids)
+        mon.waiters = [by_tid[tid] for tid in waiter_tids]
+        mt.monitors[addr] = mon
+    mt.acquisitions, mt.contentions, mt.notifies = h["mon_stats"]
+
+    # -- engine (timer stays off: replay clocks come from the trace)
+    engine = vm.engine
+    engine.cycles = h["cycles"]
+    engine.hw_bit = h["hw_bit"]
+    engine.switch_pending = h["switch_pending"]
+    engine.timer_enabled = False
+    engine._timer_armed = True
+    engine._deadline = 1 << 62
+    engine._fstat[:] = list(h["fstat"])
+    engine._thread = None
+    engine._frame = None
+    engine._call = None
+
+    # -- collector / run-visible VM state
+    vm.collector.collections, vm.collector.total_evacuated_words = h["gc"]
+    vm.output[:] = list(h["output"])
+    vm.trap_reports[:] = [tuple(t) for t in h["traps"]]
+    vm.deadlocked = tuple(h["deadlocked"])
+    vm.observer.events[:] = [tuple(e) for e in h["events"]]
+
+    # -- DejaVu controller
+    d = dict(h["dv"])
+    dv._switch_cursor = d["switch_cursor"]
+    dv._value_cursor = d["value_cursor"]
+    dv.nyp = d["nyp"]
+    dv.liveclock = d["liveclock"]
+    dv.threadswitch_bit = d["threadswitch_bit"]
+    dv._replay_nyp = d["replay_nyp"]
+    dv.stats = dict(d["stats"])
+    _unpack_buffer(dv.switch_buf, d["switch_buf"])
+    _unpack_buffer(dv.value_buf, d["value_buf"])
+    (dv.sym._io_classes_loaded, dv.sym.io_warmups,
+     dv.sym.eager_grows, dv.sym.overflow_grows) = d["sym"]
+    return vm
+
+
+def _replay_class_table(loader, h: dict) -> None:
+    """Reproduce the snapshot's class table — layouts, class ids, method
+    ids, compiled code — by replaying creation through the real loader
+    in class-id order.  Ids are append-only and every dependency (super,
+    array element class, statics layout) was created *before* its
+    dependent got an id, so this order always works."""
+    for idx, (tag, name) in enumerate(h["class_table"]):
+        if idx < len(loader.class_table):
+            got = loader.class_table[idx]
+            if got.is_array != (tag == "A") or got.name != name:
+                raise CheckpointError(
+                    f"class table diverged at id {idx}: snapshot has "
+                    f"{tag}/{name!r}, fresh VM built {got.name!r}"
+                )
+            continue
+        if tag == "A":
+            loader.array_layout(name)  # for arrays, name IS the descriptor
+        elif tag == "C":
+            loader.ensure_layout(name)
+        # tag == "S": Statics$X layouts are appended by X's ensure_layout
+        if idx >= len(loader.class_table):
+            raise CheckpointError(
+                f"class table replay stalled at id {idx} ({tag}/{name!r})"
+            )
+        got = loader.class_table[idx]
+        if got.is_array != (tag == "A") or got.name != name:
+            raise CheckpointError(
+                f"class table diverged at id {idx}: snapshot has "
+                f"{tag}/{name!r}, replayed loader built {got.name!r}"
+            )
+    if len(loader.class_table) != len(h["class_table"]):
+        raise CheckpointError(
+            f"class table length mismatch after rebuild: snapshot has "
+            f"{len(h['class_table'])}, loader built {len(loader.class_table)}"
+        )
+    for name in h["linked"]:
+        loader.link(name)
+    if len(loader.method_by_id) != h["n_methods"]:
+        raise CheckpointError(
+            f"method table mismatch after rebuild: snapshot has "
+            f"{h['n_methods']} methods, loader built {len(loader.method_by_id)}"
+        )
+
+
+def _unpack_thread(packed: tuple, loader) -> GreenThread:
+    t = GreenThread(packed[0], packed[1], packed[14])
+    (t.state, t.stack_addr, t.stack_capacity, t.stack_used, t.stack_grows,
+     t.shadow_addr, t.wakeup_time, t.waiting_on, t.wait_recursion,
+     t.pending_recursion, t.interrupted) = packed[2:13]
+    t.yieldpoints = packed[15]
+    frames = []
+    for method_id, pc, locals_, stack in packed[16]:
+        rm = loader.method_by_id[method_id]
+        if rm.code is None:
+            raise CheckpointError(
+                f"frame references uncompiled method {rm.qualname}"
+            )
+        frame = Frame.__new__(Frame)
+        frame.method = rm
+        frame.code = rm.code
+        frame.pc = pc
+        frame.locals = list(locals_)
+        frame.stack = list(stack)
+        frames.append(frame)
+    t.frames = frames
+    return t
+
+
+def _unpack_buffer(buf, packed: tuple) -> None:
+    buf.addr, buf._fill, buf._pos, buf.flushes, buf.refills = packed
+
+
+# ---------------------------------------------------------------------------
+# the sidecar file
+
+
+class CheckpointWriter:
+    """Streams snapshots to ``<path>.tmp``; :meth:`seal` writes META and
+    FOOTER segments, fsyncs, and atomically renames into place — the v3
+    crash-consistency scheme.  A crash mid-replay leaves a tmp file whose
+    complete-segment prefix is every checkpoint that was fully flushed.
+    """
+
+    def __init__(self, path):
+        self.path = str(path)
+        self.tmp_path = self.path + ".tmp"
+        self._file = open(self.tmp_path, "wb")
+        self._file.write(CKPT_MAGIC)
+        self._file.write(CKPT_VERSION.to_bytes(2, "little"))
+        self._file.flush()
+        self.n_snapshots = 0
+        self._sealed = False
+
+    def _write_segment(self, kind: bytes, payload: bytes) -> None:
+        f = self._file
+        f.write(kind)
+        f.write(len(payload).to_bytes(4, "little"))
+        f.write(zlib.crc32(payload).to_bytes(4, "little"))
+        f.write(payload)
+        f.flush()
+
+    def add(self, snapshot: Snapshot) -> None:
+        header_blob = _encode_meta(snapshot.header)
+        payload = (
+            len(header_blob).to_bytes(4, "little")
+            + header_blob
+            + snapshot.words_blob()
+        )
+        self._write_segment(SEG_SNAPSHOT, payload)
+        self.n_snapshots += 1
+
+    def seal(self, meta: dict | None = None) -> None:
+        if self._sealed:
+            return
+        if meta:
+            self._write_segment(SEG_CKPT_META, _encode_meta(dict(meta)))
+        self._write_segment(
+            SEG_CKPT_FOOTER, _encode_meta({"n_snapshots": self.n_snapshots})
+        )
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        self._file.close()
+        os.replace(self.tmp_path, self.path)
+        self._sealed = True
+
+    def abandon(self) -> None:
+        """Close without sealing (crash simulation / error paths): the
+        tmp file keeps every fully-flushed checkpoint."""
+        if not self._sealed and not self._file.closed:
+            self._file.flush()
+            self._file.close()
+
+
+def _decode_snapshot_payload(payload: bytes) -> Snapshot:
+    if len(payload) < 4:
+        raise CheckpointFormatError("snapshot payload shorter than its header")
+    header_len = int.from_bytes(payload[:4], "little")
+    if 4 + header_len > len(payload):
+        raise CheckpointFormatError(
+            f"snapshot header length {header_len} overruns the payload"
+        )
+    try:
+        header = _decode_meta(payload[4 : 4 + header_len])
+    except Exception as exc:
+        raise CheckpointFormatError(f"undecodable snapshot header: {exc}")
+    words_blob = bytes(payload[4 + header_len :])
+    try:
+        words = json.loads(words_blob)
+    except ValueError as exc:
+        raise CheckpointFormatError(f"undecodable snapshot words: {exc}")
+    if not isinstance(words, list):
+        raise CheckpointFormatError("snapshot words are not a list")
+    return Snapshot(header, words, words_blob=words_blob)
+
+
+class CheckpointStore:
+    """A parsed sidecar: the surviving (CRC-intact, digest-verified)
+    snapshots plus everything a doctor needs to classify the damage.
+
+    Loading is *salvage by default*: a torn/corrupt tail stops the scan
+    (``error``), a tampered snapshot body is skipped (``skipped``), and
+    whatever survives is usable — the fallback ladder in action.
+    """
+
+    def __init__(self, path: str, source: str = "sidecar"):
+        self.path = path
+        self.source = source  # "sidecar" (sealed) or "tmp" (crash leftovers)
+        self.snapshots: list[Snapshot] = []
+        self.meta: dict = {}
+        self.sealed = False
+        self.skipped = 0
+        self.error: str | None = None
+        self.notes: list[str] = []
+
+    @classmethod
+    def load(cls, path) -> "CheckpointStore":
+        """Parse ``path``, falling back to ``path.tmp`` (a crashed
+        writer's leftovers).  Raises :class:`CheckpointFormatError` only
+        when no readable sidecar exists at all."""
+        sealed = Path(str(path))
+        tmp = Path(str(path) + ".tmp")
+        if sealed.exists():
+            return cls._parse(sealed.read_bytes(), str(sealed), "sidecar")
+        if tmp.exists():
+            return cls._parse(tmp.read_bytes(), str(tmp), "tmp")
+        raise CheckpointFormatError(f"no checkpoint sidecar at {path}")
+
+    @classmethod
+    def _parse(cls, blob: bytes, path: str, source: str) -> "CheckpointStore":
+        if len(blob) < _HEADER_BYTES or blob[: len(CKPT_MAGIC)] != CKPT_MAGIC:
+            raise CheckpointFormatError(
+                f"{path}: not a checkpoint sidecar (bad magic)"
+            )
+        version = int.from_bytes(blob[len(CKPT_MAGIC) : _HEADER_BYTES], "little")
+        if version != CKPT_VERSION:
+            raise CheckpointFormatError(
+                f"{path}: unsupported checkpoint version {version}"
+            )
+        store = cls(path, source)
+        pos = _HEADER_BYTES
+        n_seen = 0
+        footer = None
+        while pos < len(blob):
+            if footer is not None:
+                store.error = f"trailing data after footer at byte {pos}"
+                break
+            if len(blob) - pos < _SEG_HEADER_BYTES:
+                store.error = f"torn segment header at byte {pos}"
+                break
+            kind = blob[pos : pos + 1]
+            length = int.from_bytes(blob[pos + 1 : pos + 5], "little")
+            crc = int.from_bytes(blob[pos + 5 : pos + 9], "little")
+            if kind not in (SEG_SNAPSHOT, SEG_CKPT_META, SEG_CKPT_FOOTER):
+                store.error = f"unknown segment kind {kind!r} at byte {pos}"
+                break
+            if length > MAX_SNAPSHOT_BYTES:
+                store.error = f"implausible segment length {length} at byte {pos}"
+                break
+            payload = blob[pos + _SEG_HEADER_BYTES : pos + _SEG_HEADER_BYTES + length]
+            if len(payload) < length:
+                store.error = f"torn segment payload at byte {pos}"
+                break
+            if zlib.crc32(payload) != crc:
+                store.error = f"segment CRC mismatch at byte {pos}"
+                break
+            pos += _SEG_HEADER_BYTES + length
+            if kind == SEG_SNAPSHOT:
+                n_seen += 1
+                try:
+                    snap = _decode_snapshot_payload(payload)
+                    snap.verify()
+                except CheckpointError as exc:
+                    store.skipped += 1
+                    store.notes.append(f"snapshot #{n_seen - 1}: {exc}")
+                else:
+                    store.snapshots.append(snap)
+            elif kind == SEG_CKPT_META:
+                store.meta.update(_decode_meta(payload))
+            else:
+                footer = _decode_meta(payload)
+        if store.error is None and footer is not None:
+            if footer.get("n_snapshots") != n_seen:
+                store.error = (
+                    f"footer claims {footer.get('n_snapshots')} snapshots, "
+                    f"scanned {n_seen}"
+                )
+            else:
+                store.sealed = True
+        return store
+
+    @property
+    def damaged(self) -> bool:
+        return bool(self.error or self.skipped or not self.sealed)
+
+    def nearest(self, target_cycles: int) -> Snapshot | None:
+        """The latest snapshot strictly before *target_cycles* (strict,
+        so a seek restored here still re-executes the dispatch a
+        from-zero stopper would pause inside)."""
+        best = None
+        for snap in self.snapshots:
+            if snap.cycles < target_cycles and (
+                best is None or snap.cycles > best.cycles
+            ):
+                best = snap
+        return best
+
+    def newest_first(self) -> list[Snapshot]:
+        return sorted(self.snapshots, key=lambda s: s.cycles, reverse=True)
+
+    def describe(self) -> str:
+        state = "sealed" if self.sealed else f"unsealed ({self.source})"
+        parts = [f"{len(self.snapshots)} snapshot(s), {state}"]
+        if self.skipped:
+            parts.append(f"{self.skipped} failed digest verification")
+        if self.error:
+            parts.append(f"scan stopped: {self.error}")
+        return "; ".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# the recorder
+
+
+class CheckpointRecorder:
+    """Captures a snapshot at the first safe point at or past every
+    multiple of *every* cycles.  The threshold is derived from the
+    current cycle count, so a run restored from a checkpoint captures at
+    exactly the boundaries the from-zero run would have — the property
+    the restore-verification test pins.
+    """
+
+    def __init__(
+        self,
+        vm: "VirtualMachine",
+        every: int = DEFAULT_CHECKPOINT_INTERVAL,
+        *,
+        writer: CheckpointWriter | None = None,
+        sink: "Callable[[Snapshot], None] | None" = None,
+        keep: bool | None = None,
+    ):
+        if every <= 0:
+            raise ValueError(f"checkpoint interval must be positive, got {every}")
+        self.vm = vm
+        self.every = every
+        self.writer = writer
+        self.sink = sink
+        #: retain snapshots in memory (default: only when not writing)
+        self.keep = keep if keep is not None else writer is None
+        self.snapshots: list[Snapshot] = []
+        self._next = (vm.engine.cycles // every + 1) * every
+        vm.engine.safepoint_hook = self._at_safepoint
+
+    def _at_safepoint(self, engine) -> None:
+        cycles = engine.cycles
+        if cycles < self._next:
+            return
+        snap = capture_snapshot(self.vm)
+        self._next = (cycles // self.every + 1) * self.every
+        if self.keep:
+            self.snapshots.append(snap)
+        if self.writer is not None:
+            self.writer.add(snap)
+        if self.sink is not None:
+            self.sink(snap)
+
+    def meta(self, **extra) -> dict:
+        vm = self.vm
+        meta = {
+            "every": self.every,
+            "config": config_fingerprint(vm.config),
+            "engine": vm.config.engine.describe(),
+            "mode": vm.dejavu.mode if vm.dejavu is not None else "?",
+        }
+        meta.update(extra)
+        return meta
+
+    def seal(self, **extra) -> None:
+        if self.writer is not None:
+            self.writer.seal(self.meta(**extra))
+
+    def abandon(self) -> None:
+        if self.writer is not None:
+            self.writer.abandon()

@@ -27,6 +27,12 @@ classification              meaning / the fix
 ``nondeterminism``          file and configuration are fine, yet replay
                             diverges: an unlogged source of nondeterminism
                             (or the wrong program) — a genuine bug
+``corrupt-checkpoint``      the trace is fine but its ``.ckpt`` sidecar is
+                            damaged/unsealed — resume degrades gracefully;
+                            regenerate the sidecar for full acceleration
+``checkpoint-config-mismatch``  the sidecar's snapshots were captured under
+                            a different VM config than the replay — they
+                            cannot restore; re-capture under this config
 ==========================  ================================================
 
 ``repro doctor trace.djv`` drives :func:`diagnose` from the CLI.
@@ -39,6 +45,7 @@ from pathlib import Path
 
 from repro.core.tracelog import SalvageReport, TraceLog, config_fingerprint
 from repro.vm.errors import (
+    CheckpointError,
     ReplayDivergenceError,
     TraceFormatError,
     VMError,
@@ -52,6 +59,8 @@ CLASS_CORRUPT = "corrupt-segment"
 CLASS_CONFIG_MISMATCH = "engine-config-mismatch"
 CLASS_KWARGS_MISMATCH = "workload-kwargs-mismatch"
 CLASS_NONDETERMINISM = "nondeterminism"
+CLASS_CKPT_CORRUPT = "corrupt-checkpoint"
+CLASS_CKPT_CONFIG = "checkpoint-config-mismatch"
 
 #: classifications that mean "the file itself is not usable as input"
 FORMAT_CLASSES = (CLASS_NOT_A_TRACE, CLASS_VERSION_SKEW)
@@ -249,8 +258,11 @@ def diagnose(
                 "trace is sealed and intact; pass a program or --workload "
                 "for the replay stage"
             )
-        return report
-    _replay_stage(report, trace, program, config)
+    else:
+        _replay_stage(report, trace, program, config)
+
+    # -- stage 5: checkpoint sidecar, if one sits next to the trace -------
+    _checkpoint_stage(report, trace, config)
     return report
 
 
@@ -305,6 +317,76 @@ def _replay_stage(report: DoctorReport, trace: TraceLog, program, config) -> Non
         return
     report.checks.append("replay: faithful (END witnesses verified)")
     report.detail = "trace is sealed, intact, and replays faithfully"
+
+
+def _checkpoint_stage(report: DoctorReport, trace: TraceLog, config) -> None:
+    """Vet the ``<trace>.ckpt`` sidecar when one exists.
+
+    A damaged or mismatched sidecar never blocks replay — the fallback
+    ladder bottoms out at replay-from-zero — so this stage only *adds* a
+    finding to an otherwise-clean report; the trace's own verdict wins.
+    """
+    from repro.core.checkpoint import CheckpointStore, sidecar_path
+
+    sidecar = sidecar_path(report.path)
+    tmp = Path(str(sidecar) + ".tmp")
+    if not sidecar.exists() and not tmp.exists():
+        return
+    try:
+        store = CheckpointStore.load(sidecar)
+    except CheckpointError as exc:
+        report.checks.append(f"checkpoints: FAILED to load ({exc})")
+        if report.classification == CLASS_CLEAN:
+            report.classification = CLASS_CKPT_CORRUPT
+            report.detail = (
+                f"checkpoint sidecar is unreadable ({exc}) — resume and "
+                "time-travel seeks fall back to replay-from-zero; delete "
+                "the sidecar or regenerate it with "
+                "'repro replay --checkpoint-every'"
+            )
+        return
+    report.checks.append(f"checkpoints: {store.describe()}")
+
+    # every snapshot in a sidecar shares one config fingerprint; compare
+    # it against the replay config (or the trace's own, absent a config)
+    ckpt_fp = store.meta.get("config")
+    if ckpt_fp is None and store.snapshots:
+        ckpt_fp = store.snapshots[0].header.get("config")
+    expected = (
+        config_fingerprint(config)
+        if config is not None
+        else trace.meta.get("config")
+    )
+    if ckpt_fp is not None and expected is not None and ckpt_fp != expected:
+        report.checks.append(
+            f"checkpoint config: MISMATCH (sidecar {ckpt_fp}, replay {expected})"
+        )
+        if report.classification == CLASS_CLEAN:
+            report.classification = CLASS_CKPT_CONFIG
+            report.detail = (
+                f"checkpoints were captured under '{ckpt_fp}' but replay "
+                f"runs under '{expected}' — snapshots index config-compiled "
+                "state and cannot restore; re-capture under the replay config"
+            )
+        return
+
+    if store.damaged:
+        what = store.error or (
+            f"{store.skipped} snapshot(s) failed digest verification"
+            if store.skipped
+            else f"sidecar never sealed (reading {store.source})"
+        )
+        report.checks.append(f"checkpoint integrity: DAMAGED ({what})")
+        if report.classification == CLASS_CLEAN:
+            report.classification = CLASS_CKPT_CORRUPT
+            report.detail = (
+                f"trace is fine but its checkpoint sidecar is damaged: "
+                f"{what} — {len(store.snapshots)} usable snapshot(s) remain, "
+                "resume degrades gracefully; regenerate the sidecar to "
+                "restore full seek acceleration"
+            )
+        return
+    report.checks.append("checkpoint integrity: sealed, all digests verify")
 
 
 def _capture_failure_context(report, vm, trace: TraceLog, exc) -> None:

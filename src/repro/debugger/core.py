@@ -30,6 +30,7 @@ _MAX_TREE_DEPTH = 4
 class Debugger:
     def __init__(self, session: ReplaySession):
         self.session = session
+        self._timetravel = None  # lazy: created by the first jump
 
     # ------------------------------------------------------------------
     # control
@@ -48,6 +49,38 @@ class Debugger:
     def step(self, mode: str = "into") -> dict:
         status = self.session.step(mode)
         return self._status(status)
+
+    def jump(self, cycles: int) -> dict:
+        """Checkpoint-accelerated time travel to a cycle count.
+
+        Forward jumps drive the current session; backward jumps restore
+        the nearest snapshot captured while travelling (falling back to
+        replay-from-zero when none survives).  The debugger's session is
+        swapped for the time-travel session's, so subsequent commands
+        (backtrace, locals, cont, …) operate at the new position.
+        """
+        from repro.core.checkpoint import DEFAULT_CHECKPOINT_INTERVAL
+        from repro.debugger.timetravel import TimeTravelSession
+
+        if self._timetravel is None:
+            self._timetravel = TimeTravelSession(
+                self.session.program,
+                self.session.trace,
+                config=self.session.base_config,
+                checkpoint_every=DEFAULT_CHECKPOINT_INTERVAL,
+                session=self.session,
+            )
+        point = self._timetravel.goto_cycles(cycles)
+        self.session = self._timetravel.session
+        return {
+            "status": "done" if self.session.finished else "timepoint",
+            "cycles": point.cycles,
+            "tid": point.tid,
+            "method": point.method,
+            "bci": point.bci,
+            "line": point.line,
+            "restores": self._timetravel.restores,
+        }
 
     def finish(self) -> dict:
         result = self.session.run_to_completion()

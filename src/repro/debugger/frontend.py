@@ -20,6 +20,7 @@ guest's point of view.
 
 from __future__ import annotations
 
+import logging
 import random
 import socket
 import threading
@@ -37,9 +38,22 @@ from repro.debugger.protocol import (
 )
 
 
+logger = logging.getLogger(__name__)
+
+
 class DebuggerServer:
-    def __init__(self, debugger: Debugger, host: str = "127.0.0.1", port: int = 0):
+    def __init__(
+        self,
+        debugger: Debugger,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        log=None,
+    ):
         self.debugger = debugger
+        #: where survived-but-noteworthy client failures are reported; a
+        #: hostile client must be *observable*, not just non-fatal.
+        #: Defaults to the module logger (tests pass a capturing callable)
+        self.log = log if log is not None else logger.info
         self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._sock.bind((host, port))
@@ -70,10 +84,14 @@ class DebuggerServer:
             try:
                 with conn:
                     self._serve_connection(conn)
-            except Exception:
+            except Exception as exc:
                 # one bad client must never take down the serve loop (and
-                # with it the replay session it is observing): drop the
-                # connection, go back to accepting
+                # with it the replay session it is observing): log it,
+                # drop the connection, go back to accepting
+                self.log(
+                    f"connection #{self.connections_served} dropped: "
+                    f"{type(exc).__name__}: {exc}"
+                )
                 continue
 
     def _serve_connection(self, conn: socket.socket) -> None:
@@ -91,15 +109,17 @@ class DebuggerServer:
             try:
                 payloads = decoder.feed(chunk)
             except FrameError as exc:
-                # the stream cannot be resynchronised: answer once (best
-                # effort) and close this connection only
+                # the stream cannot be resynchronised: log, answer once
+                # (best effort) and close this connection only
                 self.frame_errors += 1
+                self.log(f"unframeable client stream: {exc}")
                 self._send(conn, {"ok": False, "error": str(exc)})
                 return
             for payload in payloads:
                 try:
                     request = decode(payload)
-                except ValueError:
+                except ValueError as exc:
+                    self.log(f"undecodable request payload: {exc}")
                     if not self._send(conn, {"ok": False, "error": "bad json"}):
                         return
                     continue

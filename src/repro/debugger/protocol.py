@@ -49,6 +49,7 @@ COMMANDS: dict[str, tuple[str, tuple[str, ...]]] = {
     "break": ("break_", ("method", "bci", "line")),
     "cont": ("cont", ()),
     "step": ("step", ("mode",)),
+    "jump": ("jump", ("cycles",)),
     "finish": ("finish", ()),
     "backtrace": ("backtrace", ()),
     "threads": ("threads", ()),

@@ -27,6 +27,7 @@ from repro.vm.machine import VirtualMachine, VMConfig, with_baseline_engine
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.api import GuestProgram
+    from repro.core.checkpoint import Snapshot
     from repro.core.tracelog import TraceLog
     from repro.vm.scheduler_types import RunResult
     from repro.vm.threads import GreenThread
@@ -39,12 +40,31 @@ class ReplaySession:
         trace: "TraceLog",
         config: VMConfig | None = None,
         symmetry=None,
+        resume_from: "Snapshot | None" = None,
     ):
         from repro.api import build_vm
 
         self.program = program
-        self.vm = build_vm(program, with_baseline_engine(config))
-        self.dejavu = DejaVu(self.vm, MODE_REPLAY, trace=trace, symmetry=symmetry)
+        self.trace = trace
+        #: the caller's config, pre baseline-forcing — what a rebuilt or
+        #: checkpoint-restored session must be constructed from
+        self.base_config = config
+        if resume_from is not None:
+            # rehydrate mid-flight: the snapshot must have been captured
+            # by a debugger session (they all force the baseline engine)
+            from repro.core.checkpoint import restore_vm
+
+            self.vm = restore_vm(
+                resume_from,
+                program,
+                trace,
+                config=with_baseline_engine(config),
+                symmetry=symmetry,
+            )
+            self.dejavu = self.vm.dejavu
+        else:
+            self.vm = build_vm(program, with_baseline_engine(config))
+            self.dejavu = DejaVu(self.vm, MODE_REPLAY, trace=trace, symmetry=symmetry)
         self.control = DebugController()
         self.vm.engine.debug = self.control
 
@@ -56,7 +76,8 @@ class ReplaySession:
         self.interp = ToolInterpreter(self.tool_vm, self.port, default_mappings())
 
         self.result: "RunResult | None" = None
-        self.vm.start(program.main)
+        if resume_from is None:
+            self.vm.start(program.main)
 
     # ------------------------------------------------------------------
     # breakpoint management (resolution is host-side metadata only)

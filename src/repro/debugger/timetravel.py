@@ -6,9 +6,18 @@ free: because a trace pins the *entire* execution, "going back" is just
 replaying the same trace and stopping earlier.  This module adds that
 tool: a :class:`TimeTravelSession` that addresses execution positions by
 **cycle count** (the deterministic logical time of the engine) and can
-jump to any of them, forwards or backwards, by re-replaying from the
-start — the degenerate checkpoint scheme with a single checkpoint at
-time zero.
+jump to any of them, forwards or backwards, by re-replaying.
+
+Without checkpoints every backwards jump re-replays from cycle zero —
+the degenerate single-checkpoint scheme.  With ``checkpoint_every`` set
+the session snapshots the machine at safe points as it travels
+(:mod:`repro.core.checkpoint`) and a backwards jump restores the nearest
+snapshot *strictly before* the target instead, making seeks O(interval)
+rather than O(trace length).  Checkpoints only ever accelerate: a
+snapshot that fails its digest or refuses to restore is dropped and the
+seek falls back to the next earlier one, then to cycle zero, landing on
+the identical machine state either way (the seek-equivalence tests pin
+TimePoint *and* machine digest against the from-zero path).
 
 Positions are stable: cycle N denotes the same machine state in every
 replay of the same trace (that is exactly DejaVu's accuracy guarantee, and
@@ -26,6 +35,7 @@ from repro.vm.machine import VMConfig
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.api import GuestProgram
+    from repro.core.checkpoint import Snapshot
     from repro.core.tracelog import TraceLog
 
 
@@ -67,15 +77,79 @@ class TimeTravelSession:
 
     The session owns a *current* :class:`ReplaySession` positioned at some
     cycle count; travelling backwards discards it and replays a fresh one
-    up to the earlier position.
+    up to the earlier position — resumed from the nearest usable
+    checkpoint when ``checkpoint_every`` (or a pre-captured *checkpoints*
+    list) provides one.
     """
 
-    def __init__(self, program: "GuestProgram", trace: "TraceLog", config: VMConfig | None = None):
+    def __init__(
+        self,
+        program: "GuestProgram",
+        trace: "TraceLog",
+        config: VMConfig | None = None,
+        *,
+        checkpoint_every: int | None = None,
+        checkpoints: "list[Snapshot] | None" = None,
+        session: ReplaySession | None = None,
+    ):
         self.program = program
         self.trace = trace
         self.config = config
-        self.session = ReplaySession(program, trace, config=config)
+        self.checkpoint_every = checkpoint_every
+        self._snapshots: "dict[int, Snapshot]" = {
+            s.cycles: s for s in (checkpoints or [])
+        }
+        #: how many seeks were checkpoint-accelerated (observability)
+        self.restores = 0
+        self.session = (
+            session
+            if session is not None
+            else ReplaySession(program, trace, config=config)
+        )
+        self._attach_recorder()
         self.history: list[TimePoint] = []
+
+    # ------------------------------------------------------------------
+    # checkpoint plumbing
+
+    def _attach_recorder(self) -> None:
+        if not self.checkpoint_every:
+            return
+        from repro.core.checkpoint import CheckpointRecorder
+
+        CheckpointRecorder(
+            self.session.vm,
+            self.checkpoint_every,
+            sink=self._remember,
+            keep=False,
+        )
+
+    def _remember(self, snapshot: "Snapshot") -> None:
+        self._snapshots.setdefault(snapshot.cycles, snapshot)
+
+    def _rewind_session(self, target: int) -> ReplaySession:
+        """A session positioned somewhere ≤ *target*: restored from the
+        nearest snapshot strictly before it (strictly — the from-zero
+        stopper can pause mid-dispatch *at* a boundary cycle, which a
+        restore exactly at that cycle would skip past), walking the
+        fallback ladder down to a plain from-zero replay."""
+        candidates = sorted(
+            (s for c, s in self._snapshots.items() if c < target),
+            key=lambda s: s.cycles,
+            reverse=True,
+        )
+        for snap in candidates:
+            try:
+                fresh = ReplaySession(
+                    self.program, self.trace, config=self.config, resume_from=snap
+                )
+            except VMError:
+                # corrupt / mismatched snapshot: out of the ladder it goes
+                del self._snapshots[snap.cycles]
+                continue
+            self.restores += 1
+            return fresh
+        return ReplaySession(self.program, self.trace, config=self.config)
 
     # ------------------------------------------------------------------
 
@@ -118,8 +192,10 @@ class TimeTravelSession:
         if target < 0:
             raise VMError(f"bad time target {target}")
         if target < self.now or self.session.finished:
-            # backwards (or past the end): start a fresh replay
-            self.session = ReplaySession(self.program, self.trace, config=self.config)
+            # backwards (or past the end): fresh replay, checkpoint-
+            # accelerated when a snapshot before the target survives
+            self.session = self._rewind_session(target)
+            self._attach_recorder()
         if target > 0:
             stopper = _CycleStop(target, self.session.vm.engine)
             saved = self.session.control

@@ -1,13 +1,13 @@
 """Deterministic fault injection for the replay platform.
 
-Three surfaces, one contract: a fault may cost data, never correctness —
+Four surfaces, one contract: a fault may cost data, never correctness —
 every injected failure must end in clean recovery or a typed diagnostic,
 and nothing may hang, crash with a raw traceback, or silently return a
 wrong answer.
 
 * :mod:`repro.faults.plan`     — seeded, reproducible fault plans;
 * :mod:`repro.faults.inject`   — the injectors (trace bytes, native
-  layer, debugger transport);
+  layer, debugger transport, checkpoint sidecars);
 * :mod:`repro.faults.campaign` — the campaign runner and outcome
   classification (``repro faults`` on the CLI).
 
@@ -18,12 +18,22 @@ conftest exposes the ``fault_plan`` fixture.
 from repro.faults.campaign import CampaignReport, FaultOutcome, run_campaign
 from repro.faults.inject import (
     InjectedFault,
+    apply_checkpoint_fault,
     apply_trace_fault,
     arm_native_fault,
+    ckpt_segment_boundaries,
     segment_boundaries,
     send_faulted_request,
 )
-from repro.faults.plan import KINDS, FaultPlan, FaultSpec
+from repro.faults.plan import (
+    KINDS,
+    LAYER_CHECKPOINT,
+    LAYER_NATIVE,
+    LAYER_TRACE,
+    LAYER_TRANSPORT,
+    FaultPlan,
+    FaultSpec,
+)
 
 __all__ = [
     "CampaignReport",
@@ -32,8 +42,14 @@ __all__ = [
     "FaultSpec",
     "InjectedFault",
     "KINDS",
+    "LAYER_CHECKPOINT",
+    "LAYER_NATIVE",
+    "LAYER_TRACE",
+    "LAYER_TRANSPORT",
+    "apply_checkpoint_fault",
     "apply_trace_fault",
     "arm_native_fault",
+    "ckpt_segment_boundaries",
     "run_campaign",
     "segment_boundaries",
     "send_faulted_request",

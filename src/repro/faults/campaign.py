@@ -26,17 +26,23 @@ from collections import Counter
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.api import record as api_record, replay_prefix
+from repro.api import record as api_record, replay_prefix, resume_replay
 from repro.core.doctor import CLASS_CLEAN, CLASS_TRUNCATED, diagnose
 from repro.core.tracelog import TraceLog
 from repro.faults.inject import (
     InjectedFault,
+    apply_checkpoint_fault,
     apply_trace_fault,
     arm_native_fault,
     send_faulted_request,
 )
-from repro.faults.plan import LAYER_TRANSPORT, FaultPlan, FaultSpec
-from repro.vm.errors import VMError
+from repro.faults.plan import (
+    LAYER_CHECKPOINT,
+    LAYER_TRANSPORT,
+    FaultPlan,
+    FaultSpec,
+)
+from repro.vm.errors import CheckpointConfigMismatch, VMError
 from repro.vm.machine import VMConfig
 from repro.vm.timerdev import SeededJitterTimer
 
@@ -127,7 +133,7 @@ def run_campaign(
 
     # one clean baseline recording: the artifact the trace faults damage
     baseline_path = workdir / "baseline.djv"
-    api_record(
+    baseline_run = api_record(
         program_factory(),
         config=config,
         timer=SeededJitterTimer(plan.seed, 40, 160),
@@ -135,6 +141,15 @@ def run_campaign(
         extra_meta=extra_meta,
     )
     baseline_blob = baseline_path.read_bytes()
+
+    # one clean checkpointed replay: the sidecar the checkpoint faults
+    # damage, plus the known-good result every resumed run must match
+    # (any mismatch is a silent wrong-state restore — the worst finding)
+    ckpt = None
+    if plan.by_layer(LAYER_CHECKPOINT):
+        ckpt = _build_checkpoint_baseline(
+            baseline_path, baseline_run, program_factory, config
+        )
 
     # one debugger server, reused by every transport fault: surviving all
     # of them on a single serve loop IS the hardening claim
@@ -158,6 +173,7 @@ def run_campaign(
                 workdir=workdir,
                 seed=plan.seed,
                 server=server,
+                ckpt=ckpt,
                 timeout=fault_timeout,
             )
             report.outcomes.append(FaultOutcome(fault_spec, outcome, detail))
@@ -199,11 +215,17 @@ def _run_one(
     workdir: Path,
     seed: int,
     server,
+    ckpt,
 ) -> tuple[str, str]:
     if spec.layer == "trace":
         return _run_trace_fault(spec, baseline_blob, program_factory, config, workdir)
     if spec.layer == "native":
         return _run_native_fault(spec, program_factory, config, workdir, seed)
+    if spec.layer == LAYER_CHECKPOINT:
+        assert ckpt is not None
+        return _run_checkpoint_fault(
+            spec, baseline_blob, ckpt, program_factory, config, workdir
+        )
     assert server is not None
     return send_faulted_request(server.address, spec)
 
@@ -227,6 +249,98 @@ def _run_trace_fault(
             return f"diagnosed:{report.classification}", report.detail
         return "recovered", f"salvaged prefix replays ({report.detail})"
     return f"diagnosed:{report.classification}", report.detail
+
+
+@dataclass
+class _CheckpointBaseline:
+    """Shared fixtures for the checkpoint fault family: the sealed
+    sidecar bytes every spec damages its own copy of, and the clean
+    replay result every resumed run must reproduce exactly."""
+
+    blob: bytes
+    result: object  # RunResult
+    every: int
+
+
+def _build_checkpoint_baseline(
+    baseline_path: Path, baseline_run, program_factory, config
+) -> _CheckpointBaseline:
+    from repro.api import replay as api_replay
+    from repro.core.checkpoint import sidecar_path
+
+    sidecar = sidecar_path(baseline_path)
+    # several checkpoints regardless of workload length, but never a
+    # degenerate every-cycle cadence
+    every = max(200, baseline_run.result.cycles // 6)
+    result = api_replay(
+        program_factory(),
+        TraceLog.load(baseline_path),
+        config=config,
+        checkpoint_every=every,
+        checkpoint_out=sidecar,
+    )
+    blob = sidecar.read_bytes()
+    sidecar.unlink()  # each fault places its own damaged copy
+    return _CheckpointBaseline(blob=blob, result=result, every=every)
+
+
+def _run_checkpoint_fault(
+    spec: FaultSpec,
+    baseline_blob: bytes,
+    ckpt: _CheckpointBaseline,
+    program_factory,
+    config,
+    workdir: Path,
+) -> tuple[str, str]:
+    """Damage a copy of the checkpoint sidecar per *spec* and resume the
+    replay through the fallback ladder.  Contract: the resumed run either
+    reproduces the clean result exactly (``recovered``, possibly from
+    cycle zero) or dies with a typed checkpoint diagnostic — a resumed
+    run that *completes with a different result* restored silently-wrong
+    state, the one failure the digest verification exists to prevent."""
+    from repro.core.checkpoint import sidecar_path
+
+    trace_copy = workdir / f"ckpt-{spec.index:03d}.djv"
+    trace_copy.write_bytes(baseline_blob)
+    sidecar = sidecar_path(trace_copy)
+    tmp = Path(str(sidecar) + ".tmp")
+    damaged, destination = apply_checkpoint_fault(ckpt.blob, spec)
+    if destination == "sidecar":
+        sidecar.write_bytes(damaged)
+    elif destination == "tmp":
+        tmp.write_bytes(damaged)
+    # "absent": neither file exists — resume must go from cycle zero
+    try:
+        resumed = resume_replay(
+            program_factory(),
+            TraceLog.load(trace_copy),
+            checkpoints=sidecar,
+            config=config,
+        )
+    except CheckpointConfigMismatch as exc:
+        return "diagnosed:checkpoint-config-mismatch", str(exc)
+    finally:
+        for p in (trace_copy, sidecar, tmp):
+            p.unlink(missing_ok=True)
+    clean = ckpt.result
+    got = resumed.result
+    if (
+        got.heap_digest != clean.heap_digest
+        or got.output_text != clean.output_text
+        or got.cycles != clean.cycles
+    ):
+        return (
+            "undetected",
+            f"resumed run diverged from the clean replay "
+            f"(cycles {got.cycles} vs {clean.cycles}) — silent wrong-state "
+            f"restore past the digest check",
+        )
+    origin = (
+        "from cycle zero"
+        if resumed.from_zero
+        else f"from checkpoint @{resumed.resumed_from}"
+    )
+    return "recovered", f"resumed {origin}; result matches clean replay"
 
 
 def _run_native_fault(

@@ -88,6 +88,78 @@ def apply_trace_fault(blob: bytes, spec: FaultSpec) -> bytes:
 
 
 # ---------------------------------------------------------------------------
+# checkpoint-sidecar faults
+
+
+def ckpt_segment_boundaries(blob: bytes) -> list[int]:
+    """Byte offsets just after each complete sidecar segment (the cuts a
+    crash between snapshot flushes can leave a ``.ckpt.tmp`` at)."""
+    from repro.core.checkpoint import (
+        CKPT_MAGIC,
+        MAX_SNAPSHOT_BYTES,
+        SEG_CKPT_FOOTER,
+        SEG_CKPT_META,
+        SEG_SNAPSHOT,
+    )
+    from repro.core.checkpoint import _SEG_HEADER_BYTES as ckpt_seg_header
+
+    header_bytes = len(CKPT_MAGIC) + 2
+    kinds = (SEG_SNAPSHOT, SEG_CKPT_META, SEG_CKPT_FOOTER)
+    offsets: list[int] = []
+    pos = header_bytes
+    while pos + ckpt_seg_header <= len(blob):
+        kind = blob[pos:pos + 1]
+        if kind not in kinds:
+            break
+        length = int.from_bytes(blob[pos + 1:pos + 5], "little")
+        if length > MAX_SNAPSHOT_BYTES:
+            break
+        end = pos + ckpt_seg_header + length
+        if end > len(blob):
+            break
+        offsets.append(end)
+        pos = end
+    return offsets
+
+
+def apply_checkpoint_fault(
+    blob: bytes, spec: FaultSpec
+) -> tuple[bytes | None, str]:
+    """Damaged sidecar per *spec*; returns ``(bytes_or_None, destination)``.
+
+    Destination says where the damaged artifact belongs on disk:
+    ``"sidecar"`` — the sealed ``<trace>.ckpt`` itself is damaged;
+    ``"tmp"`` — a crash mid-seal: only ``<trace>.ckpt.tmp`` exists, cut
+    at a segment boundary; ``"absent"`` — no sidecar at all (bytes is
+    ``None``).
+    """
+    from repro.core.checkpoint import CKPT_MAGIC
+
+    if spec.kind == "ckpt-bit-flip":
+        frac, bit = spec.params
+        pos = min(len(blob) - 1, int(frac * len(blob)))
+        damaged = bytearray(blob)
+        damaged[pos] ^= 1 << bit
+        return bytes(damaged), "sidecar"
+    if spec.kind == "ckpt-truncate":
+        (frac,) = spec.params
+        cut = max(1, min(len(blob) - 1, int(frac * len(blob))))
+        return blob[:cut], "sidecar"
+    if spec.kind == "ckpt-torn":
+        # crash between snapshot flushes and before the atomic-rename
+        # seal: the sealed file never appears; the tmp ends exactly at a
+        # segment boundary (or right after the header, pre-first-flush)
+        (frac,) = spec.params
+        header_bytes = len(CKPT_MAGIC) + 2
+        candidates = [header_bytes] + ckpt_segment_boundaries(blob)[:-1]
+        cut = candidates[min(len(candidates) - 1, int(frac * len(candidates)))]
+        return blob[:cut], "tmp"
+    if spec.kind == "ckpt-missing":
+        return None, "absent"
+    raise ValueError(f"not a checkpoint fault: {spec.kind}")
+
+
+# ---------------------------------------------------------------------------
 # native-layer faults
 
 

@@ -9,7 +9,12 @@ entries across the platform's three fault surfaces:
 * ``native``    — the host environment failing underneath the guest (the
   Nth non-deterministic native call raises);
 * ``transport`` — the debugger wire misbehaving (a dropped, delayed, or
-  garbled frame).
+  garbled frame);
+* ``checkpoint`` — damage to a ``<trace>.ckpt`` sidecar (bit flip,
+  truncated tail, a torn write that left only the writer's tmp file, or
+  a sidecar that is missing outright).  Opt-in: campaigns pass
+  ``layers=`` explicitly because the checkpoint family needs a
+  checkpointed baseline replay the default three layers don't build.
 
 Specs are *symbolic*: byte positions are stored as fractions in [0, 1)
 and resolved against the actual artifact at injection time, so the same
@@ -25,6 +30,7 @@ from dataclasses import dataclass, field
 LAYER_TRACE = "trace"
 LAYER_NATIVE = "native"
 LAYER_TRANSPORT = "transport"
+LAYER_CHECKPOINT = "checkpoint"
 
 #: every fault kind, with its layer
 KINDS: dict[str, str] = {
@@ -35,6 +41,10 @@ KINDS: dict[str, str] = {
     "drop-frame": LAYER_TRANSPORT,
     "delay-frame": LAYER_TRANSPORT,
     "garble-frame": LAYER_TRANSPORT,
+    "ckpt-bit-flip": LAYER_CHECKPOINT,
+    "ckpt-truncate": LAYER_CHECKPOINT,
+    "ckpt-torn": LAYER_CHECKPOINT,
+    "ckpt-missing": LAYER_CHECKPOINT,
 }
 
 
@@ -56,6 +66,14 @@ class FaultSpec:
     ``delay-frame``           ``(delay_s,)`` — the frame arrives late
     ``garble-frame``          ``(position_frac, bit)`` — flip one bit of
                               the encoded frame before sending
+    ``ckpt-bit-flip``         ``(position_frac, bit)`` — flip one bit of
+                              the sealed checkpoint sidecar
+    ``ckpt-truncate``         ``(position_frac,)`` — drop the sidecar's
+                              tail from that byte on
+    ``ckpt-torn``             ``(boundary_frac,)`` — crash after the K-th
+                              flushed snapshot segment: the sealed
+                              sidecar never appears, only its tmp prefix
+    ``ckpt-missing``          ``()`` — no sidecar exists at all
     ========================  =============================================
     """
 
@@ -97,15 +115,15 @@ class FaultPlan:
         specs = []
         for i in range(count):
             kind = rng.choice(kinds)
-            if kind == "bit-flip" or kind == "garble-frame":
+            if kind in ("bit-flip", "garble-frame", "ckpt-bit-flip"):
                 params = (rng.random(), rng.randrange(8))
-            elif kind == "truncate" or kind == "torn-write":
+            elif kind in ("truncate", "torn-write", "ckpt-truncate", "ckpt-torn"):
                 params = (rng.random(),)
             elif kind == "native-error":
                 params = (rng.randrange(1, 9),)
             elif kind == "delay-frame":
                 params = (round(rng.uniform(0.01, 0.08), 3),)
-            else:  # drop-frame
+            else:  # drop-frame, ckpt-missing
                 params = ()
             specs.append(FaultSpec(index=i, kind=kind, params=params))
         return cls(seed=seed, specs=specs)

@@ -93,6 +93,29 @@ class TraceFormatError(VMError):
         super().__init__(f"{where}{message}")
 
 
+class CheckpointError(VMError):
+    """Base class for checkpoint/restore failures.  Consumers treat any
+    ``CheckpointError`` as "this checkpoint is unusable" and walk the
+    fallback ladder: nearest earlier checkpoint, then replay-from-zero.
+    """
+
+
+class CheckpointFormatError(CheckpointError):
+    """A checkpoint sidecar (or one snapshot inside it) is unreadable:
+    bad magic, unsupported version, failed CRC, torn segment, or a
+    machine-digest mismatch after decode (tampering the CRC missed)."""
+
+
+class CheckpointConfigMismatch(CheckpointError):
+    """A checkpoint was captured under a different VM or engine
+    configuration than the restore target.  Frame pcs index the compiled
+    (possibly fused) instruction stream, so restoring across engine
+    configs would silently execute the wrong code — refuse instead.
+    Unlike other checkpoint errors this is not repaired by an earlier
+    checkpoint (they all share the config), so it propagates as a typed
+    diagnostic rather than falling back."""
+
+
 class ReplayDivergenceError(VMError):
     """Replay observed state inconsistent with the recorded execution.
 

@@ -1001,6 +1001,15 @@ class Engine:
         #: observe.  Like debug hooks, it sees *canonical* micro-ops, so
         #: clients force the baseline engine (with_baseline_engine).
         self.mem_hook = None
+        #: optional safe-point hook (repro.core.checkpoint): called with
+        #: this engine whenever the run loop finds no current thread —
+        #: every frame pc and shadow bci is committed and no guest state
+        #: is in flight, so the complete machine state is snapshottable.
+        #: Fires *before* the scheduler picks the next thread, so a
+        #: restored run re-executes schedule() (and its clock reads)
+        #: exactly as the original did.  Host-side only; works under
+        #: every dispatch config because run() itself is shared.
+        self.safepoint_hook = None
         # -- engine stats (host-side observability; never guest-visible).
         #: monotonic fused execution counters: [pairs, triples].  The
         #: loops derive pending cycle carries from deltas of these, so a
@@ -1100,6 +1109,9 @@ class Engine:
                 return
             thread = scheduler.current
             if thread is None:
+                hook = self.safepoint_hook
+                if hook is not None:
+                    hook(self)
                 thread = scheduler.schedule()
             if thread is None:
                 return
