@@ -14,8 +14,11 @@ Usage:
     PYTHONPATH=src python benchmarks/bench_dispatch.py --check    # CI smoke
 
 The full run writes ``BENCH_dispatch.json`` at the repo root; ``--check``
-re-measures run-mode throughput for the full engine and fails (exit 1)
-if it regressed more than 20% against the committed file.
+re-measures the full engine and fails (exit 1) if run-mode throughput
+regressed more than 20% against the committed file, or if record-mode
+throughput falls below ``RECORD_FLOOR`` (0.8×) of the same session's
+run-mode throughput — the paper's near-zero-overhead recording claim,
+expressed as a ratio so host speed cancels out.
 """
 
 from __future__ import annotations
@@ -40,6 +43,9 @@ from repro.workloads import server, sorter  # noqa: E402
 RESULT_PATH = REPO_ROOT / "BENCH_dispatch.json"
 SEED = 7
 HEAP = 400_000
+#: CI gate: record-mode ops/s must stay at least this fraction of the
+#: same session's run-mode ops/s, per workload
+RECORD_FLOOR = 0.8
 
 #: ablation layers, innermost first (each row adds one layer)
 ENGINES = {
@@ -154,10 +160,11 @@ def cmd_measure(args) -> int:
 
 def cmd_check(args) -> int:
     """CI smoke: the full engine's run-mode throughput must stay within
-    20% of the committed numbers (and guest cycles must match exactly)."""
+    20% of the committed numbers (and guest cycles must match exactly),
+    and record mode must reach :data:`RECORD_FLOOR` of run mode."""
     committed = json.loads(RESULT_PATH.read_text())
     engines = {"full": ENGINES["full"]}
-    current = measure(args.reps, engines, ("run",))
+    current = measure(args.reps, engines, ("run", "record"))
     failed = False
     for name, row in current.items():
         want_row = committed["results"][name]
@@ -177,6 +184,16 @@ def cmd_check(args) -> int:
         print(
             f"{verdict} {name}: run/full {got / 1e6:.3f}M ops/s "
             f"(committed {want / 1e6:.3f}M, floor {floor / 1e6:.3f}M)"
+        )
+        # record overhead gate: a within-session ratio, so host speed
+        # differences between CI machines cancel out
+        rec = row["ops_per_sec"]["record"]["full"]
+        ratio = rec / got
+        verdict = "ok" if ratio >= RECORD_FLOOR else "FAIL"
+        failed |= ratio < RECORD_FLOOR
+        print(
+            f"{verdict} {name}: record/full {rec / 1e6:.3f}M ops/s = "
+            f"{ratio:.3f}x of run (floor {RECORD_FLOOR:.2f}x)"
         )
     return 1 if failed else 0
 

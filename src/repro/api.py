@@ -101,6 +101,7 @@ def record(
     env: Environment | None = None,
     symmetry: SymmetryConfig | None = None,
     out: "str | Path | None" = None,
+    compress: bool = False,
     extra_meta: dict | None = None,
     vm_hook: "Callable[[VirtualMachine], None] | None" = None,
     checkpoint_every: int | None = None,
@@ -130,7 +131,7 @@ def record(
     vm = build_vm(program, config, timer=timer, clock=clock, env=env)
     if vm_hook is not None:
         vm_hook(vm)
-    writer = TraceWriter(out) if out is not None else None
+    writer = TraceWriter(out, compress=compress) if out is not None else None
     dejavu = DejaVu(vm, MODE_RECORD, symmetry=symmetry, writer=writer, **dejavu_kwargs)
     recorder = _make_recorder(vm, checkpoint_every, out)
     try:

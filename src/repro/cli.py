@@ -11,6 +11,7 @@ Commands:
 * ``coverage program.jasm t.djv`` — bytecode/line coverage of a trace
 * ``disasm program.jasm``         — verify + disassemble
 * ``trace-info t.djv``            — describe a saved trace
+* ``trace-stats t.djv``           — per-stream encoding statistics
 * ``engine-stats program.jasm``   — run + host-side dispatch statistics
 * ``explore --workload bank``     — systematic schedule exploration
 * ``races program.jasm t.djv``    — happens-before race detection on a trace
@@ -159,6 +160,7 @@ def cmd_record(args) -> int:
         program,
         config=_config(args),
         out=args.out,
+        compress=args.compress,
         extra_meta=getattr(args, "_workload_meta", {}),
         **_knobs(args),
     )
@@ -259,6 +261,32 @@ def cmd_trace_info(args) -> int:
     stats = dict(trace.meta.get("stats") or ())
     if stats:
         print("record stats:   " + ", ".join(f"{k}={v}" for k, v in sorted(stats.items())))
+    return 0
+
+
+def cmd_trace_stats(args) -> int:
+    """Per-stream encoding statistics of a saved trace.
+
+    Exit status 0 on a readable trace; 2 when the file is not a readable
+    DejaVu trace (the :class:`TraceFormatError` tier, like trace-info)."""
+    from repro.core.tracelog import trace_stats
+
+    stats = trace_stats(args.trace)
+    major, minor = divmod(stats["format_version"], 256) if stats[
+        "format_version"
+    ] >= 256 else (stats["format_version"], None)
+    version = f"{major}.{minor}" if minor is not None else str(major)
+    print(f"format version: {version}")
+    print(f"file bytes:     {stats['file_bytes']}")
+    for name in ("switch", "value"):
+        st = stats["streams"][name]
+        codecs = ",".join(f"0x{c:02x}" for c in st["codecs"]) or "-"
+        print(f"{name} stream:")
+        print(f"  entries:       {st['entries']}")
+        print(f"  segments:      {st['segments']}")
+        print(f"  encoded bytes: {st['encoded_bytes']}")
+        print(f"  varint bytes:  {st['raw_bytes']}")
+        print(f"  ratio:         {st['ratio']:.3f}x (codecs {codecs})")
     return 0
 
 
@@ -601,6 +629,11 @@ def make_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("record", help="execute under DejaVu, save the trace")
     common(p)
     p.add_argument("-o", "--out", default="run.djv")
+    p.add_argument(
+        "--compress",
+        action="store_true",
+        help="zlib-compress each trace segment (smaller file, same replay)",
+    )
     p.set_defaults(fn=cmd_record)
 
     p = sub.add_parser("replay", help="re-execute a recorded trace")
@@ -659,6 +692,12 @@ def make_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("trace-info", help="describe a saved trace")
     p.add_argument("trace")
     p.set_defaults(fn=cmd_trace_info)
+
+    p = sub.add_parser(
+        "trace-stats", help="per-stream encoding statistics of a saved trace"
+    )
+    p.add_argument("trace")
+    p.set_defaults(fn=cmd_trace_stats)
 
     p = sub.add_parser(
         "engine-stats", help="run a program and report dispatch statistics"

@@ -112,6 +112,24 @@ class DejaVu:
             "internal_yieldpoints": 0,
         }
         self._finished = False
+        # -- engine fast-path gates.  With the liveclock mechanism and
+        # symmetric eager stack growth both on, a *non-firing* yield
+        # point reduces to a single counter bump (record: nyp += 1;
+        # replay: _replay_nyp -= 1) — the dispatch loops inline exactly
+        # that case and call at_yieldpoint() whenever any gate is off
+        # (see interp.py).  Gated per-session here so ablations and
+        # schedule-driven recording always take the full path.
+        # A subclass overriding at_yieldpoint (e.g. the Russinovich &
+        # Cogswell baseline) has different per-yield-point semantics, so
+        # the inlined body would be wrong for it: gate on the method
+        # actually being the one the loops inline.
+        _sym_fast = (
+            type(self).at_yieldpoint is DejaVu.at_yieldpoint
+            and self.symmetry_config.liveclock
+            and self.symmetry_config.eager_stack_growth
+        )
+        self._fast_record = self.recording and schedule is None and _sym_fast
+        self._fast_replay = self.replaying and _sym_fast
         vm.dejavu = self
 
     # ------------------------------------------------------------------

@@ -15,6 +15,9 @@ classification              meaning / the fix
 ``not-a-trace``             empty file or bad magic: wrong file entirely
 ``version-skew``            a DejaVu trace, but a version this build cannot
                             read — use the build that wrote it
+``codec-mismatch``          a segment carries a codec byte (or group-codec
+                            mode) this build does not implement — use a
+                            newer build; the bytes themselves are intact
 ``truncated-tail``          the recorder died mid-run; the intact prefix was
                             salvaged and replays to the point of death
 ``corrupt-segment``         storage damage (CRC/footer mismatch) at a known
@@ -61,9 +64,10 @@ CLASS_KWARGS_MISMATCH = "workload-kwargs-mismatch"
 CLASS_NONDETERMINISM = "nondeterminism"
 CLASS_CKPT_CORRUPT = "corrupt-checkpoint"
 CLASS_CKPT_CONFIG = "checkpoint-config-mismatch"
+CLASS_CODEC = "codec-mismatch"
 
 #: classifications that mean "the file itself is not usable as input"
-FORMAT_CLASSES = (CLASS_NOT_A_TRACE, CLASS_VERSION_SKEW)
+FORMAT_CLASSES = (CLASS_NOT_A_TRACE, CLASS_VERSION_SKEW, CLASS_CODEC)
 
 #: words of context shown on each side of a stream cursor
 STREAM_NEIGHBORHOOD = 5
@@ -78,6 +82,13 @@ _CORRUPTION_MARKERS = (
     "implausible segment length",
     "undecodable",
     "trailing data",
+)
+
+#: substrings that mean the segment framing is fine but the payload uses
+#: an encoding this build does not implement (newer writer, older reader)
+_CODEC_MARKERS = (
+    "unknown segment codec",
+    "group-codec",
 )
 
 
@@ -159,6 +170,8 @@ def classify_format_error(exc: TraceFormatError) -> str:
         return CLASS_NOT_A_TRACE
     if "unsupported trace version" in text:
         return CLASS_VERSION_SKEW
+    if any(marker in text for marker in _CODEC_MARKERS):
+        return CLASS_CODEC
     if any(marker in text for marker in _CORRUPTION_MARKERS):
         return CLASS_CORRUPT
     return CLASS_TRUNCATED

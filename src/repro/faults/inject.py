@@ -21,6 +21,7 @@ from repro.core.tracelog import (
     SEG_SWITCH,
     SEG_VALUE,
     _SEG_HEADER_BYTES,
+    _SEG_HEADER_BYTES_V31,
 )
 from repro.debugger.protocol import FrameDecoder, TransportError, decode, frame
 from repro.faults.plan import FaultSpec
@@ -45,17 +46,24 @@ class InjectedFault(VMError):
 
 def segment_boundaries(blob: bytes) -> list[int]:
     """Byte offsets just *after* each complete segment — the positions a
-    crash between flushes can leave a tmp file cut at."""
+    crash between flushes can leave a tmp file cut at.
+
+    Version-aware: v3 segments carry a 9-byte header, v3.1 adds the
+    codec byte (10 bytes, length field one byte later).
+    """
+    version = int.from_bytes(blob[4:6], "little") if len(blob) >= 6 else 0
+    seg_header = _SEG_HEADER_BYTES if version == 3 else _SEG_HEADER_BYTES_V31
+    len_at = 1 if version == 3 else 2
     offsets: list[int] = []
     pos = _HEADER_BYTES
-    while pos + _SEG_HEADER_BYTES <= len(blob):
+    while pos + seg_header <= len(blob):
         kind = blob[pos:pos + 1]
         if kind not in _SEG_KINDS:
             break
-        length = int.from_bytes(blob[pos + 1:pos + 5], "little")
+        length = int.from_bytes(blob[pos + len_at:pos + len_at + 4], "little")
         if length > MAX_SEGMENT_BYTES:
             break
-        end = pos + _SEG_HEADER_BYTES + length
+        end = pos + seg_header + length
         if end > len(blob):
             break
         offsets.append(end)

@@ -104,7 +104,11 @@ M_YIELDPOINT = 62
 # contains them.  Each fused op charges exactly as many cycles as the
 # micro-ops it replaces (its entry in ``xweights``).  Legality rules:
 #
-#   * a group never contains a yield point (logical clocks are sacred);
+#   * a group never contains an *interior* yield point (logical clocks
+#     are sacred); the one exception is :data:`F_YP_GROUP`, whose
+#     terminal op IS a yield point — the group carries its own cycle and
+#     yield accounting so the controller observes the yield point at the
+#     exact canonical cycle and pc it would have unfused;
 #   * no interior op of a group is a branch target (control can only
 #     enter at the group head);
 #   * only the *terminal* op of a group may trap or branch — so a trap
@@ -132,6 +136,7 @@ F_ALL_PUTFIELD = 85  # a=(objslot, valslot), b=offset
 F_ALC_PUTFIELD = 86  # a=(objslot, const), b=offset
 F_ALL_ALOAD = 87  # a=(arrslot, idxslot) load, load, array element load
 F_IINC_BR = 88  # a=(slot, delta), b=target   iinc + goto (the loop tail)
+F_YP_GROUP = 89  # a=tag, b=(pre_fn, n_pre)   pure ops + terminal yield point
 
 #: yield-point location tags (carried so tests/traces can tell them apart)
 YP_PROLOGUE = 0
@@ -356,6 +361,86 @@ def _match_group(ops: list, i: int, n: int, targets: frozenset):
     return None
 
 
+#: ops pure enough to ride in front of a yield point: no traps, no
+#: branches, no heap access, no allocation — replaying the prefix is
+#: indistinguishable from executing it unfused.
+_YP_PURE = (M_ILOAD, M_ALOAD, M_ICONST, M_IINC)
+_MAX_YP_PREFIX = 3
+
+
+def _yp_prefix_fn(pre: list):
+    """Executor closure for the pure ops preceding a fused yield point.
+
+    Common shapes get specialised closures; anything else falls back to a
+    generic loop.  All of them mutate ``stack``/``locals_`` exactly as the
+    unfused micro-ops would.
+    """
+    if len(pre) == 1:
+        m0, a0, b0 = pre[0]
+        if m0 == M_ICONST:
+            def h(stack, locals_):
+                stack.append(a0)
+            return h
+        if m0 == M_IINC:
+            to_i32 = words.to_i32
+
+            def h(stack, locals_):
+                locals_[a0] = to_i32(locals_[a0] + b0)
+            return h
+
+        def h(stack, locals_):
+            stack.append(locals_[a0])
+        return h
+    if len(pre) == 2:
+        (m0, a0, _), (m1, a1, _) = pre
+        if m0 in _LOADS and m1 in _LOADS:
+            def h(stack, locals_):
+                stack.append(locals_[a0])
+                stack.append(locals_[a1])
+            return h
+        if m0 in _LOADS and m1 == M_ICONST:
+            def h(stack, locals_):
+                stack.append(locals_[a0])
+                stack.append(a1)
+            return h
+    to_i32 = words.to_i32
+
+    def h(stack, locals_):
+        for m, a, b in pre:
+            if m == M_ICONST:
+                stack.append(a)
+            elif m == M_IINC:
+                locals_[a] = to_i32(locals_[a] + b)
+            else:
+                stack.append(locals_[a])
+    return h
+
+
+def _match_yp_group(ops: list, i: int, n: int, targets: frozenset):
+    """Record-aware group: up to :data:`_MAX_YP_PREFIX` pure ops ending
+    at a yield point, or None.
+
+    Matched *before* the ordinary pattern tables so instrumented yield
+    points stop breaking fusion around loop heads and backedges.  The
+    yield point itself is the group terminal; interior positions (and
+    the yield point) must not be branch targets — the compiler never
+    makes a yield point a target, but the pure ops in front could be.
+    """
+    if ops[i][0] not in _YP_PURE:
+        return None
+    j = i
+    while j < n and j - i < _MAX_YP_PREFIX and ops[j][0] in _YP_PURE:
+        j += 1
+    if j >= n or ops[j][0] != M_YIELDPOINT:
+        return None
+    for k in range(i + 1, j + 1):
+        if k in targets:
+            return None
+    pre = ops[i:j]
+    tag = ops[j][1]
+    return ((F_YP_GROUP, tag, (_yp_prefix_fn(pre), j - i)), j - i + 1)
+
+
 def _fuse(mc: "MachineCode") -> None:
     """Build the fused executable program xops/xbci_of/xweights from ops.
 
@@ -377,7 +462,9 @@ def _fuse(mc: "MachineCode") -> None:
     i = 0
     while i < n:
         old2new[i] = len(xops)
-        match = _match_group(ops, i, n, targets)
+        match = _match_yp_group(ops, i, n, targets)
+        if match is None:
+            match = _match_group(ops, i, n, targets)
         if match is None:
             xops.append(ops[i])
             xbci.append(mc.bci_of[i])

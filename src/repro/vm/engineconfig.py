@@ -9,8 +9,10 @@ combination, and perf can be attributed per layer):
   micro-op, with deadline/budget accounting batched off the per-op path;
 * ``fusion`` — the compiler's peephole pass fuses hot adjacent micro-op
   pairs/triples into superinstructions that charge exactly the cycles of
-  the ops they replace and never straddle a yield point, branch target,
-  or safe point;
+  the ops they replace and never straddle a branch target or safe
+  point; a yield point may only appear as the *terminal* op of a
+  record-aware ``F_YP_GROUP``, which charges its prefix cycles and
+  re-checks the timer deadline before the yield point observes it;
 * ``inline_caches`` — each ``invokevirtual`` site carries a monomorphic
   ``class_id → RuntimeMethod`` cache, invalidated by the loader whenever
   a class is linked.

@@ -70,6 +70,7 @@ from repro.vm.compiler import (
     F_PUSH_LC,
     F_SC_CMPBR,
     F_SL_CMPBR,
+    F_YP_GROUP,
     M_AALOAD,
     M_AASTORE,
     M_ACONST_NULL,
@@ -139,7 +140,7 @@ from repro.vm.compiler import (
 from repro.vm import corelib
 from repro.vm.errors import VMError, VMTrap
 from repro.vm.native import BLOCK, NativeResult
-from repro.vm.threads import Frame, GreenThread
+from repro.vm.threads import EAGER_STACK_HEADROOM, Frame, GreenThread
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.vm.machine import VirtualMachine
@@ -1015,6 +1016,11 @@ class Engine:
         #: loops derive pending cycle carries from deltas of these, so a
         #: fused handler costs exactly one counter bump.
         self._fstat = [0, 0]
+        #: fused yield-point groups: [executions, extra cycles charged].
+        #: Tracked apart from _fstat because YP groups charge their extra
+        #: cycles inline (before the yield point observes the hw bit),
+        #: never through the threaded loop's carry-fold.
+        self._ypstat = [0, 0]
         self.ic_hits = 0
         self.ic_misses = 0
         # threaded-dispatch plumbing: the current thread/frame (for heavy
@@ -1028,13 +1034,13 @@ class Engine:
 
     @property
     def fused_ops_executed(self) -> int:
-        """Superinstruction executions (each replaced 2-3 micro-ops)."""
-        return self._fstat[0] + self._fstat[1]
+        """Superinstruction executions (each replaced 2-4 micro-ops)."""
+        return self._fstat[0] + self._fstat[1] + self._ypstat[0]
 
     @property
     def fused_extra_cycles(self) -> int:
         """Cycles charged by fused handlers beyond their one dispatch."""
-        return self._fstat[0] + 2 * self._fstat[1]
+        return self._fstat[0] + 2 * self._fstat[1] + self._ypstat[1]
 
     @property
     def dispatches(self) -> int:
@@ -1164,6 +1170,7 @@ class Engine:
         max_cycles = vm.config.max_cycles
         ic_enabled = self.cfg.inline_caches
         fstat = self._fstat
+        ypstat = self._ypstat
 
         frame = thread.frames[-1]
         ops = frame.code.xops
@@ -1199,16 +1206,54 @@ class Engine:
                 # pre-execution observation: operands are still on the stack
                 memhook(thread, frame, pc, mop, a, b, stack)
 
-            if mop == M_YIELDPOINT:
+            if mop == M_YIELDPOINT or mop == F_YP_GROUP:
+                if b is not None:
+                    # F_YP_GROUP: run the pure prefix, charge its cycles,
+                    # and replay any deadline crossing *before* the yield
+                    # point observes the hw bit — the bit is raised at the
+                    # exact cycle the unfused program would see it at.
+                    b[0](stack, locals_)
+                    cycles += b[1]
+                    ypstat[0] += 1
+                    ypstat[1] += b[1]
+                    if cycles >= limit:
+                        limit = self._check_limit(cycles)
                 thread.yieldpoints += 1
                 dejavu = vm.dejavu
-                if dejavu is not None:
+                if dejavu is None:
+                    if self.hw_bit:
+                        self.hw_bit = False
+                        scheduler.preempt()
+                # -- inline non-firing fast paths (see DejaVu.__init__):
+                # with liveclock + eager stacks on and nothing pending,
+                # the full Figure-2 body reduces to one counter bump.
+                # The clock commit stays (this loop hosts the debug tools,
+                # whose cycle-addressed stops read ``engine.cycles``).
+                elif (
+                    dejavu._fast_record
+                    and dejavu.liveclock
+                    and not self.hw_bit
+                    and not dejavu.threadswitch_bit
+                    and thread.stack_capacity - thread.stack_used
+                    >= EAGER_STACK_HEADROOM
+                ):
+                    self.cycles = cycles
+                    dejavu.nyp += 1
+                elif (
+                    dejavu._fast_replay
+                    and dejavu.liveclock
+                    and not dejavu.threadswitch_bit
+                    and dejavu._replay_nyp is not None
+                    and dejavu._replay_nyp > 1
+                    and thread.stack_capacity - thread.stack_used
+                    >= EAGER_STACK_HEADROOM
+                ):
+                    self.cycles = cycles
+                    dejavu._replay_nyp -= 1
+                else:
                     frame.pc = pc  # instrumentation may grow the stack (alloc)
                     self.cycles = cycles
                     dejavu.at_yieldpoint(thread, a)
-                elif self.hw_bit:
-                    self.hw_bit = False
-                    scheduler.preempt()
                 pc += 1
                 continue
 
@@ -1622,12 +1667,14 @@ class Engine:
         """Bind the handler table for one compiled method.
 
         Yield points stay inline in the loop (they need the loop-local
-        cycle counter), marked by a ``None`` entry; everything else
-        becomes a pre-bound closure."""
+        cycle counter), marked by a ``None`` entry; fused yield-point
+        groups (F_YP_GROUP) do too — the loop tells them apart by the
+        op's ``b`` operand.  Everything else becomes a pre-bound
+        closure."""
         entries: list = []
         append = entries.append
         for pc, (mop, a, b) in enumerate(code.xops):
-            if mop == M_YIELDPOINT:
+            if mop == M_YIELDPOINT or mop == F_YP_GROUP:
                 append(None)
             else:
                 factory = _FACTORIES.get(mop)
@@ -1643,6 +1690,7 @@ class Engine:
         scheduler = vm.scheduler
         max_cycles = vm.config.max_cycles
         fstat = self._fstat
+        ypstat = self._ypstat
 
         self._thread = thread
         frame = thread.frames[-1]
@@ -1675,25 +1723,56 @@ class Engine:
 
             fn = entries[pc]
             if fn is None:
-                # -- inlined yield point.  Fold fused carries and process
-                # any deadline crossing *before* observing the hw bit, so
-                # the bit is exactly the per-op scheme's at this cycle.
+                # -- inlined yield point (plain, or the terminal of a
+                # fused F_YP_GROUP).  Run any pure prefix and charge its
+                # cycles, fold fused carries, and process any deadline
+                # crossing *before* observing the hw bit, so the bit is
+                # exactly the per-op scheme's at this cycle.
+                _, tag, bb = xops[pc]
+                if bb is not None:
+                    bb[0](stack, locals_)
+                    cycles += bb[1]
+                    ypstat[0] += 1
+                    ypstat[1] += bb[1]
                 x = fstat[0] - ln2 + 2 * (fstat[1] - ln3)
                 if x:
                     ln2 = fstat[0]
                     ln3 = fstat[1]
                     cycles += x
-                    if cycles >= limit:
-                        limit = self._check_limit(cycles)
+                if cycles >= limit:
+                    limit = self._check_limit(cycles)
                 thread.yieldpoints += 1
                 dejavu = vm.dejavu
-                if dejavu is not None:
+                if dejavu is None:
+                    if self.hw_bit:
+                        self.hw_bit = False
+                        scheduler.preempt()
+                # -- inline non-firing fast paths (see DejaVu.__init__):
+                # with liveclock + eager stacks on and nothing pending,
+                # the full Figure-2 body reduces to one counter bump.
+                elif (
+                    dejavu._fast_record
+                    and dejavu.liveclock
+                    and not self.hw_bit
+                    and not dejavu.threadswitch_bit
+                    and thread.stack_capacity - thread.stack_used
+                    >= EAGER_STACK_HEADROOM
+                ):
+                    dejavu.nyp += 1
+                elif (
+                    dejavu._fast_replay
+                    and dejavu.liveclock
+                    and not dejavu.threadswitch_bit
+                    and dejavu._replay_nyp is not None
+                    and dejavu._replay_nyp > 1
+                    and thread.stack_capacity - thread.stack_used
+                    >= EAGER_STACK_HEADROOM
+                ):
+                    dejavu._replay_nyp -= 1
+                else:
                     frame.pc = pc  # instrumentation may grow the stack (alloc)
                     self.cycles = cycles
-                    dejavu.at_yieldpoint(thread, xops[pc][1])
-                elif self.hw_bit:
-                    self.hw_bit = False
-                    scheduler.preempt()
+                    dejavu.at_yieldpoint(thread, tag)
                 pc += 1
                 if self.switch_pending:
                     frame.pc = pc

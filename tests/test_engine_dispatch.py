@@ -15,7 +15,12 @@ import pytest
 from repro.api import GuestProgram, build_vm, record, replay
 from repro.core import compare_runs
 from repro.tools import ReplayProfiler
-from repro.vm.compiler import M_YIELDPOINT
+from repro.vm.compiler import (
+    F_YP_GROUP,
+    M_YIELDPOINT,
+    YP_BACKEDGE,
+    YP_PROLOGUE,
+)
 from repro.vm.engineconfig import EngineConfig
 from repro.vm.errors import VMError
 from repro.vm.machine import VMConfig
@@ -218,12 +223,19 @@ class TestFusionInvariants:
             assert sum(mc.xweights) == len(mc.ops), rm.qualname
             assert len(mc.xops) == len(mc.xbci_of) == len(mc.xweights)
 
-    def test_yieldpoints_never_fused(self, loader):
+    def test_every_yieldpoint_survives_fusion(self, loader):
+        # A canonical yield point appears in the executable program either
+        # as a plain M_YIELDPOINT or as the *terminal* of a record-aware
+        # F_YP_GROUP — never absorbed into the interior of a group.
         for rm in loader.method_by_id:
             if rm.code is None:
                 continue
             canonical = sum(1 for op in rm.code.ops if op[0] == M_YIELDPOINT)
-            executable = sum(1 for op in rm.code.xops if op[0] == M_YIELDPOINT)
+            executable = sum(
+                1
+                for op in rm.code.xops
+                if op[0] == M_YIELDPOINT or op[0] == F_YP_GROUP
+            )
             assert canonical == executable, rm.qualname
 
     def test_fusion_occurred_somewhere(self, loader):
@@ -238,6 +250,92 @@ class TestFusionInvariants:
             if rm.code is None:
                 continue
             assert rm.code.xops is rm.code.ops
+
+
+# ---------------------------------------------------------------------------
+# record-aware yield-point fusion (F_YP_GROUP)
+
+
+class TestYieldPointFusion:
+    @pytest.fixture(scope="class")
+    def fused_vm(self):
+        vm, _ = _run_bank(EngineConfig())
+        return vm
+
+    def test_groups_are_emitted_and_well_formed(self, fused_vm):
+        seen = 0
+        for rm in fused_vm.loader.method_by_id:
+            if rm.code is None:
+                continue
+            for pc, (mop, a, b) in enumerate(rm.code.xops):
+                if mop != F_YP_GROUP:
+                    continue
+                seen += 1
+                assert a in (YP_PROLOGUE, YP_BACKEDGE)
+                pre_fn, n_pre = b
+                assert callable(pre_fn)
+                assert 1 <= n_pre <= 3
+                # the group charges exactly the micro-ops it replaced
+                assert rm.code.xweights[pc] == n_pre + 1
+        assert seen > 0  # backedge yield points do fuse somewhere
+
+    def test_group_prefix_semantics_match_canonical(self, fused_vm):
+        """Executing a group's pre_fn mutates stack/locals exactly as the
+        canonical micro-ops it absorbed (checked against ops/xops)."""
+        from repro.vm.compiler import M_ALOAD, M_ICONST, M_IINC, M_ILOAD
+        from repro.vm import words as W
+
+        checked = 0
+        for rm in fused_vm.loader.method_by_id:
+            if rm.code is None:
+                continue
+            mc = rm.code
+            # reconstruct each group's canonical slice via the weights
+            ci = 0
+            for pc, (mop, a, b) in enumerate(mc.xops):
+                width = mc.xweights[pc]
+                if mop == F_YP_GROUP:
+                    pre = mc.ops[ci:ci + width - 1]
+                    pre_fn, n_pre = b
+                    assert len(pre) == n_pre
+                    stack, locals_ = [], list(range(mc.nlocals))
+                    want_stack, want_locals = [], list(range(mc.nlocals))
+                    pre_fn(stack, locals_)
+                    for m, pa, pb in pre:
+                        if m == M_ICONST:
+                            want_stack.append(pa)
+                        elif m == M_IINC:
+                            want_locals[pa] = W.to_i32(want_locals[pa] + pb)
+                        else:
+                            assert m in (M_ILOAD, M_ALOAD)
+                            want_stack.append(want_locals[pa])
+                    assert stack == want_stack and locals_ == want_locals
+                    checked += 1
+                ci += width
+        assert checked > 0
+
+    def test_yp_groups_execute_with_exact_accounting(self):
+        vm, _ = _run_bank(EngineConfig())
+        engine = vm.engine
+        assert engine._ypstat[0] > 0  # groups actually ran
+        stats = engine.stats()
+        assert stats["fused_ops_executed"] >= engine._ypstat[0]
+        assert stats["dispatches"] == stats["cycles"] - stats["fused_extra_cycles"]
+        # guest cycles are engine-invariant: the baseline sees the same
+        vm_base, _ = _run_bank(EngineConfig.baseline())
+        assert vm_base.engine.cycles == engine.cycles
+
+    def test_switch_and_threaded_agree_on_fused_code(self):
+        switch_only = EngineConfig(
+            threaded_dispatch=False, fusion=True, inline_caches=False
+        )
+        threaded = EngineConfig(
+            threaded_dispatch=True, fusion=True, inline_caches=False
+        )
+        _, a = _run_bank(switch_only)
+        _, b = _run_bank(threaded)
+        assert a.heap_digest == b.heap_digest
+        assert a.cycles == b.cycles
 
 
 # ---------------------------------------------------------------------------
