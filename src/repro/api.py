@@ -336,6 +336,40 @@ def replay_prefix(
         )
 
 
+def trace_to_bytes(trace: TraceLog) -> bytes:
+    """Serialize *trace* to the sealed v3.1 on-disk byte format.
+
+    The encoding is deterministic in the trace's streams and meta (no
+    timestamps, fixed codec choice), so equal traces serialize to equal
+    bytes — the property the content-addressed corpus and the
+    jobs=1 ≡ jobs=N differential tests rely on.
+    """
+    import os
+    import tempfile
+
+    fd, name = tempfile.mkstemp(suffix=".djv")
+    os.close(fd)
+    try:
+        trace.save(name)
+        return Path(name).read_bytes()
+    finally:
+        Path(name).unlink(missing_ok=True)
+
+
+def trace_from_bytes(data: bytes) -> TraceLog:
+    """Load a trace from sealed bytes (inverse of :func:`trace_to_bytes`)."""
+    import os
+    import tempfile
+
+    fd, name = tempfile.mkstemp(suffix=".djv")
+    os.close(fd)
+    try:
+        Path(name).write_bytes(data)
+        return TraceLog.load(name)
+    finally:
+        Path(name).unlink(missing_ok=True)
+
+
 def record_and_replay(
     program: GuestProgram,
     *,

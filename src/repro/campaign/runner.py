@@ -1,0 +1,303 @@
+"""The fleet-scale campaign runner: shard a deterministic work-list
+across N worker processes.
+
+A :class:`Campaign` takes a picklable *payload* (which single-process
+engine to run — see :mod:`repro.campaign.jobs`) and a deterministic
+work-list of *items* (schedules or fault indices).  Items are sharded
+round-robin across ``jobs`` workers; each worker builds the engine once
+(warm — the expensive baselines amortise across its shard, iReplayer's
+in-situ model applied to sweeps) and streams one result message per
+item back to the parent.
+
+The determinism contract: every item's result is a pure function of
+``(payload, item)`` — workers share nothing and the parent merges into
+structures keyed by work-list index — so ``jobs=1`` and ``jobs=N`` are
+observably identical, which ``tests/test_campaign_differential.py``
+pins.  ``jobs=1`` runs inline in the parent through the *same* item
+runner: the serial twin is the same code, minus the processes.
+
+Failure handling — a shard is never silently dropped:
+
+* a worker that **dies** (crash, ``os._exit``, OOM kill) is detected by
+  liveness polling; its unfinished items are reassigned to a freshly
+  spawned worker (up to a restart budget);
+* a worker that **hangs** (no message within ``watchdog`` seconds while
+  holding unfinished items) is terminated and treated the same way;
+* when the restart budget is exhausted, the parent runs the remaining
+  items **inline** itself — coverage is guaranteed, and every incident
+  is recorded as a typed :class:`WorkerIncident` on the outcome.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as queue_mod
+import time
+from dataclasses import dataclass, field
+
+from repro.vm.errors import VMError
+
+
+class CampaignHarnessError(VMError):
+    """The campaign runner itself failed in a way reassignment cannot
+    mask (e.g. the item runner cannot even be constructed)."""
+
+
+@dataclass
+class WorkerIncident:
+    """One worker failure the runner survived, as a typed diagnostic."""
+
+    worker_id: int
+    kind: str  # "crash" | "hang" | "fatal"
+    detail: str
+    reassigned: int
+
+    def describe(self) -> str:
+        return (
+            f"worker {self.worker_id} {self.kind}: {self.detail} "
+            f"({self.reassigned} item(s) reassigned)"
+        )
+
+
+@dataclass
+class CampaignOutcome:
+    """Merged results of one campaign: per-item results keyed by the
+    item's position in the work-list (shard order can never leak)."""
+
+    jobs: int
+    total: int
+    results: "dict[int, dict]" = field(default_factory=dict)
+    incidents: "list[WorkerIncident]" = field(default_factory=list)
+
+    @property
+    def covered(self) -> bool:
+        return len(self.results) == self.total
+
+
+def _mp_context():
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX hosts
+        return multiprocessing.get_context("spawn")
+
+
+def _worker_entry(worker_id, payload, shard, out_queue, sabotage=None):
+    """Worker main: build the item runner once, stream one message per
+    item.  Module-level so every start method can import it.
+
+    *sabotage* is the campaign's own fault-injection seam (tests only):
+    ``{"worker": W, "after": K}`` makes worker W die via ``os._exit``
+    after its K-th completed item — exactly the mid-shard death the
+    reassignment path must survive.
+    """
+    from repro.campaign.jobs import make_item_runner
+
+    try:
+        runner = make_item_runner(payload)
+    except Exception as exc:  # noqa: BLE001 - shipped as a typed message
+        out_queue.put(("fatal", worker_id, f"{type(exc).__name__}: {exc}"))
+        return
+    completed = 0
+    try:
+        for index, item in shard:
+            try:
+                result = runner.run(item)
+            except Exception as exc:  # noqa: BLE001 - per-item containment
+                result = {"error": f"{type(exc).__name__}: {exc}"}
+            out_queue.put(("item", worker_id, index, result))
+            completed += 1
+            if (
+                sabotage
+                and worker_id == sabotage.get("worker")
+                and completed >= sabotage.get("after", 1)
+            ):
+                os._exit(13)  # simulated kill -9 mid-shard
+        out_queue.put(("done", worker_id))
+    finally:
+        runner.close()
+
+
+class Campaign:
+    def __init__(
+        self,
+        payload: dict,
+        items: list,
+        *,
+        jobs: int = 1,
+        watchdog: float = 300.0,
+        max_restarts: "int | None" = None,
+        progress=None,
+        _sabotage: "dict | None" = None,
+    ):
+        if jobs < 1:
+            raise VMError(f"campaign jobs must be >= 1 (got {jobs})")
+        self.payload = payload
+        self.items = list(items)
+        self.jobs = jobs
+        self.watchdog = watchdog
+        self.max_restarts = max_restarts
+        self.progress = progress
+        self._sabotage = _sabotage
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> CampaignOutcome:
+        indexed = list(enumerate(self.items))
+        outcome = CampaignOutcome(jobs=self.jobs, total=len(indexed))
+        if not indexed:
+            return outcome
+        if self.jobs == 1 and self._sabotage is None:
+            self._run_inline(indexed, outcome)
+            return outcome
+        self._run_parallel(indexed, outcome)
+        return outcome
+
+    # ------------------------------------------------------------------
+
+    def _run_inline(self, indexed, outcome: CampaignOutcome) -> None:
+        """The serial twin (and the coverage-of-last-resort path): run
+        *indexed* items in the parent through the same item runner."""
+        from repro.campaign.jobs import make_item_runner
+
+        try:
+            runner = make_item_runner(self.payload)
+        except VMError:
+            raise
+        except Exception as exc:
+            raise CampaignHarnessError(
+                f"cannot build campaign item runner: {exc}"
+            ) from exc
+        try:
+            for index, item in indexed:
+                if index in outcome.results:
+                    continue
+                try:
+                    result = runner.run(item)
+                except Exception as exc:  # noqa: BLE001 - per-item containment
+                    result = {"error": f"{type(exc).__name__}: {exc}"}
+                self._accept(outcome, index, result)
+        finally:
+            runner.close()
+
+    # ------------------------------------------------------------------
+
+    def _run_parallel(self, indexed, outcome: CampaignOutcome) -> None:
+        ctx = _mp_context()
+        out_queue = ctx.Queue()
+        item_by_index = dict(indexed)
+        shards = [s for s in (indexed[i :: self.jobs] for i in range(self.jobs)) if s]
+        restart_budget = (
+            self.max_restarts if self.max_restarts is not None else len(shards) + 2
+        )
+
+        procs: dict[int, object] = {}
+        assigned: dict[int, set] = {}
+        last_seen: dict[int, float] = {}
+        finished: set[int] = set()
+        orphaned: set[int] = set()
+        next_id = 0
+        restarts = 0
+
+        def spawn(shard) -> None:
+            nonlocal next_id
+            worker_id = next_id
+            next_id += 1
+            proc = ctx.Process(
+                target=_worker_entry,
+                args=(worker_id, self.payload, shard, out_queue, self._sabotage),
+                daemon=True,
+            )
+            proc.start()
+            procs[worker_id] = proc
+            assigned[worker_id] = {index for index, _ in shard}
+            last_seen[worker_id] = time.monotonic()
+
+        def reassign(worker_id: int, kind: str, detail: str) -> None:
+            nonlocal restarts
+            remaining = sorted(assigned.get(worker_id, set()) - outcome.results.keys())
+            outcome.incidents.append(
+                WorkerIncident(worker_id, kind, detail, len(remaining))
+            )
+            finished.add(worker_id)
+            if not remaining:
+                return
+            if restarts < restart_budget:
+                restarts += 1
+                spawn([(index, item_by_index[index]) for index in remaining])
+            else:
+                orphaned.update(remaining)
+
+        for shard in shards:
+            spawn(shard)
+
+        try:
+            while True:
+                waiting = set(item_by_index) - outcome.results.keys() - orphaned
+                if not waiting:
+                    break
+                if all(w in finished for w in procs):
+                    orphaned.update(waiting)  # no one left to produce them
+                    break
+                try:
+                    message = out_queue.get(timeout=0.25)
+                except queue_mod.Empty:
+                    now = time.monotonic()
+                    for worker_id in [w for w in procs if w not in finished]:
+                        proc = procs[worker_id]
+                        pending = assigned[worker_id] - outcome.results.keys()
+                        if not proc.is_alive():
+                            reassign(
+                                worker_id,
+                                "crash",
+                                f"worker process died (exit code {proc.exitcode})",
+                            )
+                        elif pending and now - last_seen[worker_id] > self.watchdog:
+                            proc.terminate()
+                            proc.join(5)
+                            reassign(
+                                worker_id,
+                                "hang",
+                                f"no progress within {self.watchdog:.0f}s",
+                            )
+                    continue
+                kind = message[0]
+                if kind == "item":
+                    _, worker_id, index, result = message
+                    last_seen[worker_id] = time.monotonic()
+                    self._accept(outcome, index, result)
+                elif kind == "done":
+                    finished.add(message[1])
+                elif kind == "fatal":
+                    _, worker_id, detail = message
+                    procs[worker_id].join(5)
+                    reassign(worker_id, "fatal", detail)
+        finally:
+            for proc in procs.values():
+                if proc.is_alive():
+                    proc.terminate()
+                proc.join(2)
+            out_queue.close()
+            out_queue.join_thread()
+
+        # the coverage guarantee: whatever no worker delivered, the
+        # parent runs itself — a dead shard is reassigned, never dropped
+        missing = sorted(set(item_by_index) - outcome.results.keys())
+        if missing:
+            self._run_inline(
+                [(index, item_by_index[index]) for index in missing], outcome
+            )
+        if not outcome.covered:  # pragma: no cover - inline fallback raises first
+            raise CampaignHarnessError(
+                f"campaign lost {outcome.total - len(outcome.results)} item(s) "
+                f"after {restarts} restart(s)"
+            )
+
+    # ------------------------------------------------------------------
+
+    def _accept(self, outcome: CampaignOutcome, index: int, result: dict) -> None:
+        if index in outcome.results:  # stale duplicate after a reassignment
+            return
+        outcome.results[index] = result
+        if self.progress is not None:
+            self.progress(index, result)

@@ -14,9 +14,15 @@ Commands:
 * ``trace-stats t.djv``           — per-stream encoding statistics
 * ``engine-stats program.jasm``   — run + host-side dispatch statistics
 * ``explore --workload bank``     — systematic schedule exploration
+  (``--jobs N`` shards the sweep across N worker processes and collects
+  *every* failure; ``--corpus DIR`` streams failing traces into a
+  content-addressed corpus)
 * ``races program.jasm t.djv``    — happens-before race detection on a trace
 * ``doctor t.djv``                — classify why a trace fails to replay
 * ``faults --seed 42 -W bank``    — run a fault-injection campaign
+  (``--jobs N`` / ``--corpus DIR`` as for explore)
+* ``corpus list|stats|prune|replay`` — inspect, thin, or re-verify a
+  campaign's failure corpus (every entry is a standard replayable trace)
 * ``checkpoint list t.djv``       — inspect/verify/prune a trace's
   checkpoint sidecar (``repro replay --checkpoint-every N`` writes one;
   ``repro replay --resume`` finishes a replay from it)
@@ -450,10 +456,17 @@ def cmd_workloads(args) -> int:
 
 def cmd_explore(args) -> int:
     """Systematically explore schedules of a workload; on failure, write
-    the ddmin-minimized failing schedule as a standard replayable trace."""
+    the ddmin-minimized failing schedule as a standard replayable trace.
+
+    With ``--jobs``/``--corpus`` the sweep runs as a sharded campaign
+    instead: the fixed work-list is evaluated exhaustively (all failures
+    collected, none minimized) and failing traces stream into the corpus.
+    """
     from repro.explore import Explorer, detect_races
     from repro.workloads.registry import get_workload
 
+    if args.jobs is not None or args.corpus is not None:
+        return _explore_campaign(args)
     if args.workload is not None:
         spec = get_workload(args.workload)
         kwargs = spec.merged_kwargs(_workload_overrides(args), explore=True)
@@ -486,6 +499,28 @@ def cmd_explore(args) -> int:
     if not args.no_races:
         races = detect_races(factory(), trace, config=_config(args))
         print(races.format())
+    return 0
+
+
+def _explore_campaign(args) -> int:
+    """The sharded (``--jobs N``) explore path: deterministic regardless
+    of worker count — jobs=1 and jobs=N produce the same behaviour set,
+    the same failures, and a byte-identical corpus."""
+    from repro.campaign import run_explore_campaign
+
+    if args.workload is None:
+        raise UsageError("--jobs/--corpus campaigns need --workload NAME")
+    report = run_explore_campaign(
+        args.workload,
+        overrides=_workload_overrides(args),
+        bound=args.bound,
+        budget=args.budget,
+        seed=args.seed if args.seed is not None else 0,
+        jobs=args.jobs if args.jobs is not None else 1,
+        config=_config(args),
+        corpus_dir=args.corpus,
+    )
+    print(report.format())
     return 0
 
 
@@ -551,10 +586,22 @@ def cmd_faults(args) -> int:
     from repro.faults import FaultPlan, run_campaign
 
     seed = args.seed if args.seed is not None else 42
-    if args.layers:
-        plan = FaultPlan.generate(seed, args.count, layers=tuple(args.layers))
-    else:
-        plan = FaultPlan.generate(seed, args.count)
+    layers = tuple(args.layers) if args.layers else ("trace", "native", "transport")
+    plan = FaultPlan.generate(seed, args.count, layers=layers)
+    if args.jobs is not None or args.corpus is not None:
+        from repro.campaign import run_faults_campaign
+
+        sweep = run_faults_campaign(
+            plan,
+            workload=args.workload,
+            layers=layers,
+            config=VMConfig(semispace_words=args.heap),
+            jobs=args.jobs if args.jobs is not None else 1,
+            fault_timeout=args.watchdog,
+            corpus_dir=args.corpus,
+        )
+        print(sweep.format())
+        return 0 if sweep.ok else 1
     progress = None
     if args.verbose:
         progress = lambda o: print(  # noqa: E731
@@ -571,6 +618,69 @@ def cmd_faults(args) -> int:
         )
     print(report.format())
     return 0 if report.ok else 1
+
+
+def cmd_corpus(args) -> int:
+    """Inspect or maintain a campaign failure corpus.
+
+    Exit status: ``list``/``stats``/``prune`` return 0; ``replay``
+    returns 0 when every selected entry replays and verifies, 1 when any
+    entry diverges from its recording, 2 when an entry name is unknown
+    or the directory is not a corpus."""
+    from repro.campaign import Corpus
+
+    corpus = Corpus(args.dir)
+    if args.action == "list":
+        for entry in corpus.entries():
+            print(entry.describe())
+        print(f"-- {len(corpus)} entr{'y' if len(corpus) == 1 else 'ies'} in {args.dir}")
+        return 0
+
+    if args.action == "stats":
+        stats = corpus.stats()
+        print(f"entries:   {stats['entries']}")
+        print(f"bytes:     {stats['bytes']}")
+        print(f"behaviors: {stats['behaviors']}")
+        for key, n in sorted(stats["by_workload"].items()):
+            print(f"  {key:<40}{n}")
+        return 0
+
+    if args.action == "prune":
+        kept, removed = corpus.prune(args.keep)
+        print(
+            f"pruned {args.dir}: kept {kept} entr{'y' if kept == 1 else 'ies'} "
+            f"({removed} removed, <= {max(1, args.keep)} per distinct behavior)"
+        )
+        return 0
+
+    # replay: every entry (or just the named one) must still reproduce
+    from repro.workloads.registry import get_workload
+
+    names = [args.entry] if args.entry else [e.name for e in corpus.entries()]
+    if not names:
+        print("corpus is empty — nothing to replay")
+        return 0
+    diverged = 0
+    for name in names:
+        entry = corpus.get(name)  # UsageError (exit 2) on unknown names
+        workload = entry.meta.get("workload")
+        if workload is None:
+            print(f"{name}: SKIP — no workload recorded in entry meta")
+            continue
+        spec = get_workload(workload)
+        kwargs = dict(entry.meta.get("workload_kwargs") or {})
+        heap = entry.meta.get("heap")
+        config = VMConfig(semispace_words=heap) if heap else None
+        try:
+            result = api_replay(spec.build(kwargs), corpus.trace(name), config=config)
+        except VMError as exc:
+            diverged += 1
+            print(f"{name}: DIVERGED — {exc}")
+            continue
+        reason = entry.meta.get("reason", "")
+        print(f"{name}: verified ({result.cycles} cycles) — {reason}")
+    print(f"-- {len(names) - diverged}/{len(names)} verified")
+    return 1 if diverged else 0
 
 
 # ---------------------------------------------------------------------------
@@ -722,6 +832,21 @@ def make_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip race detection on the minimized failing trace",
     )
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shard the sweep across N worker processes (campaign mode: "
+        "all failures collected; jobs=1 and jobs=N are observably identical)",
+    )
+    p.add_argument(
+        "--corpus",
+        default=None,
+        metavar="DIR",
+        help="stream failing traces into a content-addressed corpus "
+        "(implies campaign mode; see `repro corpus`)",
+    )
     p.set_defaults(fn=cmd_explore)
 
     p = sub.add_parser(
@@ -768,7 +893,42 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "-v", "--verbose", action="store_true", help="print each fault outcome"
     )
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shard the plan across N worker processes (each builds its "
+        "baselines once and injects its shard against them)",
+    )
+    p.add_argument(
+        "--corpus",
+        default=None,
+        metavar="DIR",
+        help="stream each contract violation's baseline trace + fault "
+        "spec into a content-addressed corpus",
+    )
     p.set_defaults(fn=cmd_faults)
+
+    p = sub.add_parser(
+        "corpus", help="inspect/maintain a campaign failure corpus"
+    )
+    p.add_argument("action", choices=("list", "stats", "prune", "replay"))
+    p.add_argument(
+        "entry",
+        nargs="?",
+        default=None,
+        help="entry name (replay only; default: every entry)",
+    )
+    p.add_argument("--dir", default="corpus", help="corpus directory")
+    p.add_argument(
+        "--keep",
+        type=int,
+        default=1,
+        help="entries to keep per distinct behavior when pruning "
+        "(never below 1 — the last copy of a behavior survives)",
+    )
+    p.set_defaults(fn=cmd_corpus)
 
     p = sub.add_parser("workloads", help="list the registered workloads")
     p.set_defaults(fn=cmd_workloads)

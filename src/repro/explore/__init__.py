@@ -22,7 +22,9 @@ from repro.explore.detector import (
     RaceReport,
     detect_races,
 )
+from repro.explore.digestset import DigestSet
 from repro.explore.explorer import (
+    EvaluatedSchedule,
     ExploreReport,
     Explorer,
     Failure,
@@ -40,6 +42,8 @@ from repro.explore.policy import (
 __all__ = [
     "AccessSite",
     "DeltaSchedule",
+    "DigestSet",
+    "EvaluatedSchedule",
     "ExploreReport",
     "Explorer",
     "Failure",

@@ -1,0 +1,83 @@
+"""A bounded distinct-digest set for long sweeps.
+
+``Explorer`` (and the campaign parent that merges worker results)
+deduplicates behaviour digests to count distinct behaviours.  A plain
+``set`` grows with every distinct behaviour seen, which is unbounded on
+a long sweep — a k=3 CHESS run or a week-long fuzz campaign would hold
+millions of digests for a single integer at the end.
+
+:class:`DigestSet` keeps memory bounded with Flajolet/Wegman *adaptive
+sampling*: digests hash to 64-bit keys; the set stores only keys whose
+low ``level`` bits are zero, and whenever the sample outgrows ``cap``
+the level is raised (halving the sample, deterministically).  While
+``level == 0`` the structure IS an exact set; beyond the cap,
+``len(self)`` becomes the unbiased estimate ``samples << level`` and
+``exact`` turns False.  Membership stays exact *within the sample*, and
+the stored-key count never exceeds ``cap`` — the bound the regression
+test pins.
+"""
+
+from __future__ import annotations
+
+
+class DigestSet:
+    """Distinct-count set over hex-digest strings, bounded at *cap* keys."""
+
+    def __init__(self, cap: int = 65536, *, seed_digests=()):
+        if cap < 8:
+            raise ValueError("DigestSet cap must be >= 8")
+        self.cap = cap
+        self.level = 0
+        self._keys: set[int] = set()
+        for d in seed_digests:
+            self.add(d)
+
+    @staticmethod
+    def _key(digest: str) -> int:
+        # digests are already uniform hashes; fold the head to 64 bits
+        return int(digest[:16], 16)
+
+    def add(self, digest: str) -> bool:
+        """Insert; returns True when the digest is new *to the sample*
+        (at level 0 this is exact first-sight)."""
+        key = self._key(digest)
+        if self.level and key & ((1 << self.level) - 1):
+            return False  # outside the current sample — already counted
+        if key in self._keys:
+            return False
+        self._keys.add(key)
+        while len(self._keys) > self.cap:
+            self.level += 1
+            mask = (1 << self.level) - 1
+            self._keys = {k for k in self._keys if not k & mask}
+        return True
+
+    def __contains__(self, digest: str) -> bool:
+        return self._key(digest) in self._keys
+
+    @property
+    def exact(self) -> bool:
+        return self.level == 0
+
+    @property
+    def stored(self) -> int:
+        """Keys actually held — bounded by ``cap`` at all times."""
+        return len(self._keys)
+
+    def __len__(self) -> int:
+        """Distinct-count: exact below the cap, the adaptive-sampling
+        estimate ``stored * 2**level`` beyond it."""
+        return len(self._keys) << self.level
+
+    def merge(self, other: "DigestSet") -> None:
+        """Fold *other* in (campaign parents merge per-worker sets)."""
+        self.level = max(self.level, other.level)
+        mask = (1 << self.level) - 1
+        self._keys = {k for k in self._keys if not k & mask}
+        for k in other._keys:
+            if not k & mask:
+                self._keys.add(k)
+        while len(self._keys) > self.cap:
+            self.level += 1
+            mask = (1 << self.level) - 1
+            self._keys = {k for k in self._keys if not k & mask}

@@ -31,6 +31,7 @@ from typing import TYPE_CHECKING, Callable
 
 from repro.api import record as api_record, replay as api_replay
 from repro.core.tracelog import TraceLog
+from repro.explore.digestset import DigestSet
 from repro.explore.minimize import ddmin
 from repro.explore.policy import DeltaSchedule, deltas_from_positions
 from repro.vm.errors import VMError
@@ -69,6 +70,21 @@ class Failure:
     @property
     def deltas(self) -> list[int]:
         return deltas_from_positions(self.positions)
+
+
+@dataclass
+class EvaluatedSchedule:
+    """One schedule's run, judged: the unit of campaign work."""
+
+    positions: tuple[int, ...]
+    digest: str
+    reason: "str | None"
+    output: str
+    trace: TraceLog
+
+    @property
+    def failed(self) -> bool:
+        return self.reason is not None
 
 
 @dataclass
@@ -136,6 +152,7 @@ class Explorer:
         config: VMConfig | None = None,
         max_failures: int = 1,
         minimize: bool = True,
+        behavior_cap: int = 65536,
     ):
         if bound < 1:
             raise VMError("preemption bound must be >= 1")
@@ -148,6 +165,10 @@ class Explorer:
         self.config = config
         self.max_failures = max_failures
         self.minimize = minimize
+        #: memory bound on the behaviour-digest dedup structure; beyond
+        #: it ``unique_behaviors`` degrades to an unbiased estimate
+        #: instead of the set growing without limit on long sweeps
+        self.behavior_cap = behavior_cap
 
     # ------------------------------------------------------------------
 
@@ -183,7 +204,19 @@ class Explorer:
         h.update(repr(result.deadlocked).encode())
         return h.hexdigest()
 
-    def _candidates(self, horizon: int):
+    def evaluate(self, positions: tuple[int, ...]) -> EvaluatedSchedule:
+        """Record one schedule and judge it — the single-schedule unit
+        both :meth:`run` and the parallel campaign worker execute."""
+        session, _ = self._record(positions)
+        return EvaluatedSchedule(
+            positions=tuple(positions),
+            digest=self._digest(session.result),
+            reason=self._judge(session.result),
+            output=session.result.output_text,
+            trace=session.trace,
+        )
+
+    def candidates(self, horizon: int):
         """Exhaustive schedules for 1..bound preemptions, then seeded-
         random schedules beyond the bound (never repeating)."""
         seen: set[tuple[int, ...]] = set()
@@ -204,11 +237,24 @@ class Explorer:
 
     # ------------------------------------------------------------------
 
-    def run(self) -> ExploreReport:
-        # schedule #0 — no preemptions — establishes the horizon
+    def baseline(self) -> "tuple[EvaluatedSchedule, int]":
+        """Schedule #0 — no preemptions — judged, plus the horizon it
+        establishes (the campaign parent runs this once before sharding)."""
         session, policy = self._record(())
-        horizon = policy.consulted
-        behaviors = {self._digest(session.result)}
+        return (
+            EvaluatedSchedule(
+                positions=(),
+                digest=self._digest(session.result),
+                reason=self._judge(session.result),
+                output=session.result.output_text,
+                trace=session.trace,
+            ),
+            policy.consulted,
+        )
+
+    def run(self) -> ExploreReport:
+        base, horizon = self.baseline()
+        behaviors = DigestSet(self.behavior_cap, seed_digests=(base.digest,))
         report = ExploreReport(
             horizon=horizon,
             bound=self.bound,
@@ -217,34 +263,32 @@ class Explorer:
             schedules_run=1,
             unique_behaviors=1,
         )
-        reason = self._judge(session.result)
-        if reason is not None:
+        if base.failed:
             report.failures.append(
                 Failure(
                     positions=(),
-                    reason=reason,
-                    trace=session.trace,
-                    output=session.result.output_text,
+                    reason=base.reason,
+                    trace=base.trace,
+                    output=base.output,
                     schedule_index=1,
                 )
             )
 
-        for positions in self._candidates(horizon):
+        for positions in self.candidates(horizon):
             if len(report.failures) >= self.max_failures:
                 break
             if report.schedules_run >= self.budget:
                 break
-            session, _ = self._record(positions)
+            evaluated = self.evaluate(positions)
             report.schedules_run += 1
-            behaviors.add(self._digest(session.result))
-            reason = self._judge(session.result)
-            if reason is not None:
+            behaviors.add(evaluated.digest)
+            if evaluated.failed:
                 report.failures.append(
                     Failure(
                         positions=positions,
-                        reason=reason,
-                        trace=session.trace,
-                        output=session.result.output_text,
+                        reason=evaluated.reason,
+                        trace=evaluated.trace,
+                        output=evaluated.output,
                         schedule_index=report.schedules_run,
                     )
                 )

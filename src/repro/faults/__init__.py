@@ -15,7 +15,12 @@ Pytest integration: ``from repro.faults.fixtures import *`` in a
 conftest exposes the ``fault_plan`` fixture.
 """
 
-from repro.faults.campaign import CampaignReport, FaultOutcome, run_campaign
+from repro.faults.campaign import (
+    CampaignReport,
+    FaultOutcome,
+    FaultRunContext,
+    run_campaign,
+)
 from repro.faults.inject import (
     InjectedFault,
     apply_checkpoint_fault,
@@ -39,6 +44,7 @@ __all__ = [
     "CampaignReport",
     "FaultOutcome",
     "FaultPlan",
+    "FaultRunContext",
     "FaultSpec",
     "InjectedFault",
     "KINDS",

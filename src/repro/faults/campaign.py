@@ -78,6 +78,18 @@ class CampaignReport:
     def tally(self) -> dict[str, int]:
         return dict(Counter(o.outcome for o in self.outcomes))
 
+    def digest(self) -> str:
+        """Order-insensitive digest of the classified outcomes: the thing
+        a parallel campaign must reproduce regardless of sharding.  The
+        free-text ``detail`` is excluded on purpose — it may name worker
+        scratch paths; the (index, kind, outcome) triple may not vary."""
+        import hashlib
+
+        h = hashlib.sha256()
+        for o in sorted(self.outcomes, key=lambda o: o.spec.index):
+            h.update(f"{o.spec.index}:{o.spec.kind}:{o.outcome}\n".encode())
+        return h.hexdigest()[:16]
+
     def format(self) -> str:
         lines = [
             f"fault campaign: workload={self.workload} seed={self.seed} "
@@ -92,6 +104,119 @@ class CampaignReport:
         else:
             lines.append("every fault ended in clean recovery or a typed diagnostic")
         return "\n".join(lines)
+
+
+class FaultRunContext:
+    """The warm per-process fixtures a fault campaign runs against.
+
+    Setting up a campaign is the expensive part — a clean baseline
+    recording, optionally a checkpointed replay (for the checkpoint
+    layer) and a live debugger server (for the transport layer).  The
+    serial runner builds one context for the whole plan; a parallel
+    campaign worker builds one per process and amortises it across its
+    shard instead of cold-starting per fault (the iReplayer warm-VM
+    model applied to fault injection).  Everything the context builds is
+    deterministic in (*seed*, workload, config), so two contexts in two
+    processes inject against byte-identical baselines.
+
+    Use as a context manager; :meth:`run_spec` classifies one fault.
+    """
+
+    def __init__(
+        self,
+        *,
+        seed: int,
+        layers: "tuple[str, ...] | frozenset[str]",
+        workload: str | None = None,
+        program_factory=None,
+        workload_kwargs: dict | None = None,
+        config: VMConfig | None = None,
+        workdir: str | Path,
+        fault_timeout: float = 30.0,
+    ):
+        if (workload is None) == (program_factory is None):
+            raise ValueError("pass exactly one of workload / program_factory")
+        kwargs = dict(workload_kwargs or {})
+        if workload is not None:
+            from repro.workloads.registry import get_workload
+
+            spec = get_workload(workload)
+            kwargs = dict(spec.defaults) | kwargs
+            program_factory = lambda: spec.build(kwargs)  # noqa: E731
+            self.workload_name = spec.name
+            self._extra_meta = {"workload": spec.name, "workload_kwargs": kwargs}
+        else:
+            self.workload_name = program_factory().name
+            self._extra_meta = {}
+        self.seed = seed
+        self.layers = frozenset(layers)
+        self.program_factory = program_factory
+        self.config = config or VMConfig(semispace_words=200_000)
+        self.workdir = Path(workdir)
+        self.fault_timeout = fault_timeout
+        self.baseline_blob: bytes | None = None
+        self._ckpt = None
+        self._server = None
+
+    def __enter__(self) -> "FaultRunContext":
+        self.workdir.mkdir(parents=True, exist_ok=True)
+
+        # one clean baseline recording: the artifact the trace faults damage
+        baseline_path = self.workdir / "baseline.djv"
+        baseline_run = api_record(
+            self.program_factory(),
+            config=self.config,
+            timer=SeededJitterTimer(self.seed, 40, 160),
+            out=baseline_path,
+            extra_meta=self._extra_meta,
+        )
+        self.baseline_blob = baseline_path.read_bytes()
+
+        # one clean checkpointed replay: the sidecar the checkpoint faults
+        # damage, plus the known-good result every resumed run must match
+        # (any mismatch is a silent wrong-state restore — the worst finding)
+        if LAYER_CHECKPOINT in self.layers:
+            self._ckpt = _build_checkpoint_baseline(
+                baseline_path, baseline_run, self.program_factory, self.config
+            )
+
+        # one debugger server, reused by every transport fault: surviving
+        # all of them on a single serve loop IS the hardening claim
+        if LAYER_TRANSPORT in self.layers:
+            from repro.debugger import Debugger, DebuggerServer, ReplaySession
+
+            session = ReplaySession(
+                self.program_factory(),
+                TraceLog.load(baseline_path),
+                config=self.config,
+            )
+            self._server = DebuggerServer(Debugger(session)).start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._server is not None:
+            self._server.stop()
+            self._server = None
+
+    def run_spec(self, fault_spec: FaultSpec) -> FaultOutcome:
+        """Inject one planned fault (under the watchdog) and classify it."""
+        if fault_spec.layer not in self.layers:
+            raise ValueError(
+                f"context built without layer {fault_spec.layer!r} "
+                f"(have {sorted(self.layers)})"
+            )
+        outcome, detail = _run_one_guarded(
+            fault_spec,
+            baseline_blob=self.baseline_blob,
+            program_factory=self.program_factory,
+            config=self.config,
+            workdir=self.workdir,
+            seed=self.seed,
+            server=self._server,
+            ckpt=self._ckpt,
+            timeout=self.fault_timeout,
+        )
+        return FaultOutcome(fault_spec, outcome, detail)
 
 
 def run_campaign(
@@ -112,76 +237,22 @@ def run_campaign(
     VMs are single-run, so every injection builds its own).  *workdir*
     holds the baseline recording and the damaged copies.
     """
-    if (workload is None) == (program_factory is None):
-        raise ValueError("pass exactly one of workload / program_factory")
-    kwargs = dict(workload_kwargs or {})
-    if workload is not None:
-        from repro.workloads.registry import get_workload
-
-        spec = get_workload(workload)
-        kwargs = dict(spec.defaults) | kwargs
-        program_factory = lambda: spec.build(kwargs)  # noqa: E731
-        workload_name = spec.name
-        extra_meta = {"workload": spec.name, "workload_kwargs": kwargs}
-    else:
-        workload_name = program_factory().name
-        extra_meta = {}
-
-    config = config or VMConfig(semispace_words=200_000)
-    workdir = Path(workdir)
-    workdir.mkdir(parents=True, exist_ok=True)
-
-    # one clean baseline recording: the artifact the trace faults damage
-    baseline_path = workdir / "baseline.djv"
-    baseline_run = api_record(
-        program_factory(),
+    context = FaultRunContext(
+        seed=plan.seed,
+        layers={s.layer for s in plan},
+        workload=workload,
+        program_factory=program_factory,
+        workload_kwargs=workload_kwargs,
         config=config,
-        timer=SeededJitterTimer(plan.seed, 40, 160),
-        out=baseline_path,
-        extra_meta=extra_meta,
+        workdir=workdir,
+        fault_timeout=fault_timeout,
     )
-    baseline_blob = baseline_path.read_bytes()
-
-    # one clean checkpointed replay: the sidecar the checkpoint faults
-    # damage, plus the known-good result every resumed run must match
-    # (any mismatch is a silent wrong-state restore — the worst finding)
-    ckpt = None
-    if plan.by_layer(LAYER_CHECKPOINT):
-        ckpt = _build_checkpoint_baseline(
-            baseline_path, baseline_run, program_factory, config
-        )
-
-    # one debugger server, reused by every transport fault: surviving all
-    # of them on a single serve loop IS the hardening claim
-    server = None
-    if plan.by_layer(LAYER_TRANSPORT):
-        from repro.debugger import Debugger, DebuggerServer, ReplaySession
-
-        session = ReplaySession(
-            program_factory(), TraceLog.load(baseline_path), config=config
-        )
-        server = DebuggerServer(Debugger(session)).start()
-
-    report = CampaignReport(seed=plan.seed, workload=workload_name)
-    try:
+    report = CampaignReport(seed=plan.seed, workload=context.workload_name)
+    with context:
         for fault_spec in plan:
-            outcome, detail = _run_one_guarded(
-                fault_spec,
-                baseline_blob=baseline_blob,
-                program_factory=program_factory,
-                config=config,
-                workdir=workdir,
-                seed=plan.seed,
-                server=server,
-                ckpt=ckpt,
-                timeout=fault_timeout,
-            )
-            report.outcomes.append(FaultOutcome(fault_spec, outcome, detail))
+            report.outcomes.append(context.run_spec(fault_spec))
             if progress is not None:
                 progress(report.outcomes[-1])
-    finally:
-        if server is not None:
-            server.stop()
     return report
 
 

@@ -28,6 +28,7 @@ from repro.workloads.readers_writers import readers_writers
 from repro.workloads.registry import (
     REGISTRY,
     WorkloadSpec,
+    canonical_workload_key,
     get_workload,
     workload_names,
 )
@@ -43,6 +44,7 @@ __all__ = [
     "ALL_WORKLOADS",
     "REGISTRY",
     "WorkloadSpec",
+    "canonical_workload_key",
     "get_workload",
     "workload_names",
     "readers_writers",

@@ -228,6 +228,17 @@ def workload_names() -> list[str]:
     return sorted(REGISTRY) + sorted(_ALIASES)
 
 
+def canonical_workload_key(name: str, kwargs: "dict | None" = None) -> str:
+    """A stable identity string for (workload, build kwargs) — the key the
+    campaign corpus and results store group by.  Aliases resolve to the
+    canonical name and kwargs are sorted, so the same build always maps
+    to the same key no matter how it was spelled."""
+    spec = get_workload(name)
+    resolved = spec.merged_kwargs(kwargs)
+    params = ",".join(f"{k}={resolved[k]}" for k in sorted(resolved))
+    return f"{spec.name}({params})"
+
+
 def get_workload(name: str) -> WorkloadSpec:
     spec = REGISTRY.get(_ALIASES.get(name, name))
     if spec is None:

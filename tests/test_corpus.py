@@ -1,0 +1,174 @@
+"""The content-addressed failure corpus: ingest/list/replay round trips,
+duplicate no-ops, crash-tolerant loading, and prune's never-lose-a-
+behavior guarantee."""
+
+import json
+
+import pytest
+
+from repro.api import record, replay, trace_to_bytes
+from repro.campaign import Corpus, entry_name
+from repro.vm.errors import UsageError
+from repro.vm.machine import VMConfig
+from repro.vm.timerdev import SeededJitterTimer
+from repro.workloads.registry import get_workload
+
+CFG = VMConfig(semispace_words=60_000)
+BANK = {"tellers": 2, "deposits": 4}
+
+
+def bank_blob(seed: int) -> bytes:
+    """A small sealed bank trace, deterministic in *seed*."""
+    spec = get_workload("bank")
+    session = record(
+        spec.build(BANK),
+        config=CFG,
+        timer=SeededJitterTimer(seed, 40, 160),
+        extra_meta={"workload": spec.name, "workload_kwargs": BANK},
+    )
+    return trace_to_bytes(session.trace)
+
+
+def meta_for(seed: int, behavior: str) -> dict:
+    return {
+        "kind": "explore",
+        "workload": "racy_bank",
+        "workload_kwargs": dict(BANK),
+        "seed": seed,
+        "behavior": behavior,
+        "reason": "test fixture",
+        "heap": CFG.semispace_words,
+    }
+
+
+class TestIngest:
+    def test_round_trip_list_and_replay(self, tmp_path):
+        blob = bank_blob(1)
+        corpus = Corpus(tmp_path / "c", create=True)
+        name, new = corpus.ingest(blob, meta_for(1, "b1"))
+        assert new and name == entry_name(blob)
+
+        reloaded = Corpus(tmp_path / "c")
+        assert [e.name for e in reloaded.entries()] == [name]
+        assert reloaded.blob(name) == blob
+        entry = reloaded.get(name)
+        assert entry.meta["workload"] == "racy_bank"
+        assert entry.meta["sha256"].startswith(name)
+        # the stored artifact is a standard replayable trace
+        trace = reloaded.trace(name)
+        result = replay(get_workload("bank").build(BANK), trace, config=CFG)
+        assert result.output_text  # verified against the END witnesses
+
+    def test_duplicate_ingest_is_a_noop(self, tmp_path):
+        blob = bank_blob(1)
+        corpus = Corpus(tmp_path / "c", create=True)
+        name1, new1 = corpus.ingest(blob, meta_for(1, "b1"))
+        index_after_first = (tmp_path / "c" / "index.json").read_bytes()
+        name2, new2 = corpus.ingest(blob, meta_for(1, "b1"))
+        assert (name1, new1, name2, new2) == (name1, True, name1, False)
+        assert len(corpus) == 1
+        assert (tmp_path / "c" / "index.json").read_bytes() == index_after_first
+
+    def test_distinct_content_distinct_entries(self, tmp_path):
+        corpus = Corpus(tmp_path / "c", create=True)
+        corpus.ingest(bank_blob(1), meta_for(1, "b1"))
+        corpus.ingest(bank_blob(2), meta_for(2, "b2"))
+        assert len(corpus) == 2
+
+    def test_missing_corpus_dir_is_usage_error(self, tmp_path):
+        with pytest.raises(UsageError, match="no corpus directory"):
+            Corpus(tmp_path / "nope")
+
+    def test_unknown_entry_is_usage_error(self, tmp_path):
+        corpus = Corpus(tmp_path / "c", create=True)
+        with pytest.raises(UsageError, match="no corpus entry"):
+            corpus.get("deadbeefdeadbeef")
+
+
+class TestCrashTolerance:
+    def test_torn_tmp_files_are_ignored(self, tmp_path):
+        corpus = Corpus(tmp_path / "c", create=True)
+        name, _ = corpus.ingest(bank_blob(1), meta_for(1, "b1"))
+        # a crash mid-ingest leaves the writer's tmp behind
+        (tmp_path / "c" / "feedfacefeedface.djv.tmp.999").write_bytes(b"torn")
+        (tmp_path / "c" / "index.json.tmp.999").write_text("{")
+        reloaded = Corpus(tmp_path / "c")
+        assert [e.name for e in reloaded.entries()] == [name]
+
+    def test_orphan_blob_is_adopted_from_trace_meta(self, tmp_path):
+        corpus = Corpus(tmp_path / "c", create=True)
+        name, _ = corpus.ingest(bank_blob(1), meta_for(1, "b1"))
+        # a crash between blob write and index write: blob, no row
+        (tmp_path / "c" / "index.json").unlink()
+        reloaded = Corpus(tmp_path / "c")
+        entry = reloaded.get(name)
+        assert entry.meta["source"] == "adopted"
+        assert entry.meta["workload"] == "racy_bank"  # from the trace itself
+        assert entry.meta["workload_kwargs"] == BANK
+
+    def test_damaged_index_is_rebuilt(self, tmp_path):
+        corpus = Corpus(tmp_path / "c", create=True)
+        name, _ = corpus.ingest(bank_blob(1), meta_for(1, "b1"))
+        (tmp_path / "c" / "index.json").write_text("{not json")
+        reloaded = Corpus(tmp_path / "c")
+        assert len(reloaded) == 1 and reloaded.get(name)
+
+    def test_index_row_without_blob_is_dropped(self, tmp_path):
+        corpus = Corpus(tmp_path / "c", create=True)
+        name, _ = corpus.ingest(bank_blob(1), meta_for(1, "b1"))
+        (tmp_path / "c" / f"{name}.djv").unlink()
+        assert len(Corpus(tmp_path / "c")) == 0
+
+
+class TestPrune:
+    def test_prune_keeps_one_per_behavior(self, tmp_path):
+        corpus = Corpus(tmp_path / "c", create=True)
+        for seed in (1, 2, 3):
+            corpus.ingest(bank_blob(seed), meta_for(seed, "behaviorA"))
+        for seed in (4, 5):
+            corpus.ingest(bank_blob(seed), meta_for(seed, "behaviorB"))
+        kept, removed = corpus.prune(keep_per_behavior=1)
+        assert (kept, removed) == (2, 3)
+        behaviors = {e.meta["behavior"] for e in corpus.entries()}
+        assert behaviors == {"behaviorA", "behaviorB"}
+
+    def test_prune_never_deletes_the_last_copy(self, tmp_path):
+        corpus = Corpus(tmp_path / "c", create=True)
+        corpus.ingest(bank_blob(1), meta_for(1, "only"))
+        for keep in (1, 0, -5):  # hostile keep values clamp to 1
+            kept, removed = corpus.prune(keep_per_behavior=keep)
+            assert (kept, removed) == (1, 0)
+
+    def test_prune_choice_is_deterministic(self, tmp_path):
+        """Two equivalent corpora prune to the same survivors (the
+        lexicographically-first names per group)."""
+        survivors = []
+        for d in ("c1", "c2"):
+            corpus = Corpus(tmp_path / d, create=True)
+            for seed in (1, 2, 3):
+                corpus.ingest(bank_blob(seed), meta_for(seed, "same"))
+            corpus.prune(keep_per_behavior=1)
+            survivors.append([e.name for e in corpus.entries()])
+        assert survivors[0] == survivors[1]
+
+    def test_prune_survives_reload(self, tmp_path):
+        corpus = Corpus(tmp_path / "c", create=True)
+        for seed in (1, 2):
+            corpus.ingest(bank_blob(seed), meta_for(seed, "same"))
+        corpus.prune(keep_per_behavior=1)
+        reloaded = Corpus(tmp_path / "c")
+        assert len(reloaded) == 1
+        data = json.loads((tmp_path / "c" / "index.json").read_text())
+        assert len(data["entries"]) == 1
+
+
+class TestStats:
+    def test_stats_group_by_canonical_workload(self, tmp_path):
+        corpus = Corpus(tmp_path / "c", create=True)
+        corpus.ingest(bank_blob(1), meta_for(1, "b1"))
+        corpus.ingest(bank_blob(2), meta_for(2, "b2"))
+        stats = corpus.stats()
+        assert stats["entries"] == 2
+        assert stats["behaviors"] == 2
+        assert stats["bytes"] > 0
+        assert stats["by_workload"] == {"racy_bank(deposits=4,tellers=2)": 2}
