@@ -1,0 +1,190 @@
+#!/usr/bin/env python
+"""Remote campaign benchmark: loopback worker pool vs local fork.
+
+Runs the same explore sweep (bank workload, k=2) twice — sharded across
+2 local fork workers and sharded across 2 `repro worker` daemons on
+loopback — and compares wall time and schedules/second.  The two runs
+are asserted to produce the identical report digest first: a distributed
+backend means nothing if distribution changed the answer.
+
+Usage:
+
+    PYTHONPATH=src python benchmarks/bench_remote.py            # full
+    PYTHONPATH=src python benchmarks/bench_remote.py --quick    # smaller sweep
+    PYTHONPATH=src python benchmarks/bench_remote.py --check    # CI smoke
+
+The full run writes ``BENCH_remote.json`` at the repo root.
+
+``--check`` enforces an overhead floor: on loopback the framed protocol
+(CRC + pickle + heartbeats) must cost less than half the throughput —
+remote schedules/second must stay >= 0.5x of the local fork backend.
+Daemons are spawned once and reused across reps, so the warm-runner
+cache amortises baselines exactly as it would on a real cluster.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.campaign import (  # noqa: E402
+    RemoteWorkerPool,
+    run_explore_campaign,
+    shutdown_worker,
+    spawn_worker_process,
+)
+from repro.vm.machine import VMConfig  # noqa: E402
+
+RESULT_PATH = REPO_ROOT / "BENCH_remote.json"
+WORKLOAD = "bank"
+BOUND = 2
+SEED = 0
+HEAP = 60_000
+JOBS = 2
+HOSTS = 2
+BUDGET_FULL = 320
+BUDGET_QUICK = 120
+#: loopback remote throughput must stay >= this fraction of local fork
+REMOTE_FLOOR = 0.5
+
+
+def _sweep(budget: int, backend):
+    config = VMConfig(semispace_words=HEAP)
+    t0 = time.perf_counter()
+    report = run_explore_campaign(
+        WORKLOAD,
+        bound=BOUND,
+        budget=budget,
+        seed=SEED,
+        jobs=JOBS,
+        config=config,
+        backend=backend,
+    )
+    return report, time.perf_counter() - t0
+
+
+def measure(budget: int, reps: int) -> dict:
+    workers = [spawn_worker_process() for _ in range(HOSTS)]
+    addresses = [address for _, address in workers]
+    try:
+        best = {"local": float("inf"), "remote": float("inf")}
+        digests = {}
+        incidents = None
+        schedules = None
+        for _ in range(reps):
+            report, elapsed = _sweep(budget, None)
+            best["local"] = min(best["local"], elapsed)
+            digests["local"] = report.digest()
+            schedules = report.schedules_run
+            report, elapsed = _sweep(budget, RemoteWorkerPool(addresses))
+            best["remote"] = min(best["remote"], elapsed)
+            digests["remote"] = report.digest()
+            incidents = len(report.incidents)
+    finally:
+        for proc, address in workers:
+            shutdown_worker(address, timeout=2.0)
+            proc.kill()
+            proc.wait(timeout=10)
+    assert digests["local"] == digests["remote"], (
+        f"the remote backend changed the sweep result: "
+        f"{digests['local']} != {digests['remote']}"
+    )
+    assert incidents == 0, f"{incidents} incident(s) on healthy loopback daemons"
+    return {
+        "budget": budget,
+        "schedules_run": schedules,
+        "report_digest": digests["local"],
+        "local_s": round(best["local"], 4),
+        "remote_s": round(best["remote"], 4),
+        "local_schedules_per_s": round(schedules / best["local"], 1),
+        "remote_schedules_per_s": round(schedules / best["remote"], 1),
+        "remote_vs_local": round(best["local"] / best["remote"], 2),
+    }
+
+
+def _print(row: dict) -> None:
+    print(
+        f"{WORKLOAD} k={BOUND}, {row['schedules_run']} schedules, "
+        f"jobs={JOBS} (digest {row['report_digest']})"
+    )
+    print(
+        f"  local fork : {row['local_s']:.2f}s "
+        f"({row['local_schedules_per_s']:.0f}/s)"
+    )
+    print(
+        f"  remote x{HOSTS} : {row['remote_s']:.2f}s "
+        f"({row['remote_schedules_per_s']:.0f}/s)  "
+        f"{row['remote_vs_local']:.2f}x of local"
+    )
+
+
+def cmd_measure(args) -> int:
+    row = measure(args.budget, args.reps)
+    payload = {
+        "host": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "cpus": os.cpu_count(),
+        },
+        "config": {
+            "workload": WORKLOAD,
+            "bound": BOUND,
+            "seed": SEED,
+            "semispace_words": HEAP,
+            "jobs": JOBS,
+            "hosts": HOSTS,
+            "reps": args.reps,
+        },
+        "results": row,
+    }
+    _print(row)
+    if not args.no_write:
+        RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {RESULT_PATH}")
+    return 0
+
+
+def cmd_check(args) -> int:
+    """CI smoke: determinism always, plus the protocol-overhead floor."""
+    row = measure(args.budget, args.reps)
+    _print(row)
+    ratio = row["remote_schedules_per_s"] / row["local_schedules_per_s"]
+    if ratio < REMOTE_FLOOR:
+        print(
+            f"FAIL: loopback remote throughput is {ratio:.2f}x of local fork "
+            f"< {REMOTE_FLOOR}x floor (protocol overhead dominates)"
+        )
+        return 1
+    print(f"ok: loopback remote throughput {ratio:.2f}x of local fork")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="re-measure and fail below the overhead floor",
+    )
+    parser.add_argument("--reps", type=int, default=None, help="repetitions per sweep")
+    parser.add_argument("--quick", action="store_true", help="smaller sweep, 1 rep")
+    parser.add_argument(
+        "--no-write", action="store_true", help="measure but do not write the JSON"
+    )
+    args = parser.parse_args(argv)
+    if args.reps is None:
+        args.reps = 1 if args.quick else 2
+    args.budget = BUDGET_QUICK if args.quick else BUDGET_FULL
+    return cmd_check(args) if args.check else cmd_measure(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -153,6 +153,18 @@ def make_item_runner(payload: dict):
     return _RUNNERS[kind](payload)
 
 
+def _resolve_backend(backend, hosts):
+    """Sweep-level backend selection: an explicit backend wins, a host
+    list builds a :class:`RemoteWorkerPool`, neither means local fork."""
+    if backend is not None:
+        return backend
+    if hosts:
+        from repro.campaign.pool import RemoteWorkerPool
+
+        return RemoteWorkerPool(list(hosts))
+    return None
+
+
 # ---------------------------------------------------------------------------
 # explore sweep (parent side)
 
@@ -257,6 +269,8 @@ def run_explore_campaign(
     max_restarts: "int | None" = None,
     behavior_cap: int = 65536,
     progress=None,
+    hosts: "list[tuple[str, int]] | None" = None,
+    backend=None,
     _sabotage: "dict | None" = None,
 ) -> ExploreCampaignReport:
     """A parallel (sharded) CHESS sweep over one workload.
@@ -307,6 +321,7 @@ def run_explore_campaign(
         watchdog=watchdog,
         max_restarts=max_restarts,
         progress=progress,
+        backend=_resolve_backend(backend, hosts),
         _sabotage=_sabotage,
     ).run()
 
@@ -423,6 +438,8 @@ def run_faults_campaign(
     max_restarts: "int | None" = None,
     corpus_dir=None,
     progress=None,
+    hosts: "list[tuple[str, int]] | None" = None,
+    backend=None,
     _sabotage: "dict | None" = None,
 ) -> FaultsCampaignSweep:
     """Shard *plan* across *jobs* warm workers and merge the outcomes.
@@ -461,6 +478,7 @@ def run_faults_campaign(
         watchdog=watchdog,
         max_restarts=max_restarts,
         progress=progress,
+        backend=_resolve_backend(backend, hosts),
         _sabotage=_sabotage,
     ).run()
 

@@ -33,6 +33,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import queue as queue_mod
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -118,6 +119,26 @@ def _worker_entry(worker_id, payload, shard, out_queue, sabotage=None):
         runner.close()
 
 
+class WorkerBackend:
+    """Strategy seam: *how* a campaign's items reach worker processes.
+
+    A backend delivers item results through ``campaign._accept`` (which
+    is idempotent and thread-safe) and appends a typed
+    :class:`WorkerIncident` for every failure it survived.  A backend is
+    **not** required to deliver every item: whatever is still missing
+    when it returns, :meth:`Campaign.run` re-runs inline in the parent —
+    the shared bottom rung of the degradation ladder — so coverage is a
+    campaign guarantee, not a per-backend obligation.
+
+    Implementations: :class:`ForkBackend` (local fork workers, the
+    default) and :class:`repro.campaign.pool.RemoteWorkerPool` (remote
+    hosts over the framed TCP protocol).
+    """
+
+    def run(self, campaign: "Campaign", indexed, outcome: CampaignOutcome) -> None:
+        raise NotImplementedError
+
+
 class Campaign:
     def __init__(
         self,
@@ -128,6 +149,7 @@ class Campaign:
         watchdog: float = 300.0,
         max_restarts: "int | None" = None,
         progress=None,
+        backend: "WorkerBackend | None" = None,
         _sabotage: "dict | None" = None,
     ):
         if jobs < 1:
@@ -138,7 +160,9 @@ class Campaign:
         self.watchdog = watchdog
         self.max_restarts = max_restarts
         self.progress = progress
+        self.backend = backend
         self._sabotage = _sabotage
+        self._accept_lock = threading.Lock()
 
     # ------------------------------------------------------------------
 
@@ -147,10 +171,25 @@ class Campaign:
         outcome = CampaignOutcome(jobs=self.jobs, total=len(indexed))
         if not indexed:
             return outcome
-        if self.jobs == 1 and self._sabotage is None:
+        if self.backend is None and self.jobs == 1 and self._sabotage is None:
             self._run_inline(indexed, outcome)
             return outcome
-        self._run_parallel(indexed, outcome)
+        backend = self.backend if self.backend is not None else ForkBackend()
+        backend.run(self, indexed, outcome)
+        # the coverage guarantee, shared by every backend: whatever no
+        # worker delivered, the parent runs itself — a dead shard is
+        # reassigned (or degraded), never dropped
+        item_by_index = dict(indexed)
+        missing = sorted(set(item_by_index) - outcome.results.keys())
+        if missing:
+            self._run_inline(
+                [(index, item_by_index[index]) for index in missing], outcome
+            )
+        if not outcome.covered:  # pragma: no cover - inline fallback raises first
+            raise CampaignHarnessError(
+                f"campaign lost {outcome.total - len(outcome.results)} item(s) "
+                f"despite the inline fallback"
+            )
         return outcome
 
     # ------------------------------------------------------------------
@@ -182,13 +221,33 @@ class Campaign:
 
     # ------------------------------------------------------------------
 
-    def _run_parallel(self, indexed, outcome: CampaignOutcome) -> None:
+    def _accept(self, outcome: CampaignOutcome, index: int, result: dict) -> None:
+        with self._accept_lock:
+            if index in outcome.results:  # stale duplicate after a reassignment
+                return
+            outcome.results[index] = result
+        if self.progress is not None:
+            self.progress(index, result)
+
+
+class ForkBackend(WorkerBackend):
+    """Local fork workers: the default backend (PR 6 behavior).
+
+    Shards round-robin across ``campaign.jobs`` processes, polls a
+    result queue, and survives crash/hang/fatal via reassignment within
+    a restart budget.
+    """
+
+    def run(self, campaign: Campaign, indexed, outcome: CampaignOutcome) -> None:
         ctx = _mp_context()
         out_queue = ctx.Queue()
         item_by_index = dict(indexed)
-        shards = [s for s in (indexed[i :: self.jobs] for i in range(self.jobs)) if s]
+        jobs = campaign.jobs
+        shards = [s for s in (indexed[i::jobs] for i in range(jobs)) if s]
         restart_budget = (
-            self.max_restarts if self.max_restarts is not None else len(shards) + 2
+            campaign.max_restarts
+            if campaign.max_restarts is not None
+            else len(shards) + 2
         )
 
         procs: dict[int, object] = {}
@@ -205,7 +264,13 @@ class Campaign:
             next_id += 1
             proc = ctx.Process(
                 target=_worker_entry,
-                args=(worker_id, self.payload, shard, out_queue, self._sabotage),
+                args=(
+                    worker_id,
+                    campaign.payload,
+                    shard,
+                    out_queue,
+                    campaign._sabotage,
+                ),
                 daemon=True,
             )
             proc.start()
@@ -252,20 +317,23 @@ class Campaign:
                                 "crash",
                                 f"worker process died (exit code {proc.exitcode})",
                             )
-                        elif pending and now - last_seen[worker_id] > self.watchdog:
+                        elif (
+                            pending
+                            and now - last_seen[worker_id] > campaign.watchdog
+                        ):
                             proc.terminate()
                             proc.join(5)
                             reassign(
                                 worker_id,
                                 "hang",
-                                f"no progress within {self.watchdog:.0f}s",
+                                f"no progress within {campaign.watchdog:.0f}s",
                             )
                     continue
                 kind = message[0]
                 if kind == "item":
                     _, worker_id, index, result = message
                     last_seen[worker_id] = time.monotonic()
-                    self._accept(outcome, index, result)
+                    campaign._accept(outcome, index, result)
                 elif kind == "done":
                     finished.add(message[1])
                 elif kind == "fatal":
@@ -279,25 +347,3 @@ class Campaign:
                 proc.join(2)
             out_queue.close()
             out_queue.join_thread()
-
-        # the coverage guarantee: whatever no worker delivered, the
-        # parent runs itself — a dead shard is reassigned, never dropped
-        missing = sorted(set(item_by_index) - outcome.results.keys())
-        if missing:
-            self._run_inline(
-                [(index, item_by_index[index]) for index in missing], outcome
-            )
-        if not outcome.covered:  # pragma: no cover - inline fallback raises first
-            raise CampaignHarnessError(
-                f"campaign lost {outcome.total - len(outcome.results)} item(s) "
-                f"after {restarts} restart(s)"
-            )
-
-    # ------------------------------------------------------------------
-
-    def _accept(self, outcome: CampaignOutcome, index: int, result: dict) -> None:
-        if index in outcome.results:  # stale duplicate after a reassignment
-            return
-        outcome.results[index] = result
-        if self.progress is not None:
-            self.progress(index, result)

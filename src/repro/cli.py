@@ -16,11 +16,14 @@ Commands:
 * ``explore --workload bank``     — systematic schedule exploration
   (``--jobs N`` shards the sweep across N worker processes and collects
   *every* failure; ``--corpus DIR`` streams failing traces into a
-  content-addressed corpus)
+  content-addressed corpus; ``--hosts HOST:PORT`` shards across remote
+  ``repro worker`` daemons instead)
 * ``races program.jasm t.djv``    — happens-before race detection on a trace
 * ``doctor t.djv``                — classify why a trace fails to replay
 * ``faults --seed 42 -W bank``    — run a fault-injection campaign
-  (``--jobs N`` / ``--corpus DIR`` as for explore)
+  (``--jobs N`` / ``--corpus DIR`` / ``--hosts`` as for explore)
+* ``worker --port 7000``          — remote campaign worker daemon: serves
+  shards to ``explore --hosts`` / ``faults --hosts`` parents
 * ``corpus list|stats|prune|replay`` — inspect, thin, or re-verify a
   campaign's failure corpus (every entry is a standard replayable trace)
 * ``checkpoint list t.djv``       — inspect/verify/prune a trace's
@@ -465,7 +468,7 @@ def cmd_explore(args) -> int:
     from repro.explore import Explorer, detect_races
     from repro.workloads.registry import get_workload
 
-    if args.jobs is not None or args.corpus is not None:
+    if args.jobs is not None or args.corpus is not None or args.hosts:
         return _explore_campaign(args)
     if args.workload is not None:
         spec = get_workload(args.workload)
@@ -519,9 +522,24 @@ def _explore_campaign(args) -> int:
         jobs=args.jobs if args.jobs is not None else 1,
         config=_config(args),
         corpus_dir=args.corpus,
+        watchdog=args.watchdog,
+        hosts=_parse_hosts(args.hosts),
     )
     print(report.format())
     return 0
+
+
+def _parse_hosts(hosts) -> "list[tuple[str, int]] | None":
+    """``HOST:PORT`` strings (repeatable ``--hosts``) → address tuples."""
+    if not hosts:
+        return None
+    parsed = []
+    for text in hosts:
+        host, sep, port = text.rpartition(":")
+        if not sep or not port.isdigit():
+            raise UsageError(f"--hosts wants HOST:PORT (got {text!r})")
+        parsed.append((host or "127.0.0.1", int(port)))
+    return parsed
 
 
 def cmd_races(args) -> int:
@@ -588,7 +606,7 @@ def cmd_faults(args) -> int:
     seed = args.seed if args.seed is not None else 42
     layers = tuple(args.layers) if args.layers else ("trace", "native", "transport")
     plan = FaultPlan.generate(seed, args.count, layers=layers)
-    if args.jobs is not None or args.corpus is not None:
+    if args.jobs is not None or args.corpus is not None or args.hosts:
         from repro.campaign import run_faults_campaign
 
         sweep = run_faults_campaign(
@@ -598,7 +616,9 @@ def cmd_faults(args) -> int:
             config=VMConfig(semispace_words=args.heap),
             jobs=args.jobs if args.jobs is not None else 1,
             fault_timeout=args.watchdog,
+            watchdog=args.campaign_watchdog,
             corpus_dir=args.corpus,
+            hosts=_parse_hosts(args.hosts),
         )
         print(sweep.format())
         return 0 if sweep.ok else 1
@@ -618,6 +638,35 @@ def cmd_faults(args) -> int:
         )
     print(report.format())
     return 0 if report.ok else 1
+
+
+def cmd_worker(args) -> int:
+    """Serve campaign shards to remote `explore --hosts` / `faults
+    --hosts` parents (the multi-host campaign daemon).
+
+    Prints ``repro worker listening on HOST:PORT`` as its first line (the
+    rendezvous :func:`spawn_worker_process` and scripts parse), then
+    serves until killed or told ``shutdown``.  ``--sabotage`` arms the
+    one-shot LAYER_REMOTE fault seam — testing only.
+    """
+    from repro.campaign.remote import WorkerServer, parse_sabotage
+
+    sabotage = parse_sabotage(args.sabotage) if args.sabotage else None
+    log = (lambda message: print(f"-- {message}", flush=True)) if args.verbose else None
+    server = WorkerServer(
+        host=args.host, port=args.port, log=log, sabotage=sabotage
+    )
+    print(
+        f"repro worker listening on {server.address[0]}:{server.address[1]}",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    return 0
 
 
 def cmd_corpus(args) -> int:
@@ -847,6 +896,24 @@ def make_parser() -> argparse.ArgumentParser:
         help="stream failing traces into a content-addressed corpus "
         "(implies campaign mode; see `repro corpus`)",
     )
+    p.add_argument(
+        "--watchdog",
+        type=float,
+        default=300.0,
+        metavar="SECS",
+        help="campaign hang threshold: a worker holding unfinished items "
+        "with no progress (local) or no frame (remote) for SECS seconds "
+        "is reassigned (default 300)",
+    )
+    p.add_argument(
+        "--hosts",
+        action="append",
+        default=None,
+        metavar="HOST:PORT",
+        help="shard across `repro worker` daemons instead of local forks "
+        "(repeatable; implies campaign mode; degrades remote→local so "
+        "coverage never depends on host health)",
+    )
     p.set_defaults(fn=cmd_explore)
 
     p = sub.add_parser(
@@ -878,9 +945,9 @@ def make_parser() -> argparse.ArgumentParser:
         "--layers",
         action="append",
         default=None,
-        choices=("trace", "native", "transport", "checkpoint"),
+        choices=("trace", "native", "transport", "checkpoint", "remote"),
         help="fault layers to draw from (repeatable; default: trace, "
-        "native, transport — checkpoint is opt-in)",
+        "native, transport — checkpoint and remote are opt-in)",
     )
     p.add_argument(
         "--watchdog",
@@ -908,6 +975,23 @@ def make_parser() -> argparse.ArgumentParser:
         help="stream each contract violation's baseline trace + fault "
         "spec into a content-addressed corpus",
     )
+    p.add_argument(
+        "--campaign-watchdog",
+        type=float,
+        default=300.0,
+        metavar="SECS",
+        help="campaign hang threshold for --jobs/--hosts sharding (a "
+        "worker silent for SECS seconds is reassigned; default 300 — "
+        "distinct from --watchdog, the per-fault outcome timeout)",
+    )
+    p.add_argument(
+        "--hosts",
+        action="append",
+        default=None,
+        metavar="HOST:PORT",
+        help="shard across `repro worker` daemons instead of local forks "
+        "(repeatable; implies campaign mode)",
+    )
     p.set_defaults(fn=cmd_faults)
 
     p = sub.add_parser(
@@ -930,6 +1014,24 @@ def make_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(fn=cmd_corpus)
 
+    p = sub.add_parser(
+        "worker", help="remote campaign worker daemon (multi-host sharding)"
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0)
+    p.add_argument(
+        "--sabotage",
+        default=None,
+        metavar="KIND[:FRAC[:EXTRA]]",
+        help="arm one one-shot LAYER_REMOTE fault (testing only): "
+        "remote-drop-frame, remote-truncate-frame, remote-corrupt-frame, "
+        "remote-kill-worker, remote-stall-heartbeat, remote-slow-connect",
+    )
+    p.add_argument(
+        "-v", "--verbose", action="store_true", help="log served connections"
+    )
+    p.set_defaults(fn=cmd_worker)
+
     p = sub.add_parser("workloads", help="list the registered workloads")
     p.set_defaults(fn=cmd_workloads)
 
@@ -950,3 +1052,7 @@ def main(argv: list[str] | None = None) -> int:
     except VMError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

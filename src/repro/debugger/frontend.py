@@ -21,11 +21,11 @@ guest's point of view.
 from __future__ import annotations
 
 import logging
-import random
 import socket
 import threading
 import time
 
+from repro.core.framing import BackoffPolicy
 from repro.debugger.core import Debugger
 from repro.debugger.protocol import (
     COMMANDS,
@@ -173,29 +173,29 @@ class DebuggerClient:
         base_delay: float = 0.05,
         max_delay: float = 1.0,
         jitter_seed: int | None = 0,
+        policy: BackoffPolicy | None = None,
+        sleep=time.sleep,
     ) -> "DebuggerClient":
         """Connect with capped exponential backoff + jitter.
 
-        Delay before retry *i* is ``min(max_delay, base_delay * 2**i)``
-        scaled by a jitter factor in [0.5, 1.0) — jitter is drawn from a
-        seeded RNG so tests (and coordinated fleets of frontends) stay
-        deterministic.  Raises :class:`TransportError` after the final
-        attempt fails.
+        The retry schedule is a :class:`~repro.core.framing.BackoffPolicy`
+        (pass one as *policy*, or let the legacy knobs build it): jitter
+        is drawn from a seeded RNG so tests (and coordinated fleets of
+        frontends) stay deterministic, and *sleep* is injectable so
+        backoff-sequence tests run against a fake clock.  Raises
+        :class:`TransportError` after the final attempt fails.
         """
-        rng = random.Random(jitter_seed)
-        last_error: Exception | None = None
-        for attempt in range(max(1, attempts)):
-            try:
-                return cls(address, timeout=timeout)
-            except OSError as exc:
-                last_error = exc
-                if attempt == attempts - 1:
-                    break
-                delay = min(max_delay, base_delay * (2 ** attempt))
-                time.sleep(delay * (0.5 + rng.random() / 2))
-        raise TransportError(
-            f"could not connect to debugger at {address[0]}:{address[1]} "
-            f"after {attempts} attempts: {last_error}"
+        policy = policy or BackoffPolicy(
+            attempts=attempts,
+            base_delay=base_delay,
+            max_delay=max_delay,
+            jitter_seed=jitter_seed,
+        )
+        return policy.call(
+            lambda: cls(address, timeout=timeout),
+            retry_on=(OSError,),
+            sleep=sleep,
+            describe=f"could not connect to debugger at {address[0]}:{address[1]}",
         )
 
     def close(self) -> None:

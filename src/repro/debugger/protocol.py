@@ -9,14 +9,14 @@ than large images".  Our packets are JSON objects::
     ← {"id": 8, "ok": false, "error": "no such method"}
 
 each carried in a **length-prefixed frame**: a 4-byte big-endian payload
-length followed by the JSON bytes.  Length prefixes make partial reads a
-non-event (the decoder simply waits for the rest) and make garbage
-*detectable*: random bytes parse as an implausible length, which is
-rejected up front with a bounded read — the receiver never tries to
-buffer gigabytes on a bad prefix.  A frame whose payload is not a JSON
-object is an application-level error (answered in-band); a frame whose
-*length* is invalid is a transport-level error (the connection cannot be
-resynchronised and must close).
+length followed by the JSON bytes.  The framing layer itself (length
+validation, incremental reassembly, the retry/backoff policy) lives in
+:mod:`repro.core.framing` — it is shared with the remote campaign
+protocol — and is re-exported here for backward compatibility.  A frame
+whose payload is not a JSON object is an application-level error
+(answered in-band); a frame whose *length* is invalid is a
+transport-level error (the connection cannot be resynchronised and must
+close).
 """
 
 from __future__ import annotations
@@ -24,24 +24,16 @@ from __future__ import annotations
 import json
 from typing import Callable
 
+from repro.core.framing import (  # noqa: F401 - re-exported public names
+    LEN_BYTES,
+    MAX_FRAME_BYTES,
+    BackoffPolicy,
+    FrameDecoder,
+    FrameError,
+    TransportError,
+    frame_payload,
+)
 from repro.debugger.core import Debugger
-from repro.vm.errors import VMError
-
-#: frames larger than this are rejected without reading the payload —
-#: real responses are "small packets", so 1 MiB is generous
-MAX_FRAME_BYTES = 1 << 20
-#: length prefix size (u32 big-endian)
-LEN_BYTES = 4
-
-
-class TransportError(VMError):
-    """The debugger connection itself failed: unframeable bytes, an
-    oversized length prefix, a timeout, or a peer that vanished."""
-
-
-class FrameError(TransportError):
-    """The byte stream cannot be parsed as frames; resync is impossible
-    and the connection must be torn down."""
 
 
 #: command name -> (method name on Debugger, allowed argument names)
@@ -83,50 +75,7 @@ def decode(data: bytes) -> dict:
 
 def frame(message: dict) -> bytes:
     """One wire frame: length prefix + JSON payload."""
-    payload = encode(message)
-    if len(payload) > MAX_FRAME_BYTES:  # pragma: no cover - defensive
-        raise FrameError(f"outgoing frame of {len(payload)} bytes exceeds cap")
-    return len(payload).to_bytes(LEN_BYTES, "big") + payload
-
-
-class FrameDecoder:
-    """Incremental frame reassembly over arbitrary byte chunks.
-
-    ``feed`` never blocks and never over-buffers: the declared length is
-    validated *before* any payload accumulates, so an adversarial or
-    corrupted prefix costs at most ``LEN_BYTES`` of buffered data plus
-    one :class:`FrameError`.
-    """
-
-    def __init__(self, max_frame_bytes: int = MAX_FRAME_BYTES):
-        self.max_frame_bytes = max_frame_bytes
-        self._buf = b""
-
-    @property
-    def pending_bytes(self) -> int:
-        return len(self._buf)
-
-    def feed(self, data: bytes) -> list[bytes]:
-        """Buffer *data*; return every complete frame payload now available.
-
-        Raises :class:`FrameError` on an oversized or absurd length
-        prefix — the caller must close the connection (there is no way to
-        find the next frame boundary in a stream with a broken prefix).
-        """
-        self._buf += data
-        payloads: list[bytes] = []
-        while len(self._buf) >= LEN_BYTES:
-            length = int.from_bytes(self._buf[:LEN_BYTES], "big")
-            if length > self.max_frame_bytes:
-                raise FrameError(
-                    f"frame length {length} exceeds the {self.max_frame_bytes}"
-                    f"-byte cap (garbage or hostile prefix); closing"
-                )
-            if len(self._buf) < LEN_BYTES + length:
-                break  # partial frame: wait for more bytes
-            payloads.append(self._buf[LEN_BYTES:LEN_BYTES + length])
-            self._buf = self._buf[LEN_BYTES + length:]
-        return payloads
+    return frame_payload(encode(message))
 
 
 def dispatch(debugger: Debugger, request: dict) -> dict:

@@ -34,6 +34,7 @@ from repro.faults.plan import (
     KINDS,
     LAYER_CHECKPOINT,
     LAYER_NATIVE,
+    LAYER_REMOTE,
     LAYER_TRACE,
     LAYER_TRANSPORT,
     FaultPlan,
@@ -50,6 +51,7 @@ __all__ = [
     "KINDS",
     "LAYER_CHECKPOINT",
     "LAYER_NATIVE",
+    "LAYER_REMOTE",
     "LAYER_TRACE",
     "LAYER_TRANSPORT",
     "apply_checkpoint_fault",

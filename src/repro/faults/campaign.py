@@ -34,10 +34,12 @@ from repro.faults.inject import (
     apply_checkpoint_fault,
     apply_trace_fault,
     arm_native_fault,
+    remote_sabotage,
     send_faulted_request,
 )
 from repro.faults.plan import (
     LAYER_CHECKPOINT,
+    LAYER_REMOTE,
     LAYER_TRANSPORT,
     FaultPlan,
     FaultSpec,
@@ -48,6 +50,15 @@ from repro.vm.timerdev import SeededJitterTimer
 
 #: outcomes that satisfy the recovery-or-typed-diagnostic contract
 _OK_OUTCOMES = ("recovered", "not-triggered")
+
+#: the tiny loopback campaign every remote fault runs: small enough to
+#: finish in seconds, large enough to span several shards
+_REMOTE_BOUND = 1
+_REMOTE_BUDGET = 8
+_REMOTE_JOBS = 2
+#: aggressive client timings — the faults are armed to trip exactly these
+_REMOTE_WATCHDOG = 2.0
+_REMOTE_HELLO_TIMEOUT = 0.5
 
 
 @dataclass
@@ -137,6 +148,8 @@ class FaultRunContext:
         if (workload is None) == (program_factory is None):
             raise ValueError("pass exactly one of workload / program_factory")
         kwargs = dict(workload_kwargs or {})
+        self._workload = workload
+        self._workload_overrides = dict(workload_kwargs or {})
         if workload is not None:
             from repro.workloads.registry import get_workload
 
@@ -157,6 +170,13 @@ class FaultRunContext:
         self.baseline_blob: bytes | None = None
         self._ckpt = None
         self._server = None
+        self._remote_ref: "str | None" = None
+        if LAYER_REMOTE in self.layers and workload is None:
+            raise ValueError(
+                "the remote fault layer needs a registered workload name "
+                "(the sabotaged loopback campaign re-resolves it in the "
+                "worker daemon)"
+            )
 
     def __enter__(self) -> "FaultRunContext":
         self.workdir.mkdir(parents=True, exist_ok=True)
@@ -191,6 +211,22 @@ class FaultRunContext:
                 config=self.config,
             )
             self._server = DebuggerServer(Debugger(session)).start()
+
+        # one clean reference digest for the remote family: the merged
+        # report every sabotaged loopback campaign must reproduce exactly
+        # (jobs=1 inline — no workers, nothing to perturb)
+        if LAYER_REMOTE in self.layers:
+            from repro.campaign.jobs import run_explore_campaign
+
+            self._remote_ref = run_explore_campaign(
+                self._workload,
+                overrides=self._workload_overrides,
+                bound=_REMOTE_BOUND,
+                budget=_REMOTE_BUDGET,
+                seed=self.seed,
+                config=self.config,
+                jobs=1,
+            ).digest()
         return self
 
     def __exit__(self, *exc) -> None:
@@ -214,6 +250,9 @@ class FaultRunContext:
             seed=self.seed,
             server=self._server,
             ckpt=self._ckpt,
+            remote_ref=self._remote_ref,
+            workload=self._workload,
+            workload_overrides=self._workload_overrides,
             timeout=self.fault_timeout,
         )
         return FaultOutcome(fault_spec, outcome, detail)
@@ -287,6 +326,9 @@ def _run_one(
     seed: int,
     server,
     ckpt,
+    remote_ref=None,
+    workload=None,
+    workload_overrides=None,
 ) -> tuple[str, str]:
     if spec.layer == "trace":
         return _run_trace_fault(spec, baseline_blob, program_factory, config, workdir)
@@ -296,6 +338,11 @@ def _run_one(
         assert ckpt is not None
         return _run_checkpoint_fault(
             spec, baseline_blob, ckpt, program_factory, config, workdir
+        )
+    if spec.layer == LAYER_REMOTE:
+        assert remote_ref is not None
+        return _run_remote_fault(
+            spec, remote_ref, workload, workload_overrides, config, seed
         )
     assert server is not None
     return send_faulted_request(server.address, spec)
@@ -412,6 +459,65 @@ def _run_checkpoint_fault(
         else f"from checkpoint @{resumed.resumed_from}"
     )
     return "recovered", f"resumed {origin}; result matches clean replay"
+
+
+def _run_remote_fault(
+    spec: FaultSpec,
+    remote_ref: str,
+    workload: str,
+    workload_overrides: "dict | None",
+    config,
+    seed: int,
+) -> tuple[str, str]:
+    """Run the tiny loopback campaign against a daemon armed with *spec*.
+
+    Contract: whatever the armed fault does — a dropped, truncated or
+    corrupted frame, a killed or stalled worker, a slow-loris handshake —
+    the pool's reassignment/degradation ladder must deliver the exact
+    reference report (``recovered``).  A diverging digest means a worker
+    fault leaked into merged results (``undetected``) — the one failure
+    multi-host sharding must never introduce.
+    """
+    from repro.campaign.jobs import run_explore_campaign
+    from repro.campaign.pool import RemoteWorkerPool
+    from repro.campaign.remote import spawn_worker_process
+    from repro.core.framing import BackoffPolicy
+
+    proc, address = spawn_worker_process(remote_sabotage(spec))
+    try:
+        report = run_explore_campaign(
+            workload,
+            overrides=workload_overrides,
+            bound=_REMOTE_BOUND,
+            budget=_REMOTE_BUDGET,
+            seed=seed,
+            config=config,
+            jobs=_REMOTE_JOBS,
+            watchdog=_REMOTE_WATCHDOG,
+            backend=RemoteWorkerPool(
+                [address],
+                backoff=BackoffPolicy(attempts=4, base_delay=0.05, max_delay=0.3),
+                hello_timeout=_REMOTE_HELLO_TIMEOUT,
+                breaker_threshold=2,
+            ),
+        )
+    finally:
+        proc.kill()
+        proc.wait(timeout=10)
+    if report.digest() != remote_ref:
+        return (
+            "undetected",
+            f"sabotaged remote campaign digest {report.digest()} diverged "
+            f"from the clean reference {remote_ref} — a worker fault "
+            f"perturbed merged results",
+        )
+    kinds = sorted({i.kind for i in report.incidents})
+    how = (
+        f"absorbed via {', '.join(kinds)}"
+        if kinds
+        else "absorbed without a recorded incident"
+    )
+    return "recovered", f"report digest matches the clean reference; {how}"
 
 
 def _run_native_fault(

@@ -260,6 +260,30 @@ def send_faulted_request(
     raise ValueError(f"not a transport fault: {spec.kind}")
 
 
+# ---------------------------------------------------------------------------
+# remote-layer faults
+
+
+def remote_sabotage(spec: FaultSpec) -> str:
+    """The ``repro worker --sabotage`` arming string for *spec*.
+
+    The remote family is injected *inside the worker daemon* (the
+    sabotage seam of :class:`repro.campaign.remote.WorkerServer`), so the
+    injector here just serialises the planned fault into the daemon's
+    one-shot arming syntax ``kind[:frac[:extra]]``.
+    """
+    if spec.kind == "remote-corrupt-frame":
+        frac, bit = spec.params
+        return f"{spec.kind}:{frac}:{bit}"
+    if spec.kind == "remote-slow-connect":
+        (delay,) = spec.params
+        return f"{spec.kind}::{delay}"
+    if spec.layer == "remote":
+        (frac,) = spec.params
+        return f"{spec.kind}:{frac}"
+    raise ValueError(f"not a remote fault: {spec.kind}")
+
+
 def _read_response(sock: socket.socket, timeout: float) -> dict:
     decoder = FrameDecoder()
     sock.settimeout(timeout)

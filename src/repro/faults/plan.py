@@ -14,7 +14,12 @@ entries across the platform's three fault surfaces:
   truncated tail, a torn write that left only the writer's tmp file, or
   a sidecar that is missing outright).  Opt-in: campaigns pass
   ``layers=`` explicitly because the checkpoint family needs a
-  checkpointed baseline replay the default three layers don't build.
+  checkpointed baseline replay the default three layers don't build;
+* ``remote``     — a `repro worker` host misbehaving under a multi-host
+  campaign (dropped / truncated / corrupted result frames, a mid-shard
+  worker kill, a stalled heartbeat, a slow-loris connect).  Also
+  opt-in: each remote fault runs a small sabotaged loopback campaign
+  and checks the merged report against a clean reference digest.
 
 Specs are *symbolic*: byte positions are stored as fractions in [0, 1)
 and resolved against the actual artifact at injection time, so the same
@@ -31,8 +36,11 @@ LAYER_TRACE = "trace"
 LAYER_NATIVE = "native"
 LAYER_TRANSPORT = "transport"
 LAYER_CHECKPOINT = "checkpoint"
+LAYER_REMOTE = "remote"
 
-#: every fault kind, with its layer
+#: every fault kind, with its layer (new kinds go at the END: generation
+#: draws from the filtered kind list, so appending keeps every seeded
+#: plan over the older layer sets byte-for-byte reproducible)
 KINDS: dict[str, str] = {
     "bit-flip": LAYER_TRACE,
     "truncate": LAYER_TRACE,
@@ -45,6 +53,12 @@ KINDS: dict[str, str] = {
     "ckpt-truncate": LAYER_CHECKPOINT,
     "ckpt-torn": LAYER_CHECKPOINT,
     "ckpt-missing": LAYER_CHECKPOINT,
+    "remote-drop-frame": LAYER_REMOTE,
+    "remote-truncate-frame": LAYER_REMOTE,
+    "remote-corrupt-frame": LAYER_REMOTE,
+    "remote-kill-worker": LAYER_REMOTE,
+    "remote-stall-heartbeat": LAYER_REMOTE,
+    "remote-slow-connect": LAYER_REMOTE,
 }
 
 
@@ -74,6 +88,18 @@ class FaultSpec:
                               flushed snapshot segment: the sealed
                               sidecar never appears, only its tmp prefix
     ``ckpt-missing``          ``()`` — no sidecar exists at all
+    ``remote-drop-frame``     ``(shard_frac,)`` — the item frame at that
+                              fraction of a shard is never sent
+    ``remote-truncate-frame``  ``(shard_frac,)`` — half a frame, then a
+                              dead connection
+    ``remote-corrupt-frame``  ``(shard_frac, bit)`` — flip one bit inside
+                              the frame's pickled region (CRC must catch)
+    ``remote-kill-worker``    ``(shard_frac,)`` — the worker dies
+                              (``os._exit``) mid-shard
+    ``remote-stall-heartbeat``  ``(shard_frac,)`` — the worker goes mute:
+                              no items, no heartbeats, process alive
+    ``remote-slow-connect``   ``(delay_s,)`` — the handshake answer is
+                              held past the client's hello timeout
     ========================  =============================================
     """
 
@@ -115,14 +141,26 @@ class FaultPlan:
         specs = []
         for i in range(count):
             kind = rng.choice(kinds)
-            if kind in ("bit-flip", "garble-frame", "ckpt-bit-flip"):
+            if kind in ("bit-flip", "garble-frame", "ckpt-bit-flip",
+                        "remote-corrupt-frame"):
                 params = (rng.random(), rng.randrange(8))
-            elif kind in ("truncate", "torn-write", "ckpt-truncate", "ckpt-torn"):
+            elif kind in (
+                "truncate",
+                "torn-write",
+                "ckpt-truncate",
+                "ckpt-torn",
+                "remote-drop-frame",
+                "remote-truncate-frame",
+                "remote-kill-worker",
+                "remote-stall-heartbeat",
+            ):
                 params = (rng.random(),)
             elif kind == "native-error":
                 params = (rng.randrange(1, 9),)
             elif kind == "delay-frame":
                 params = (round(rng.uniform(0.01, 0.08), 3),)
+            elif kind == "remote-slow-connect":
+                params = (round(rng.uniform(0.6, 1.2), 2),)
             else:  # drop-frame, ckpt-missing
                 params = ()
             specs.append(FaultSpec(index=i, kind=kind, params=params))

@@ -1,0 +1,150 @@
+"""The seeded backoff schedule: exact, injectable, shared.
+
+One :class:`BackoffPolicy` object drives every network client's connect
+retries — the debugger frontend and the remote campaign worker pool —
+and because the jitter RNG is seeded, the *full* schedule is a concrete
+list of numbers a test can assert without ever sleeping for real.
+"""
+
+import random
+import socket
+
+import pytest
+
+from repro.campaign.pool import RemoteWorkerPool
+from repro.core.framing import BackoffPolicy, TransportError
+from repro.debugger.frontend import DebuggerClient
+
+
+def dead_address():
+    """A loopback port with nothing listening (bound, then released)."""
+    probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    probe.bind(("127.0.0.1", 0))
+    address = probe.getsockname()
+    probe.close()
+    return address
+
+
+class FakeClock:
+    """Records requested sleeps; never actually waits."""
+
+    def __init__(self):
+        self.sleeps = []
+
+    def __call__(self, seconds):
+        self.sleeps.append(seconds)
+
+
+class TestSchedule:
+    def test_exact_seeded_schedule(self):
+        policy = BackoffPolicy(attempts=6, base_delay=0.05, max_delay=1.0, jitter_seed=0)
+        rng = random.Random(0)
+        expected = [
+            min(1.0, 0.05 * (2**i)) * (0.5 + rng.random() / 2) for i in range(5)
+        ]
+        assert policy.delays() == expected
+
+    def test_schedule_is_deterministic(self):
+        policy = BackoffPolicy(jitter_seed=7)
+        assert policy.delays() == policy.delays()
+        assert policy.delays() == BackoffPolicy(jitter_seed=7).delays()
+
+    def test_different_seeds_differ(self):
+        assert BackoffPolicy(jitter_seed=0).delays() != BackoffPolicy(jitter_seed=1).delays()
+
+    def test_attempts_minus_one_delays(self):
+        for attempts in (1, 2, 3, 6):
+            assert len(BackoffPolicy(attempts=attempts).delays()) == max(0, attempts - 1)
+
+    def test_cap_and_jitter_bounds(self):
+        policy = BackoffPolicy(attempts=10, base_delay=0.1, max_delay=0.5, jitter_seed=3)
+        delays = policy.delays()
+        for i, delay in enumerate(delays):
+            raw = min(0.5, 0.1 * (2**i))
+            assert raw * 0.5 <= delay < raw
+        # the cap actually bites on the tail of a 10-attempt schedule
+        assert all(d <= 0.5 for d in delays)
+
+
+class TestCall:
+    def test_sleeps_match_schedule_on_eventual_success(self):
+        policy = BackoffPolicy(attempts=6, jitter_seed=0)
+        clock = FakeClock()
+        failures = iter([OSError("a"), OSError("b"), OSError("c")])
+
+        def flaky():
+            for exc in failures:
+                raise exc
+            return "ok"
+
+        assert policy.call(flaky, sleep=clock) == "ok"
+        assert clock.sleeps == policy.delays()[:3]
+
+    def test_exhaustion_raises_transport_error_with_describe(self):
+        policy = BackoffPolicy(attempts=3, jitter_seed=0)
+        clock = FakeClock()
+
+        def always_fails():
+            raise OSError("nope")
+
+        with pytest.raises(TransportError) as info:
+            policy.call(always_fails, sleep=clock, describe="could not reach X")
+        assert "could not reach X after 3 attempts: nope" in str(info.value)
+        assert clock.sleeps == policy.delays()  # every delay was used
+        assert isinstance(info.value.__cause__, OSError)
+
+    def test_non_retryable_errors_propagate_immediately(self):
+        clock = FakeClock()
+
+        def wrong_kind():
+            raise ValueError("not transient")
+
+        with pytest.raises(ValueError):
+            BackoffPolicy().call(wrong_kind, sleep=clock)
+        assert clock.sleeps == []
+
+    def test_single_attempt_never_sleeps(self):
+        policy = BackoffPolicy(attempts=1)
+        clock = FakeClock()
+        with pytest.raises(TransportError):
+            policy.call(lambda: (_ for _ in ()).throw(OSError("x")), sleep=clock)
+        assert clock.sleeps == []
+
+
+class TestDebuggerConnectBackoff:
+    def test_connect_refused_sleeps_exact_schedule(self):
+        host, port = dead_address()
+        clock = FakeClock()
+        policy = BackoffPolicy(attempts=4, base_delay=0.05, max_delay=1.0, jitter_seed=0)
+        with pytest.raises(TransportError) as info:
+            DebuggerClient.connect((host, port), policy=policy, sleep=clock)
+        assert f"could not connect to debugger at {host}:{port}" in str(info.value)
+        assert "after 4 attempts" in str(info.value)
+        assert clock.sleeps == policy.delays()
+
+    def test_connect_kwargs_build_the_policy(self):
+        host, port = dead_address()
+        clock = FakeClock()
+        with pytest.raises(TransportError):
+            DebuggerClient.connect(
+                (host, port), attempts=2, base_delay=0.01, jitter_seed=5, sleep=clock
+            )
+        assert clock.sleeps == BackoffPolicy(
+            attempts=2, base_delay=0.01, jitter_seed=5
+        ).delays()
+
+
+class TestPoolSharesPolicy:
+    def test_pool_reuses_the_same_policy_object(self):
+        policy = BackoffPolicy(attempts=2, base_delay=0.01, jitter_seed=9)
+        pool = RemoteWorkerPool([("127.0.0.1", 1)], backoff=policy)
+        assert pool.backoff is policy
+        assert pool.backoff.delays() == policy.delays()
+
+    def test_pool_default_policy_is_the_shared_default(self):
+        pool = RemoteWorkerPool([("127.0.0.1", 1)])
+        assert pool.backoff == BackoffPolicy()
+
+    def test_pool_rejects_empty_host_list(self):
+        with pytest.raises(TransportError):
+            RemoteWorkerPool([])

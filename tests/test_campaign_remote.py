@@ -1,0 +1,532 @@
+"""Multi-host campaigns: the remote protocol, the worker daemon, the
+fault-tolerant pool, and the equivalence contract.
+
+The headline claim mirrors the jobs=1 ≡ jobs=N differential: running a
+campaign over **remote workers** — one host, three loopback hosts, or a
+host list that is actively failing — produces the *same* report digest
+and a **byte-identical** corpus as the local fork backend.  The ladder
+(remote host → another host → local fork → inline) makes coverage
+unconditional; these tests arm every sabotage kind and check that the
+only observable difference is a typed :class:`WorkerIncident`.
+
+Fast paths use in-process :class:`WorkerServer` threads; kinds that must
+kill a process (``remote-kill-worker``) use the real ``repro worker``
+subprocess.  The slowest sabotage kinds (stall, slow-connect) are
+``fuzz``-marked and run in the CI remote-smoke job.
+"""
+
+import pickle
+import socket
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import (
+    RemoteWorkerPool,
+    WorkerServer,
+    run_explore_campaign,
+    run_faults_campaign,
+    shutdown_worker,
+    spawn_worker_process,
+)
+from repro.campaign.remote import (
+    MAX_REMOTE_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    SABOTAGE_KINDS,
+    decode_payload,
+    encode_message,
+    parse_sabotage,
+    payload_key,
+)
+from repro.core.framing import BackoffPolicy, FrameDecoder, FrameError, TransportError
+from repro.faults import KINDS, LAYER_REMOTE, FaultPlan
+from repro.faults.inject import remote_sabotage
+from repro.vm.machine import VMConfig
+
+CFG = VMConfig(semispace_words=60_000)
+#: a tight schedule so failure-path tests spend milliseconds, not seconds
+FAST = BackoffPolicy(attempts=3, base_delay=0.01, max_delay=0.05, jitter_seed=0)
+
+
+def corpus_files(root) -> "dict[str, bytes]":
+    return {
+        p.name: p.read_bytes() for p in sorted(Path(root).iterdir()) if p.is_file()
+    }
+
+
+def dead_address():
+    probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    probe.bind(("127.0.0.1", 0))
+    address = probe.getsockname()
+    probe.close()
+    return address
+
+
+@pytest.fixture
+def server():
+    worker = WorkerServer().start()
+    yield worker
+    worker.stop()
+
+
+@pytest.fixture
+def servers():
+    started = []
+
+    def make(count=1, sabotage=None):
+        for _ in range(count):
+            started.append(WorkerServer(sabotage=sabotage).start())
+        return started[-count:]
+
+    yield make
+    for worker in started:
+        worker.stop()
+
+
+def pool_for(workers, **kwargs):
+    kwargs.setdefault("backoff", FAST)
+    kwargs.setdefault("hello_timeout", 2.0)
+    return RemoteWorkerPool([w.address for w in workers], **kwargs)
+
+
+def incident_kinds(report):
+    return {incident.kind for incident in report.incidents}
+
+
+class RawClient:
+    """A bare protocol speaker for poking the daemon directly."""
+
+    def __init__(self, address, timeout=5.0):
+        self.sock = socket.create_connection(address, timeout=timeout)
+        self.decoder = FrameDecoder(MAX_REMOTE_FRAME_BYTES)
+
+    def send(self, message):
+        self.sock.sendall(encode_message(message))
+
+    def send_raw(self, data):
+        self.sock.sendall(data)
+
+    def recv(self):
+        """Next decoded message, or None on EOF."""
+        while True:
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                return None
+            payloads = self.decoder.feed(chunk)
+            if payloads:
+                return decode_payload(payloads[0])
+
+    def close(self):
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+# ---------------------------------------------------------------------------
+# wire protocol units
+
+
+class TestWireProtocol:
+    def test_encode_decode_round_trip(self):
+        message = {"op": "item", "index": 3, "result": {"digest": "d", "blob": b"\x00" * 100}}
+        decoder = FrameDecoder(MAX_REMOTE_FRAME_BYTES)
+        payloads = decoder.feed(encode_message(message))
+        assert len(payloads) == 1
+        assert decode_payload(payloads[0]) == message
+
+    def test_round_trip_survives_arbitrary_chunking(self):
+        messages = [
+            {"op": "ping"},
+            {"op": "item", "index": 0},
+            {"op": "shard-done", "completed": 2},
+        ]
+        wire = b"".join(encode_message(m) for m in messages)
+        decoder = FrameDecoder(MAX_REMOTE_FRAME_BYTES)
+        seen = []
+        for i in range(0, len(wire), 3):  # 3-byte dribble: worst-case reads
+            seen.extend(decode_payload(p) for p in decoder.feed(wire[i : i + 3]))
+        assert seen == messages
+        assert decoder.pending_bytes == 0
+
+    def test_corrupted_frame_fails_its_crc(self):
+        frame = bytearray(encode_message({"op": "pong"}))
+        frame[-1] ^= 0x01  # flip a bit inside the pickled region
+        payloads = FrameDecoder(MAX_REMOTE_FRAME_BYTES).feed(bytes(frame))
+        with pytest.raises(FrameError, match="CRC32"):
+            decode_payload(payloads[0])
+
+    def test_short_payload_rejected(self):
+        with pytest.raises(FrameError, match="too short"):
+            decode_payload(b"\x00\x01")
+
+    def test_unpicklable_payload_rejected(self):
+        import zlib
+
+        blob = b"not a pickle at all"
+        crc = (zlib.crc32(blob) & 0xFFFFFFFF).to_bytes(4, "big")
+        with pytest.raises(FrameError, match="does not unpickle"):
+            decode_payload(crc + blob)
+
+    def test_non_dict_message_rejected(self):
+        import zlib
+
+        blob = pickle.dumps(["op", "hello"])
+        crc = (zlib.crc32(blob) & 0xFFFFFFFF).to_bytes(4, "big")
+        with pytest.raises(FrameError, match="dict with an 'op'"):
+            decode_payload(crc + blob)
+
+    def test_payload_key_is_stable_and_discriminating(self):
+        a = {"kind": "explore", "seed": 0}
+        assert payload_key(a) == payload_key(dict(a))
+        assert payload_key(a) != payload_key({"kind": "explore", "seed": 1})
+
+    def test_parse_sabotage_forms(self):
+        assert parse_sabotage("remote-drop-frame") == {"kind": "remote-drop-frame"}
+        assert parse_sabotage("remote-kill-worker:0.5") == {
+            "kind": "remote-kill-worker",
+            "frac": 0.5,
+        }
+        assert parse_sabotage("remote-corrupt-frame:0.5:3") == {
+            "kind": "remote-corrupt-frame",
+            "frac": 0.5,
+            "bit": 3,
+        }
+        assert parse_sabotage("remote-slow-connect::0.75") == {
+            "kind": "remote-slow-connect",
+            "delay": 0.75,
+        }
+
+    def test_parse_sabotage_rejects_unknown_kind(self):
+        with pytest.raises(TransportError, match="unknown sabotage kind"):
+            parse_sabotage("remote-set-on-fire")
+
+
+# ---------------------------------------------------------------------------
+# the daemon, poked directly
+
+
+class TestWorkerServer:
+    def test_handshake_ping_shutdown(self):
+        worker = WorkerServer().start()
+        client = RawClient(worker.address)
+        try:
+            client.send({"op": "hello", "version": PROTOCOL_VERSION})
+            reply = client.recv()
+            assert reply["op"] == "hello-ok"
+            assert reply["version"] == PROTOCOL_VERSION
+            assert isinstance(reply["pid"], int)
+            client.send({"op": "ping"})
+            assert client.recv() == {"op": "pong"}
+        finally:
+            client.close()
+        assert shutdown_worker(worker.address)
+        worker.stop()
+
+    def test_version_mismatch_is_refused(self, server):
+        client = RawClient(server.address)
+        try:
+            client.send({"op": "hello", "version": 999})
+            reply = client.recv()
+            assert reply["op"] == "error"
+            assert "version mismatch" in reply["detail"]
+            assert client.recv() is None  # connection closed after refusal
+        finally:
+            client.close()
+
+    def test_unknown_op_is_an_error_frame_not_a_crash(self, server):
+        client = RawClient(server.address)
+        try:
+            client.send({"op": "make-coffee"})
+            reply = client.recv()
+            assert reply["op"] == "error"
+            assert "unknown op" in reply["detail"]
+            client.send({"op": "ping"})  # connection survived the bad op
+            assert client.recv() == {"op": "pong"}
+        finally:
+            client.close()
+
+    def test_garbage_bytes_survive_and_count(self, server):
+        client = RawClient(server.address)
+        try:
+            client.send_raw(b"\xff" * 64)  # absurd length prefix
+            reply = client.recv()
+            assert reply is None or reply["op"] == "error"
+        finally:
+            client.close()
+        assert server.frame_errors == 1
+        # the accept loop survived: a fresh connection still handshakes
+        client = RawClient(server.address)
+        try:
+            client.send({"op": "hello", "version": PROTOCOL_VERSION})
+            assert client.recv()["op"] == "hello-ok"
+        finally:
+            client.close()
+        assert server.connections_served == 2
+
+    def test_crc_corrupt_request_counts_as_frame_error(self, server):
+        frame = bytearray(encode_message({"op": "ping"}))
+        frame[-1] ^= 0x80
+        client = RawClient(server.address)
+        try:
+            client.send_raw(bytes(frame))
+            reply = client.recv()
+            assert reply is None or "CRC32" in reply.get("detail", "")
+        finally:
+            client.close()
+        assert server.frame_errors == 1
+
+    def test_warm_runner_is_cached_across_shards(self, server):
+        report = run_explore_campaign(
+            "bank",
+            bound=1,
+            budget=12,
+            jobs=2,
+            config=CFG,
+            backend=pool_for([server]),
+        )
+        assert not report.errors
+        assert server.shards_served == 2  # one connection per shard...
+        assert len(server._runners) == 1  # ...one warm runner for both
+
+
+# ---------------------------------------------------------------------------
+# the equivalence contract: remote ≡ local, even under fire
+
+
+class TestRemoteDifferential:
+    def test_one_host_equals_local(self, tmp_path, servers):
+        (worker,) = servers(1)
+        local = run_explore_campaign(
+            "bank", bound=1, budget=25, jobs=2, config=CFG,
+            corpus_dir=tmp_path / "local",
+        )
+        remote = run_explore_campaign(
+            "bank", bound=1, budget=25, jobs=2, config=CFG,
+            corpus_dir=tmp_path / "remote",
+            backend=pool_for([worker]),
+        )
+        assert remote.digest() == local.digest()
+        assert remote.behavior_set() == local.behavior_set()
+        assert not remote.incidents
+        assert corpus_files(tmp_path / "remote") == corpus_files(tmp_path / "local")
+
+    def test_three_hosts_equal_one_host_equal_local(self, tmp_path, servers):
+        trio = servers(3)
+        (solo,) = servers(1)
+        runs = {
+            "local": run_explore_campaign(
+                "bank", bound=1, budget=30, jobs=3, config=CFG,
+                corpus_dir=tmp_path / "local",
+            ),
+            "one": run_explore_campaign(
+                "bank", bound=1, budget=30, jobs=3, config=CFG,
+                corpus_dir=tmp_path / "one", backend=pool_for([solo]),
+            ),
+            "three": run_explore_campaign(
+                "bank", bound=1, budget=30, jobs=3, config=CFG,
+                corpus_dir=tmp_path / "three", backend=pool_for(trio),
+            ),
+        }
+        digests = {name: report.digest() for name, report in runs.items()}
+        assert len(set(digests.values())) == 1, digests
+        assert (
+            corpus_files(tmp_path / "local")
+            == corpus_files(tmp_path / "one")
+            == corpus_files(tmp_path / "three")
+        )
+
+    def test_hosts_argument_builds_the_pool(self, servers):
+        (worker,) = servers(1)
+        local = run_explore_campaign("bank", bound=1, budget=15, jobs=2, config=CFG)
+        remote = run_explore_campaign(
+            "bank", bound=1, budget=15, jobs=2, config=CFG,
+            hosts=[worker.address],
+        )
+        assert remote.digest() == local.digest()
+
+    def test_faults_campaign_remote_equals_local(self, servers):
+        plan = FaultPlan.generate(5, 6, layers=("trace",))
+        local = run_faults_campaign(
+            plan, workload="bank", layers=("trace",), config=CFG, jobs=2
+        )
+        remote = run_faults_campaign(
+            plan, workload="bank", layers=("trace",), config=CFG, jobs=2,
+            backend=pool_for(servers(2)),
+        )
+        assert remote.digest() == local.digest()
+        assert remote.report.tally() == local.report.tally()
+        assert not remote.incidents
+
+    @pytest.mark.parametrize(
+        "sabotage, expected_incident",
+        [
+            ("remote-drop-frame:0.5", "remote-protocol"),
+            ("remote-corrupt-frame:0.5:3", "remote-protocol"),
+            ("remote-truncate-frame:0.5", "remote-transport"),
+        ],
+    )
+    def test_armed_host_perturbs_nothing(
+        self, tmp_path, servers, sabotage, expected_incident
+    ):
+        """One host misbehaves once, mid-shard; the report and corpus
+        are byte-for-byte those of a clean local run, plus a typed
+        incident."""
+        armed = servers(1, sabotage=parse_sabotage(sabotage))
+        clean = servers(1)
+        local = run_explore_campaign(
+            "bank", bound=1, budget=20, jobs=2, config=CFG,
+            corpus_dir=tmp_path / "local",
+        )
+        remote = run_explore_campaign(
+            "bank", bound=1, budget=20, jobs=2, config=CFG,
+            corpus_dir=tmp_path / "remote",
+            backend=pool_for(armed + clean),
+        )
+        assert remote.digest() == local.digest()
+        assert expected_incident in incident_kinds(remote)
+        assert corpus_files(tmp_path / "remote") == corpus_files(tmp_path / "local")
+
+    def test_killed_worker_degrades_without_perturbing(self, tmp_path):
+        """The real crash path: a `repro worker` subprocess os._exits
+        mid-shard; reconnects fail, the breaker opens, and the ladder
+        carries the leftovers to local fork workers."""
+        proc, address = spawn_worker_process("remote-kill-worker:0.5")
+        try:
+            local = run_explore_campaign(
+                "bank", bound=1, budget=16, jobs=2, config=CFG,
+                corpus_dir=tmp_path / "local",
+            )
+            remote = run_explore_campaign(
+                "bank", bound=1, budget=16, jobs=2, config=CFG,
+                corpus_dir=tmp_path / "remote",
+                backend=RemoteWorkerPool(
+                    [address], backoff=FAST, hello_timeout=1.0, breaker_threshold=2
+                ),
+            )
+        finally:
+            proc.kill()
+            proc.wait(timeout=10)
+        assert remote.digest() == local.digest()
+        kinds = incident_kinds(remote)
+        assert "quarantine" in kinds
+        assert "degraded-local" in kinds
+        assert corpus_files(tmp_path / "remote") == corpus_files(tmp_path / "local")
+
+    def test_no_hosts_alive_degrades_to_local(self, tmp_path):
+        """Rung 3 alone: nothing listens anywhere, yet coverage is 100%
+        and the result is still the local result."""
+        local = run_explore_campaign("bank", bound=1, budget=12, jobs=2, config=CFG)
+        remote = run_explore_campaign(
+            "bank", bound=1, budget=12, jobs=2, config=CFG,
+            backend=RemoteWorkerPool(
+                [dead_address()], backoff=FAST, hello_timeout=0.5, breaker_threshold=1
+            ),
+        )
+        assert remote.digest() == local.digest()
+        assert not remote.errors
+        assert remote.schedules_run == local.schedules_run
+        kinds = incident_kinds(remote)
+        assert {"remote-connect", "quarantine", "degraded-local"} <= kinds
+
+    @pytest.mark.fuzz
+    def test_stalled_heartbeat_trips_the_watchdog(self, tmp_path, servers):
+        armed = servers(1, sabotage=parse_sabotage("remote-stall-heartbeat:0.5"))
+        local = run_explore_campaign("bank", bound=1, budget=16, jobs=2, config=CFG)
+        remote = run_explore_campaign(
+            "bank", bound=1, budget=16, jobs=2, config=CFG, watchdog=1.0,
+            backend=RemoteWorkerPool(
+                [w.address for w in armed],
+                backoff=FAST,
+                hello_timeout=0.3,
+                breaker_threshold=2,
+            ),
+        )
+        assert remote.digest() == local.digest()
+        assert "remote-hang" in incident_kinds(remote)
+
+    @pytest.mark.fuzz
+    def test_slow_connect_is_absorbed_by_backoff(self, servers):
+        """A slow-loris handshake costs one retry, not an incident: the
+        hello timeout plus the backoff schedule absorb it entirely."""
+        armed = servers(1, sabotage=parse_sabotage("remote-slow-connect::0.8"))
+        local = run_explore_campaign("bank", bound=1, budget=12, jobs=2, config=CFG)
+        remote = run_explore_campaign(
+            "bank", bound=1, budget=12, jobs=2, config=CFG,
+            backend=RemoteWorkerPool(
+                [w.address for w in armed], backoff=FAST, hello_timeout=0.3
+            ),
+        )
+        assert remote.digest() == local.digest()
+        assert not remote.incidents
+
+
+# ---------------------------------------------------------------------------
+# daemon lifecycle
+
+
+class TestWorkerLifecycle:
+    def test_spawn_and_shutdown_subprocess(self):
+        proc, address = spawn_worker_process()
+        try:
+            assert shutdown_worker(address)
+            assert proc.wait(timeout=10) == 0
+        finally:
+            proc.kill()
+
+    def test_shutdown_worker_on_dead_address_is_false(self):
+        assert not shutdown_worker(dead_address(), timeout=0.5)
+
+
+# ---------------------------------------------------------------------------
+# the LAYER_REMOTE fault family
+
+
+class TestRemoteFaultPlan:
+    def test_remote_kinds_are_registered(self):
+        remote_kinds = [k for k, layer in KINDS.items() if layer == LAYER_REMOTE]
+        assert remote_kinds == list(SABOTAGE_KINDS)
+
+    def test_remote_plans_are_reproducible(self):
+        a = FaultPlan.generate(11, 12, layers=(LAYER_REMOTE,))
+        b = FaultPlan.generate(11, 12, layers=(LAYER_REMOTE,))
+        assert a.specs == b.specs
+        assert {s.layer for s in a} == {LAYER_REMOTE}
+
+    def test_default_layers_exclude_remote(self):
+        """Appending remote kinds must not disturb seeded default plans
+        (the plan-reproducibility contract of old sweeps)."""
+        plan = FaultPlan.generate(3, 40)
+        assert all(s.layer != LAYER_REMOTE for s in plan)
+
+    def test_remote_sabotage_arming_strings(self):
+        plan = FaultPlan.generate(2, 30, layers=(LAYER_REMOTE,))
+        for spec in plan:
+            armed = remote_sabotage(spec)
+            parsed = parse_sabotage(armed)  # round-trips through the CLI syntax
+            assert parsed["kind"] == spec.kind
+            if spec.kind == "remote-corrupt-frame":
+                assert parsed["bit"] == spec.params[1]
+            elif spec.kind == "remote-slow-connect":
+                assert parsed["delay"] == spec.params[0]
+
+    def test_remote_sabotage_rejects_other_layers(self):
+        plan = FaultPlan.generate(3, 1, layers=("trace",))
+        with pytest.raises(ValueError):
+            remote_sabotage(plan.specs[0])
+
+    @pytest.mark.fuzz
+    def test_remote_fault_campaign_recovers(self, tmp_path):
+        """The serial `repro faults --layers remote` path end to end:
+        every injected remote fault is absorbed and classified."""
+        from repro.faults import run_campaign
+
+        report = run_campaign(
+            FaultPlan.generate(7, 3, layers=(LAYER_REMOTE,)),
+            workload="bank",
+            config=CFG,
+            workdir=tmp_path,
+        )
+        assert report.ok, report.format()
+        for outcome in report.outcomes:
+            assert outcome.outcome in ("recovered", "degraded")

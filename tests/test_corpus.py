@@ -162,6 +162,103 @@ class TestPrune:
         assert len(data["entries"]) == 1
 
 
+def _ingest_when_released(root, blob, meta, barrier):
+    """Child body: open the corpus, line up at the barrier, ingest."""
+    corpus = Corpus(root)
+    barrier.wait()
+    corpus.ingest(blob, meta)
+
+
+def _die_mid_ingest(root, blob):
+    """Child body: a remote worker killed between the tmp write and the
+    atomic rename — exactly what `remote-kill-worker` leaves behind."""
+    import os
+
+    name = entry_name(blob)
+    tmp = root / f"{name}.djv.tmp.{os.getpid()}"
+    tmp.write_bytes(blob[: len(blob) // 2])
+    os._exit(9)  # no rename, no index write
+
+
+class TestConcurrentIngest:
+    """Two campaign workers racing the same corpus directory.  The
+    tmp-name-per-pid + atomic-rename discipline and the content address
+    make the race harmless: same blob → one entry, distinct blobs →
+    reconcile adopts whatever the last index write lost."""
+
+    def fork(self, target, *args):
+        import multiprocessing
+
+        return multiprocessing.get_context("fork").Process(
+            target=target, args=args
+        )
+
+    def test_same_blob_from_four_workers_is_one_entry(self, tmp_path):
+        root = tmp_path / "c"
+        Corpus(root, create=True)
+        blob = bank_blob(1)
+        import multiprocessing
+
+        barrier = multiprocessing.get_context("fork").Barrier(4)
+        children = [
+            self.fork(_ingest_when_released, root, blob, meta_for(1, "b1"), barrier)
+            for _ in range(4)
+        ]
+        for child in children:
+            child.start()
+        for child in children:
+            child.join(timeout=30)
+            assert child.exitcode == 0
+        entries = [p for p in root.iterdir() if p.suffix == ".djv"]
+        assert [p.stem for p in entries] == [entry_name(blob)]
+        assert entries[0].read_bytes() == blob  # never torn
+        data = json.loads((root / "index.json").read_text())  # intact, valid
+        assert list(data["entries"]) == [entry_name(blob)]
+        assert len(Corpus(root)) == 1
+
+    def test_distinct_blobs_from_racing_workers_both_survive(self, tmp_path):
+        root = tmp_path / "c"
+        Corpus(root, create=True)
+        blobs = [bank_blob(1), bank_blob(2)]
+        import multiprocessing
+
+        barrier = multiprocessing.get_context("fork").Barrier(2)
+        children = [
+            self.fork(
+                _ingest_when_released, root, blob, meta_for(i, f"b{i}"), barrier
+            )
+            for i, blob in enumerate(blobs)
+        ]
+        for child in children:
+            child.start()
+        for child in children:
+            child.join(timeout=30)
+            assert child.exitcode == 0
+        # the slower index write may have lost the other's row; reload
+        # reconciles by adopting the orphan blob from its own trace meta
+        reloaded = Corpus(root)
+        assert len(reloaded) == 2
+        for blob in blobs:
+            assert reloaded.blob(entry_name(blob)) == blob
+
+    def test_killed_worker_leaves_only_an_ignorable_tmp(self, tmp_path):
+        root = tmp_path / "c"
+        corpus = Corpus(root, create=True)
+        keep, _ = corpus.ingest(bank_blob(1), meta_for(1, "b1"))
+        victim_blob = bank_blob(2)
+        child = self.fork(_die_mid_ingest, root, victim_blob)
+        child.start()
+        child.join(timeout=30)
+        assert child.exitcode == 9
+        assert any(".tmp" in p.name for p in root.iterdir())  # the wreckage
+        reloaded = Corpus(root)
+        assert [e.name for e in reloaded.entries()] == [keep]
+        # the same failure, re-delivered by a healthy worker, lands clean
+        name, new = reloaded.ingest(victim_blob, meta_for(2, "b2"))
+        assert new and name == entry_name(victim_blob)
+        assert reloaded.blob(name) == victim_blob
+
+
 class TestStats:
     def test_stats_group_by_canonical_workload(self, tmp_path):
         corpus = Corpus(tmp_path / "c", create=True)
