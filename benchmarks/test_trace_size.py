@@ -83,3 +83,45 @@ def test_trace_scales_with_preemption_rate_not_work(benchmark, report):
     report.row(f"sorter trace bytes, frequent preemption: {frequent}")
     assert frequent > 5 * rare
     benchmark.pedantic(lambda: size_with(500, 1000), rounds=2, iterations=1)
+
+
+@pytest.mark.benchmark(group="B2-trace-size")
+def test_slim_reduction_floor(benchmark, report):
+    """Race-guided slimming (``record --slim``) must shrink the switch
+    stream of the sync-heavy, race-free workloads by at least 5x: every
+    delta there is sync-inferable, so the stream collapses to a handful
+    of sidecar words while the replay stays byte-identical."""
+    from repro.api import replay
+    from repro.core.tracelog import encode_words
+    from repro.workloads import readers_writers, synced_bank
+
+    factories = {
+        "synced_bank": lambda: synced_bank(4, 120),
+        "readers_writers": lambda: readers_writers(3, 2, 10),
+    }
+
+    def stream_bytes(trace) -> int:
+        return len(encode_words(trace.switches)) + len(encode_words(trace.slim))
+
+    def survey_slim(name):
+        factory = factories[name]
+        full = record(factory(), config=BENCH_CONFIG, **knobs(SEED))
+        slim = record(factory(), config=BENCH_CONFIG, slim=True, **knobs(SEED))
+        return full, slim
+
+    report.row(f"{'workload':<18}{'full B':>9}{'slim B':>9}{'reduction':>11}")
+    for name in sorted(factories):
+        full, slim = survey_slim(name)
+        fb, sb = stream_bytes(full.trace), stream_bytes(slim.trace)
+        reduction = fb / max(1, sb)
+        report.row(f"{name:<18}{fb:>9}{sb:>9}{reduction:>10.1f}x")
+        # the slimming floor: >= 5x on sync-heavy workloads, and the slim
+        # trace never costs more stream bytes than the full one
+        assert reduction >= 5.0, f"{name}: reduction {reduction:.1f}x < 5x"
+        assert slim.trace.encoded_size_bytes <= full.trace.encoded_size_bytes, name
+        r_full = replay(factories[name](), full.trace, config=BENCH_CONFIG)
+        r_slim = replay(factories[name](), slim.trace, config=BENCH_CONFIG)
+        assert r_slim.behavior_key() == r_full.behavior_key(), name
+    benchmark.pedantic(
+        lambda: survey_slim("synced_bank"), rounds=2, iterations=1
+    )

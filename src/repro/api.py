@@ -31,9 +31,15 @@ from repro.vm.errors import (
     TracePrefixEnd,
     VMError,
 )
-from repro.vm.machine import _DEFAULT, Environment, VirtualMachine, VMConfig
+from repro.vm.machine import (
+    _DEFAULT,
+    Environment,
+    VirtualMachine,
+    VMConfig,
+    with_baseline_engine,
+)
 from repro.vm.scheduler_types import RunResult
-from repro.vm.timerdev import TimerSource, WallClock
+from repro.vm.timerdev import TimerSource, WallClock, slim_model_of
 
 
 @dataclass
@@ -105,6 +111,7 @@ def record(
     extra_meta: dict | None = None,
     vm_hook: "Callable[[VirtualMachine], None] | None" = None,
     checkpoint_every: int | None = None,
+    slim: bool = False,
     **dejavu_kwargs,
 ) -> RecordedRun:
     """Execute *program* under DejaVu record mode; return results + trace.
@@ -125,14 +132,51 @@ def record(
     host-side and guest-invisible, so the recording itself stays
     byte-identical with checkpointing on or off.
 
+    ``slim=True`` asks for race-guided trace slimming (format v3.2): a
+    FastTrack detector rides along classifying each inter-switch window,
+    and at seal time every sync-inferable switch delta is dropped from
+    the switch stream — replay re-derives them from the modelled timer
+    device plus a compact sync-order sidecar.  Slimming needs a timer
+    with a reconstruction model (the VM default fixed timer, a pristine
+    seeded jitter timer, ``NeverTimer``, or ``timer=None``) and the
+    default symmetry/schedule setup; anything else falls back to a full
+    recording with the reason in ``trace.meta["slim_fallback"]``.  The
+    recording itself is guest-bit-identical either way — classification
+    is entirely host-side and happens after the run.
+
     Extra keyword arguments (e.g. ``switch_buffer_words``) are forwarded
     to the :class:`DejaVu` controller.
     """
+    slim_fallback = None
+    if slim:
+        if symmetry is not None:
+            slim_fallback = "non-default symmetry"
+        elif dejavu_kwargs.get("schedule") is not None:
+            slim_fallback = "schedule-policy recording"
+        else:
+            # the detector needs the unfused memory-op funnel; baseline is
+            # guest-invisible, so traces stay byte-identical regardless
+            config = with_baseline_engine(config)
     vm = build_vm(program, config, timer=timer, clock=clock, env=env)
     if vm_hook is not None:
         vm_hook(vm)
-    writer = TraceWriter(out, compress=compress) if out is not None else None
-    dejavu = DejaVu(vm, MODE_RECORD, symmetry=symmetry, writer=writer, **dejavu_kwargs)
+    slim_spec = None
+    detector = None
+    if slim and slim_fallback is None:
+        slim_spec = slim_model_of(vm.timer)
+        if slim_spec is None:
+            slim_fallback = "timer has no reconstruction model"
+        else:
+            from repro.explore.detector import RaceDetector
+
+            detector = RaceDetector(vm)
+    writer = (
+        TraceWriter(out, compress=compress, slim=slim_spec is not None)
+        if out is not None
+        else None
+    )
+    dejavu = DejaVu(vm, MODE_RECORD, symmetry=symmetry, writer=writer,
+                    slim_spec=slim_spec, slim_detector=detector, **dejavu_kwargs)
     recorder = _make_recorder(vm, checkpoint_every, out)
     try:
         result = vm.run(program.main)
@@ -142,8 +186,18 @@ def record(
         # engine toggles are guest-invisible and deliberately left out so
         # trace files stay byte-identical across engine combinations
         trace.meta["config"] = config_fingerprint(vm.config)
+        if slim_fallback is not None:
+            trace.meta["slim_fallback"] = slim_fallback
         trace.meta.update(extra_meta or {})
         if writer is not None:
+            if slim_spec is not None:
+                # slim recording keeps switch deltas host-side so the
+                # seal-time partition can rewrite the stream; push the
+                # final streams through the writer's spilling sinks now
+                for w in trace.switches:
+                    writer.switch_sink.append(w)
+                for w in trace.slim:
+                    writer.slim_sink.append(w)
             writer.seal(trace.meta)
         if recorder is not None:
             recorder.seal(program=program.name)
@@ -337,7 +391,8 @@ def replay_prefix(
 
 
 def trace_to_bytes(trace: TraceLog) -> bytes:
-    """Serialize *trace* to the sealed v3.1 on-disk byte format.
+    """Serialize *trace* to the sealed on-disk byte format (v3.1, or
+    v3.2 when the trace carries a slim sidecar).
 
     The encoding is deterministic in the trace's streams and meta (no
     timestamps, fixed codec choice), so equal traces serialize to equal

@@ -4,6 +4,7 @@ Commands:
 
 * ``run program.jasm``            — execute a guest program
 * ``record program.jasm -o t.djv``— execute under DejaVu, save the trace
+  (``--slim`` drops sync-inferable switch deltas, format v3.2)
 * ``replay program.jasm t.djv``   — deterministically re-execute a trace
 * ``debug program.jasm t.djv``    — interactive debugger over a replay
 * ``serve program.jasm t.djv``    — TCP debugger server (Figure 4 tier 2)
@@ -171,6 +172,7 @@ def cmd_record(args) -> int:
         out=args.out,
         compress=args.compress,
         extra_meta=getattr(args, "_workload_meta", {}),
+        slim=getattr(args, "slim", False),
         **_knobs(args),
     )
     _print_result(session.result)
@@ -179,6 +181,16 @@ def cmd_record(args) -> int:
         f"{session.trace.n_value_words} value words, "
         f"{session.trace.encoded_size_bytes} bytes -> {args.out}"
     )
+    slim_info = session.trace.slim_info
+    if slim_info is not None:
+        print(
+            f"-- slim: kept {slim_info['kept']} switch delta(s), "
+            f"dropped {slim_info['dropped']} (model "
+            f"{slim_info['model'][0]}, {slim_info['sync_total']} sync events)"
+        )
+    elif getattr(args, "slim", False):
+        reason = session.trace.meta.get("slim_fallback", "?")
+        print(f"-- slim: fell back to full recording ({reason})")
     return 0
 
 
@@ -287,8 +299,10 @@ def cmd_trace_stats(args) -> int:
     version = f"{major}.{minor}" if minor is not None else str(major)
     print(f"format version: {version}")
     print(f"file bytes:     {stats['file_bytes']}")
-    for name in ("switch", "value"):
-        st = stats["streams"][name]
+    for name in ("switch", "value", "slim"):
+        st = stats["streams"].get(name)
+        if st is None:
+            continue
         codecs = ",".join(f"0x{c:02x}" for c in st["codecs"]) or "-"
         print(f"{name} stream:")
         print(f"  entries:       {st['entries']}")
@@ -296,6 +310,12 @@ def cmd_trace_stats(args) -> int:
         print(f"  encoded bytes: {st['encoded_bytes']}")
         print(f"  varint bytes:  {st['raw_bytes']}")
         print(f"  ratio:         {st['ratio']:.3f}x (codecs {codecs})")
+    slim = stats.get("slim")
+    if slim is not None:
+        print(
+            f"slim recording: kept {slim['kept']} switch delta(s), "
+            f"dropped {slim['dropped']}"
+        )
     return 0
 
 
@@ -792,6 +812,13 @@ def make_parser() -> argparse.ArgumentParser:
         "--compress",
         action="store_true",
         help="zlib-compress each trace segment (smaller file, same replay)",
+    )
+    p.add_argument(
+        "--slim",
+        action="store_true",
+        help="race-guided trace slimming (format v3.2): drop sync-inferable "
+        "switch deltas, reconstructed at replay from the modelled timer "
+        "(falls back to a full recording when the timer has no model)",
     )
     p.set_defaults(fn=cmd_record)
 

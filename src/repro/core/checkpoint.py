@@ -36,7 +36,12 @@ reproduces layouts, method ids and compiled code exactly), then every
 other host structure — threads, frames, monitors, queues, cursors — is
 patched from the snapshot.  Only replay-mode snapshots are restorable:
 replay funnels clocks, natives and the environment through the trace, so
-no host timer/RNG state needs to be rewound.
+no host timer/RNG state needs to be rewound.  The one exception is a
+*slim* (trace v3.2) replay, whose model timer device is live host state:
+its snapshot carries a ``dv``/``slim`` block (reconstructor cursors,
+sync-witness count, intervals consumed, engine deadline), and restore
+rebuilds a pristine model timer and burns the consumed intervals so the
+interval stream continues exactly where the snapshot left it.
 
 Failure ladder
 --------------
@@ -287,6 +292,9 @@ def capture_snapshot(vm: "VirtualMachine") -> Snapshot:
             ("value_cursor", dv._value_cursor),
         ),
     }
+    slim_state = dv._slim_snapshot_state()
+    if slim_state is not None:
+        header["dv"] = tuple(sorted(header["dv"] + (("slim", slim_state),)))
     snap = Snapshot(header, list(mem.words))
     header["digest"] = _digest_of(header, snap.words_blob())
     return snap
@@ -398,14 +406,18 @@ def restore_vm(
         mt.monitors[addr] = mon
     mt.acquisitions, mt.contentions, mt.notifies = h["mon_stats"]
 
-    # -- engine (timer stays off: replay clocks come from the trace)
+    # -- engine (classic replay keeps the timer off: replay clocks come
+    # from the trace; slim replay's live timer is restored further down)
+    d = dict(h["dv"])
+    slim_state = d.get("slim")
     engine = vm.engine
     engine.cycles = h["cycles"]
     engine.hw_bit = h["hw_bit"]
     engine.switch_pending = h["switch_pending"]
-    engine.timer_enabled = False
-    engine._timer_armed = True
-    engine._deadline = 1 << 62
+    if slim_state is None:
+        engine.timer_enabled = False
+        engine._timer_armed = True
+        engine._deadline = 1 << 62
     engine._fstat[:] = list(h["fstat"])
     engine._thread = None
     engine._frame = None
@@ -419,7 +431,6 @@ def restore_vm(
     vm.observer.events[:] = [tuple(e) for e in h["events"]]
 
     # -- DejaVu controller
-    d = dict(h["dv"])
     dv._switch_cursor = d["switch_cursor"]
     dv._value_cursor = d["value_cursor"]
     dv.nyp = d["nyp"]
@@ -431,6 +442,13 @@ def restore_vm(
     _unpack_buffer(dv.value_buf, d["value_buf"])
     (dv.sym._io_classes_loaded, dv.sym.io_warmups,
      dv.sym.eager_grows, dv.sym.overflow_grows) = d["sym"]
+    if slim_state is not None:
+        dv._slim_restore_state(slim_state)
+    elif dv._slim_replay is not None:
+        raise CheckpointError(
+            "trace is slim (v3.2) but the snapshot carries no slim replay "
+            "state — it was captured replaying a different (full) trace"
+        )
     return vm
 
 

@@ -21,10 +21,16 @@ from typing import TYPE_CHECKING, Callable
 
 from repro.core import events as ev
 from repro.core.symmetry import SymmetryConfig, SymmetryManager
-from repro.core.tracelog import TraceBuffer, TraceLog, TraceWriter
-from repro.vm.errors import ReplayDivergenceError, TracePrefixEnd, VMError
+from repro.core.tracelog import TraceBuffer, TraceLog, TraceWriter, encode_words
+from repro.vm.errors import (
+    ReplayDivergenceError,
+    SlimReconstructError,
+    TracePrefixEnd,
+    VMError,
+)
 from repro.vm.memory import BOOT_DEJAVU
 from repro.vm.native import BLOCK, NativeCall, NativeResult
+from repro.vm.timerdev import timer_from_model
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.explore.policy import SchedulePolicy
@@ -41,6 +47,291 @@ SWITCH_BUFFER_WORDS = 256
 VALUE_BUFFER_WORDS = 512
 
 
+# ---------------------------------------------------------------------------
+# trace-v3.2 slim mode
+#
+# A switch delta's information content is the timer device's interval
+# stream: when the timer is reconstructible from a compact spec
+# (FixedTimer, a pristine SeededJitterTimer, NeverTimer), replay can
+# install a fresh model device and the engine's own deadline arithmetic
+# re-raises the preemptive hardware bit at exactly the recorded cycles —
+# identical op stream, identical per-op cycle accounting, identical
+# deadline crossings.  Those switches need zero log bytes.  The FastTrack
+# detector classifies each inter-switch window; deltas adjacent to a racy
+# window stay *explicit* in the switch stream as pinned defense-in-depth
+# (reconstruction is never trusted near a data race), the rest are
+# dropped and described by drop-run triples in the SEG_SLIM sidecar:
+#
+#     (kept_before, run_len, sync_delta)
+#
+# kept_before explicit switches separate this run from the previous one,
+# run_len consecutive switches are model-driven, and sync_delta is the
+# sync-order witness (monitor acquire/release + spawn + wakeup count)
+# across the run — checked during reconstruction so a wrong schedule
+# surfaces as a typed SlimReconstructError, never a silent divergence.
+
+
+class SyncWitness:
+    """Counts synchronization-order events (host-side, guest-invisible).
+
+    Attached at run start in *both* modes by chaining onto whatever
+    monitor/scheduler hooks are already installed (e.g. a race detector's),
+    so the count is the same total order either way.
+    """
+
+    def __init__(self):
+        self.count = 0
+        self._attached = False
+
+    def attach(self, vm) -> None:
+        if self._attached:
+            return
+        self._attached = True
+        self._chain(vm.monitors, "on_acquire")
+        self._chain(vm.monitors, "on_release")
+        self._chain(vm.scheduler, "on_spawn")
+        self._chain(vm.scheduler, "on_wakeup")
+
+    def _chain(self, owner, name: str) -> None:
+        prev = getattr(owner, name, None)
+
+        def hook(*args, _prev=prev):
+            if _prev is not None:
+                _prev(*args)
+            self.count += 1
+
+        setattr(owner, name, hook)
+
+
+class SlimRecorder:
+    """Record-side companion: marks every firing, classifies at seal.
+
+    During the run it only closes detector regions and samples the sync
+    witness — the guest-visible record path is *bit-identical* to a
+    non-slim record.  The keep/drop partition happens after the run, in
+    :func:`slim_partition`, where races can pin their earlier window
+    retroactively.
+    """
+
+    def __init__(self, model: tuple, detector=None):
+        self.model = model
+        self.detector = detector
+        self.witness = SyncWitness()
+        #: witness count sampled at each firing (host list)
+        self.marks: list[int] = []
+        self.total_sync = 0
+
+    def on_switch(self) -> None:
+        if self.detector is not None:
+            self.detector.end_region()
+        self.marks.append(self.witness.count)
+
+    def finish(self) -> None:
+        if self.detector is not None:
+            self.detector.end_region()  # close the tail window
+        self.total_sync = self.witness.count
+
+    def racy_regions(self) -> "set[int]":
+        if self.detector is None:
+            # no analysis, no inference: every window counts as racy, so
+            # every delta stays explicit (the caller then degrades)
+            return set(range(len(self.marks) + 1))
+        return set(self.detector.racy_regions)
+
+
+def slim_partition(
+    deltas: list[int], marks: list[int], racy_regions: "set[int]"
+) -> "tuple[list[int], list[int], int]":
+    """Partition a full switch stream into (kept, sidecar, dropped).
+
+    Window ``i`` is the execution between firing ``i-1`` and firing ``i``
+    (window ``len(deltas)`` is the tail after the last firing).  Delta
+    ``i`` is *kept* iff either window it bounds is race-adjacent;
+    everything else becomes drop-run triples in the sidecar.
+    """
+    n = len(deltas)
+    kept: list[int] = []
+    sidecar: list[int] = []
+    dropped = 0
+    kept_since = 0
+    i = 0
+    while i < n:
+        if i in racy_regions or (i + 1) in racy_regions:
+            kept.append(deltas[i])
+            kept_since += 1
+            i += 1
+            continue
+        a = i
+        while i < n and i not in racy_regions and (i + 1) not in racy_regions:
+            i += 1
+        anchor = marks[a - 1] if a > 0 else 0
+        run_len = i - a
+        sidecar.extend((kept_since, run_len, marks[i - 1] - anchor))
+        dropped += run_len
+        kept_since = 0
+    return kept, sidecar, dropped
+
+
+class _CountingTimer:
+    """Wraps the replay-side model timer so checkpoints can record how
+    many intervals were consumed (restore rebuilds a pristine device from
+    the spec and burns that many)."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.count = 0
+
+    def next_interval(self) -> int:
+        self.count += 1
+        return self.inner.next_interval()
+
+
+class ScheduleReconstructor:
+    """Replay-side authority for slim traces: the phase machine.
+
+    *Explicit phase* — the next recorded delta counts down exactly like a
+    classic replay; at zero the firing is cross-checked against the model
+    timer's hardware bit.  *Model phase* — inside a drop run there is no
+    countdown at all (``_replay_nyp`` is None, the record-mode fast path
+    is enabled); the model timer raises the hardware bit and the slow
+    path lands in :meth:`model_fire`.  Any firing the schedule cannot
+    account for, and any sync-witness mismatch, raises
+    :class:`SlimReconstructError`.
+    """
+
+    def __init__(self, dv: "DejaVu", trace: TraceLog):
+        info = trace.slim_info
+        assert info is not None
+        if trace.truncated:
+            raise SlimReconstructError(
+                "slim trace is a salvaged prefix: without its sidecar tail "
+                "the dropped schedule is underdetermined"
+            )
+        words = trace.slim
+        if len(words) % 3:
+            raise SlimReconstructError(
+                f"slim sidecar holds {len(words)} words (not drop-run triples)"
+            )
+        self.runs = [tuple(words[i:i + 3]) for i in range(0, len(words), 3)]
+        self.kept_total = info.get("kept")
+        self.dropped_total = info.get("dropped")
+        self.sync_total = info.get("sync_total")
+        self.model = info.get("model")
+        if self.model is None or self.kept_total is None:
+            raise SlimReconstructError(
+                "slim meta lacks the timer model / kept count — "
+                "reconstruction is underdetermined"
+            )
+        if len(trace.switches) != self.kept_total:
+            raise SlimReconstructError(
+                f"slim trace holds {len(trace.switches)} explicit deltas "
+                f"but meta promises {self.kept_total}"
+            )
+        if sum(r[1] for r in self.runs) != self.dropped_total:
+            raise SlimReconstructError(
+                "slim sidecar run lengths do not sum to the dropped count"
+            )
+        for j, (kept_before, run_len, sync_delta) in enumerate(self.runs):
+            if run_len < 1 or kept_before < 0 or sync_delta < 0 or (
+                j > 0 and kept_before < 1
+            ):
+                raise SlimReconstructError(
+                    f"malformed slim drop-run triple #{j}: "
+                    f"({kept_before}, {run_len}, {sync_delta})"
+                )
+        if sum(r[0] for r in self.runs) > self.kept_total:
+            raise SlimReconstructError(
+                "slim sidecar places drop runs beyond the explicit stream"
+            )
+        # cursors
+        self._next_run = 0
+        self._remaining = 0  # model firings left in the current run
+        self._sync_want = 0
+        self._anchor = 0
+        self._kept_since_run = 0
+        self.kept_done = 0
+        self.dropped_done = 0
+
+    # -- phase transitions ------------------------------------------------
+
+    def begin(self, dv: "DejaVu") -> None:
+        dv._replay_nyp = self._arm(dv)
+
+    def _arm(self, dv: "DejaVu") -> int | None:
+        """Arm the next firing: enter a drop run, or prefetch a delta."""
+        if (
+            self._next_run < len(self.runs)
+            and self.runs[self._next_run][0] == self._kept_since_run
+        ):
+            _, run_len, sync_delta = self.runs[self._next_run]
+            self._next_run += 1
+            self._remaining = run_len
+            self._sync_want = sync_delta
+            self._anchor = dv._slim_witness.count
+            dv._fast_record = dv._slim_fast  # model phase: count, don't count down
+            return None
+        delta = dv._take_switch()
+        if delta is None:
+            dv._fast_record = dv._slim_fast  # tail: nothing left to count down
+        else:
+            dv._fast_record = False
+        return delta
+
+    def explicit_fire(self, dv: "DejaVu") -> int | None:
+        """An explicit countdown hit zero (a kept delta fired)."""
+        if not dv.vm.engine.hw_bit:
+            raise SlimReconstructError(
+                "explicit switch not confirmed by the model timer "
+                f"(after {self.kept_done} kept / {self.dropped_done} dropped)"
+            )
+        self.kept_done += 1
+        self._kept_since_run += 1
+        return self._arm(dv)
+
+    def model_fire(self, dv: "DejaVu") -> int | None:
+        """The model timer raised the hardware bit with no countdown armed."""
+        if self._remaining == 0:
+            raise SlimReconstructError(
+                "model timer fired beyond the recorded schedule "
+                f"(after {self.kept_done} kept / {self.dropped_done} dropped)"
+            )
+        self._remaining -= 1
+        self.dropped_done += 1
+        if self._remaining == 0:
+            got = dv._slim_witness.count - self._anchor
+            if got != self._sync_want:
+                raise SlimReconstructError(
+                    f"sync-order witness mismatch across drop run "
+                    f"#{self._next_run - 1}: recorded {self._sync_want} "
+                    f"events, replay saw {got}"
+                )
+            self._kept_since_run = 0
+            return self._arm(dv)
+        return None
+
+    def finish(self, dv: "DejaVu") -> None:
+        """End-of-run exhaustion checks (before the END witness compare)."""
+        if self._remaining:
+            raise SlimReconstructError(
+                f"run ended inside a drop run ({self._remaining} model "
+                "firings never happened)"
+            )
+        if self._next_run < len(self.runs):
+            raise SlimReconstructError(
+                f"{len(self.runs) - self._next_run} drop runs never reached"
+            )
+        if self.kept_done < self.kept_total:
+            raise SlimReconstructError(
+                f"{self.kept_total - self.kept_done} explicit switches "
+                "never fired"
+            )
+        if self.sync_total is not None and dv._slim_witness.count != self.sync_total:
+            raise SlimReconstructError(
+                f"end-of-run sync-order witness mismatch: recorded "
+                f"{self.sync_total} events, replay saw {dv._slim_witness.count}"
+            )
+
+
 class DejaVu:
     """One record or replay session bound to one VM."""
 
@@ -54,6 +345,8 @@ class DejaVu:
         value_buffer_words: int = VALUE_BUFFER_WORDS,
         schedule: "SchedulePolicy | None" = None,
         writer: TraceWriter | None = None,
+        slim_spec: tuple | None = None,
+        slim_detector=None,
     ):
         if mode not in (MODE_RECORD, MODE_REPLAY):
             raise VMError(f"bad DejaVu mode {mode!r}")
@@ -63,6 +356,10 @@ class DejaVu:
             raise VMError("a schedule policy only applies in record mode")
         if writer is not None and mode != MODE_RECORD:
             raise VMError("a trace writer only applies in record mode")
+        if slim_spec is not None and mode != MODE_RECORD:
+            raise VMError("slim_spec only applies in record mode")
+        if slim_spec is not None and schedule is not None:
+            raise VMError("slim recording and a schedule policy are exclusive")
         if vm.dejavu is not None:
             raise VMError("VM already has a DejaVu attached")
         self.vm = vm
@@ -82,10 +379,13 @@ class DejaVu:
 
         # record-side sinks; a TraceWriter's sinks ARE lists, so attaching
         # one streams full segments to disk without the controller (or the
-        # guest-heap buffers feeding it) behaving any differently
+        # guest-heap buffers feeding it) behaving any differently.  A slim
+        # record keeps its switch words in a plain host list instead: the
+        # keep/drop partition happens at seal time, after which the caller
+        # pushes the slimmed stream into the writer.
         self.writer = writer
         self._switch_sink: list[int] = (
-            writer.switch_sink if writer is not None else []
+            writer.switch_sink if writer is not None and slim_spec is None else []
         )
         self._value_sink: list[int] = (
             writer.value_sink if writer is not None else []
@@ -130,6 +430,21 @@ class DejaVu:
         )
         self._fast_record = self.recording and schedule is None and _sym_fast
         self._fast_replay = self.replaying and _sym_fast
+
+        # -- trace-v3.2 slim mode state
+        self._slim_fast = _sym_fast
+        self._slim_rec: SlimRecorder | None = None
+        self._slim_replay: ScheduleReconstructor | None = None
+        self._slim_witness: SyncWitness | None = None
+        self._slim_timer: _CountingTimer | None = None
+        if slim_spec is not None:
+            self._slim_rec = SlimRecorder(slim_spec, slim_detector)
+            self._slim_witness = self._slim_rec.witness
+        elif self.replaying and trace is not None and trace.slim_info is not None:
+            self._slim_witness = SyncWitness()
+            self._slim_replay = ScheduleReconstructor(self, trace)
+            inner = timer_from_model(self._slim_replay.model)
+            self._slim_timer = _CountingTimer(inner) if inner is not None else None
         vm.dejavu = self
 
     # ------------------------------------------------------------------
@@ -181,7 +496,23 @@ class DejaVu:
     def on_run_start(self) -> None:
         """DejaVu initialisation, before the application's first event."""
         self.sym.init_actions()
+        if self._slim_witness is not None:
+            # chain onto whatever sync hooks are installed by now (a race
+            # detector's, usually) — identical attach point in both modes
+            self._slim_witness.attach(self.vm)
         if self.replaying:
+            if self._slim_replay is not None:
+                # slim replay: the modelled timer device re-raises the
+                # hardware bit at exactly the recorded cycles, so the
+                # timer stays LIVE (classic replay disables it)
+                self.vm.timer = self._slim_timer
+                prev = self.liveclock
+                self.liveclock = False
+                try:
+                    self._slim_replay.begin(self)
+                finally:
+                    self.liveclock = prev
+                return
             self.vm.engine.timer_enabled = False  # hw bit is ignored anyway
             prev = self.liveclock
             self.liveclock = False
@@ -200,6 +531,8 @@ class DejaVu:
             if self.recording:
                 self.switch_buf.flush(self._switch_sink)
                 self.value_buf.flush(self._value_sink)
+                if self._slim_rec is not None:
+                    self._slim_rec.finish()
         finally:
             self.liveclock = prev
         # leave byte-identical heaps behind in both modes
@@ -228,6 +561,10 @@ class DejaVu:
         assert self._trace is not None
         if self.tolerate_truncation:
             return  # a prefix has no END witnesses to check against
+        if self._slim_replay is not None:
+            # slim exhaustion first: an underdetermined sidecar should
+            # surface as the typed error, not a generic END mismatch
+            self._slim_replay.finish(self)
         want = self._trace.meta.get("end")
         if want is None:
             return
@@ -252,7 +589,16 @@ class DejaVu:
             )
 
     def trace(self) -> TraceLog:
-        """The recorded trace (record mode, after the run completes)."""
+        """The recorded trace (record mode, after the run completes).
+
+        For a slim record this is where the keep/drop partition runs: the
+        full delta list, the detector's (retroactively pinned) racy
+        windows and the per-firing sync-witness marks turn into a kept
+        stream plus a drop-run sidecar.  If slimming would not actually
+        shrink the encoding (e.g. everything is race-adjacent), the trace
+        degrades to a full switch stream with ``meta["slim_fallback"]``
+        saying why — slim never costs bytes.
+        """
         if not self.recording:
             raise VMError("trace() is only available in record mode")
         if not self._finished:
@@ -261,6 +607,26 @@ class DejaVu:
             switches=list(self._switch_sink),
             values=list(self._value_sink),
         )
+        if self._slim_rec is not None:
+            rec = self._slim_rec
+            kept, sidecar, dropped = slim_partition(
+                log.switches, rec.marks, rec.racy_regions()
+            )
+            slim_bytes = len(encode_words(kept)) + len(encode_words(sidecar))
+            full_bytes = len(encode_words(log.switches))
+            if dropped == 0 or slim_bytes >= full_bytes:
+                log.meta["slim_fallback"] = (
+                    "no droppable deltas" if dropped == 0 else "no savings"
+                )
+            else:
+                log.switches = kept
+                log.slim = sidecar
+                log.meta["slim"] = tuple(sorted({
+                    "model": rec.model,
+                    "kept": len(kept),
+                    "dropped": dropped,
+                    "sync_total": rec.total_sync,
+                }.items()))
         log.meta["end"] = tuple(sorted(self._end_meta.items()))
         log.meta["stats"] = tuple(sorted(self.stats.items()))
         return log
@@ -301,6 +667,12 @@ class DejaVu:
                     if self._replay_nyp == 0:  # preemption performed during record
                         self._replay_nyp = self._replay_thread_switch()
                         self.threadswitch_bit = True  # set the software switch bit
+                elif self._slim_replay is not None and engine.hw_bit:
+                    # model phase of a slim replay: no countdown is armed,
+                    # the modelled timer device re-created this preemption
+                    self._replay_nyp = self._slim_replay.model_fire(self)
+                    self.nyp = 0
+                    self.threadswitch_bit = True
                 self.liveclock = True  # resume the clock
         if self.threadswitch_bit:
             self.threadswitch_bit = False
@@ -309,8 +681,12 @@ class DejaVu:
     def _record_thread_switch(self, nyp: int) -> None:
         self._put_switch(nyp)
         self.stats["switch_records"] += 1
+        if self._slim_rec is not None:
+            self._slim_rec.on_switch()
 
     def _replay_thread_switch(self) -> int | None:
+        if self._slim_replay is not None:
+            return self._slim_replay.explicit_fire(self)
         delta = self._take_switch()
         return delta
 
@@ -458,6 +834,62 @@ class DejaVu:
             )
         finally:
             self.liveclock = prev
+
+    # ------------------------------------------------------------------
+    # checkpoint support (slim replay has live timer/reconstructor state)
+
+    def _slim_snapshot_state(self) -> tuple | None:
+        """Slim-replay state a snapshot must carry, or None (classic)."""
+        if self._slim_replay is None:
+            return None
+        r = self._slim_replay
+        engine = self.vm.engine
+        return tuple(sorted({
+            "next_run": r._next_run,
+            "remaining": r._remaining,
+            "sync_want": r._sync_want,
+            "anchor": r._anchor,
+            "kept_since_run": r._kept_since_run,
+            "kept_done": r.kept_done,
+            "dropped_done": r.dropped_done,
+            "witness": self._slim_witness.count,
+            "intervals": self._slim_timer.count if self._slim_timer else 0,
+            "deadline": engine._deadline,
+            "timer_armed": engine._timer_armed,
+            "timer_enabled": engine.timer_enabled,
+            "fast_record": self._fast_record,
+        }.items()))
+
+    def _slim_restore_state(self, state: tuple) -> None:
+        """Rebuild the model timer (burning consumed intervals) and the
+        reconstructor cursors from a snapshot's slim block."""
+        if self._slim_replay is None:
+            raise VMError(
+                "snapshot carries slim replay state but the trace is not slim"
+            )
+        d = dict(state)
+        r = self._slim_replay
+        inner = timer_from_model(r.model)
+        wrapper = _CountingTimer(inner) if inner is not None else None
+        if inner is not None:
+            for _ in range(d["intervals"]):
+                inner.next_interval()
+            wrapper.count = d["intervals"]
+        self._slim_timer = wrapper
+        self.vm.timer = wrapper
+        engine = self.vm.engine
+        engine.timer_enabled = d["timer_enabled"]
+        engine._deadline = d["deadline"]
+        engine._timer_armed = d["timer_armed"]
+        r._next_run = d["next_run"]
+        r._remaining = d["remaining"]
+        r._sync_want = d["sync_want"]
+        r._anchor = d["anchor"]
+        r._kept_since_run = d["kept_since_run"]
+        r.kept_done = d["kept_done"]
+        r.dropped_done = d["dropped_done"]
+        self._slim_witness.count = d["witness"]
+        self._fast_record = d["fast_record"]
 
     # ------------------------------------------------------------------
     # GC support

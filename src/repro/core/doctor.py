@@ -22,6 +22,12 @@ classification              meaning / the fix
                             salvaged and replays to the point of death
 ``corrupt-segment``         storage damage (CRC/footer mismatch) at a known
                             segment — restore from a good copy
+``slim-underdetermined``    a slim (v3.2) trace whose dropped schedule cannot
+                            be reconstructed: the sidecar is missing,
+                            truncated, or inconsistent with its meta, or the
+                            replayed sync order disagrees with the recorded
+                            witness — restore an intact copy, or re-record
+                            without ``--slim``
 ``engine-config-mismatch``  the replay VM is sized differently from the
                             recording VM (heap/stack/cycle budget) — replay
                             under the recorded fingerprint
@@ -50,6 +56,7 @@ from repro.core.tracelog import SalvageReport, TraceLog, config_fingerprint
 from repro.vm.errors import (
     CheckpointError,
     ReplayDivergenceError,
+    SlimReconstructError,
     TraceFormatError,
     VMError,
 )
@@ -65,9 +72,12 @@ CLASS_NONDETERMINISM = "nondeterminism"
 CLASS_CKPT_CORRUPT = "corrupt-checkpoint"
 CLASS_CKPT_CONFIG = "checkpoint-config-mismatch"
 CLASS_CODEC = "codec-mismatch"
+CLASS_SLIM = "slim-underdetermined"
 
 #: classifications that mean "the file itself is not usable as input"
-FORMAT_CLASSES = (CLASS_NOT_A_TRACE, CLASS_VERSION_SKEW, CLASS_CODEC)
+#: (a slim trace without a usable sidecar cannot drive any replay: the
+#: dropped schedule is unrecoverable, so it sits in this tier too)
+FORMAT_CLASSES = (CLASS_NOT_A_TRACE, CLASS_VERSION_SKEW, CLASS_CODEC, CLASS_SLIM)
 
 #: words of context shown on each side of a stream cursor
 STREAM_NEIGHBORHOOD = 5
@@ -220,6 +230,36 @@ def diagnose(
         report.classification = classification
         report.detail = str(exc)
 
+    # -- stage 1b: slim sidecar consistency (static) ----------------------
+    # run only when the framing itself survived (clean or torn-tail): CRC
+    # damage keeps its corrupt-segment verdict, which names the real cause
+    slim_evidence = (
+        trace.slim_info is not None
+        or bool(trace.slim)
+        or bool(getattr(trace, "salvage_report", None)
+                and trace.salvage_report.slim_segments)
+    )
+    if slim_evidence and report.classification in (CLASS_CLEAN, CLASS_TRUNCATED):
+        from repro.core.controller import ScheduleReconstructor
+
+        try:
+            if trace.slim_info is None:
+                raise SlimReconstructError(
+                    "slim sidecar segments survive but the slim meta "
+                    "(timer model, kept/dropped counts) was lost"
+                )
+            ScheduleReconstructor(None, trace)
+        except SlimReconstructError as exc:
+            report.checks.append(f"slim sidecar: UNUSABLE ({exc})")
+            report.classification = CLASS_SLIM
+            report.detail = (
+                f"slim trace cannot drive reconstruction: {exc} — the "
+                "dropped schedule is underdetermined without an intact "
+                "sidecar; restore a good copy or re-record without --slim"
+            )
+            return report
+        report.checks.append("slim sidecar: drop runs consistent with meta")
+
     # -- stage 2: configuration fingerprints ------------------------------
     recorded_fp = trace.meta.get("config")
     if config is not None and recorded_fp is not None:
@@ -288,6 +328,14 @@ def _replay_stage(report: DoctorReport, trace: TraceLog, program, config) -> Non
     if trace.truncated:
         try:
             prefix = replay_prefix(program, trace, config=config)
+        except SlimReconstructError as exc:
+            report.checks.append(f"prefix replay: SLIM RECONSTRUCTION FAILED ({exc})")
+            report.classification = CLASS_SLIM
+            report.detail = (
+                f"salvaged slim trace cannot replay: {exc} — the dropped "
+                "schedule is underdetermined without an intact sidecar"
+            )
+            return
         except VMError as exc:
             # the prefix itself misbehaves — keep the truncation verdict
             # but record that even the surviving prefix is suspect
@@ -309,9 +357,19 @@ def _replay_stage(report: DoctorReport, trace: TraceLog, program, config) -> Non
         return
 
     vm = build_vm(program, config)
-    DejaVu(vm, MODE_REPLAY, trace=trace)
     try:
+        DejaVu(vm, MODE_REPLAY, trace=trace)
         vm.run(program.main)
+    except SlimReconstructError as exc:
+        report.checks.append(f"replay: SLIM RECONSTRUCTION FAILED ({exc})")
+        report.classification = CLASS_SLIM
+        report.detail = (
+            f"slim schedule reconstruction failed: {exc} — the model timer "
+            "or sync-order witness disagrees with the recorded schedule; "
+            "the replay refused to continue rather than silently diverge"
+        )
+        _capture_failure_context(report, vm, trace, exc)
+        return
     except ReplayDivergenceError as exc:
         report.checks.append(f"replay: DIVERGED ({exc})")
         report.classification = CLASS_NONDETERMINISM

@@ -70,16 +70,21 @@ if TYPE_CHECKING:  # pragma: no cover
 MAGIC = b"DJVU"
 #: the version this build writes: v3.1, stored as (major << 8) | minor
 FORMAT_VERSION = (3 << 8) | 1
+#: v3.2 — written only by slim-capable recorders: same framing as v3.1
+#: plus the SEG_SLIM sidecar stream and slim footer fields
+FORMAT_VERSION_SLIM = (3 << 8) | 2
 #: versions this build can read (v2 = legacy single-blob streams,
-#: 3 = segmented without codec byte, 769 = v3.1 with codec byte)
-READABLE_VERSIONS = (2, 3, FORMAT_VERSION)
+#: 3 = segmented without codec byte, 769 = v3.1 with codec byte,
+#: 770 = v3.2 slim sidecar)
+READABLE_VERSIONS = (2, 3, FORMAT_VERSION, FORMAT_VERSION_SLIM)
 
 #: segment kinds
 SEG_META = b"M"
 SEG_SWITCH = b"S"
 SEG_VALUE = b"V"
+SEG_SLIM = b"L"
 SEG_FOOTER = b"F"
-_SEGMENT_KINDS = (SEG_META, SEG_SWITCH, SEG_VALUE, SEG_FOOTER)
+_SEGMENT_KINDS = (SEG_META, SEG_SWITCH, SEG_VALUE, SEG_SLIM, SEG_FOOTER)
 _SEG_HEADER_BYTES = 1 + 4 + 4  # v3: kind + payload_len + crc32
 _SEG_HEADER_BYTES_V31 = 1 + 1 + 4 + 4  # v3.1 adds the codec byte
 #: sanity bound so a corrupted length field cannot demand a giant read
@@ -95,7 +100,7 @@ CODEC_GROUP_ZLIB = CODEC_GROUP | CODEC_ZLIB
 _CODEC_MASK = CODEC_GROUP | CODEC_ZLIB
 
 _STREAM_OF_KIND = {SEG_SWITCH: "switch", SEG_VALUE: "value",
-                   SEG_META: "meta", SEG_FOOTER: "footer"}
+                   SEG_SLIM: "slim", SEG_META: "meta", SEG_FOOTER: "footer"}
 
 
 def config_fingerprint(config) -> str:
@@ -594,6 +599,7 @@ class SalvageReport:
     intact_segments: int = 0
     switch_segments: int = 0
     value_segments: int = 0
+    slim_segments: int = 0
     sealed: bool = False
     stopped_at: int | None = None  # byte offset of the first damage
     error: str | None = None  # why scanning stopped (None = clean EOF)
@@ -603,9 +609,10 @@ class SalvageReport:
             return "file is sealed and intact (no salvage needed)"
         where = f" at byte {self.stopped_at}" if self.stopped_at is not None else ""
         why = f": {self.error}" if self.error else " (file ends mid-record)"
+        slim = f", {self.slim_segments} slim" if self.slim_segments else ""
         return (
             f"salvaged {self.intact_segments} intact segments "
-            f"({self.switch_segments} switch, {self.value_segments} value), "
+            f"({self.switch_segments} switch, {self.value_segments} value{slim}), "
             f"stopped{where}{why}"
         )
 
@@ -617,12 +624,16 @@ class TraceLog:
     switches: list[int] = field(default_factory=list)
     values: list[int] = field(default_factory=list)
     meta: dict = field(default_factory=dict)
+    #: v3.2 slim sidecar: drop-run triples, empty for full traces
+    slim: list[int] = field(default_factory=list)
     #: set by :meth:`salvage` — None for cleanly loaded traces
     salvage_report: "SalvageReport | None" = None
 
     @property
     def encoded_size_bytes(self) -> int:
-        return len(encode_words(self.switches)) + len(encode_words(self.values))
+        return (len(encode_words(self.switches))
+                + len(encode_words(self.values))
+                + len(encode_words(self.slim)))
 
     @property
     def n_switch_records(self) -> int:
@@ -636,16 +647,30 @@ class TraceLog:
     def truncated(self) -> bool:
         return bool(self.meta.get("truncated"))
 
+    @property
+    def slim_info(self) -> dict | None:
+        """The ``meta["slim"]`` block as a dict, or None for full traces.
+
+        Present iff the switch stream is slimmed: keys ``model`` (the
+        timer reconstruction spec), ``kept``/``dropped`` (delta counts)
+        and ``sync_total`` (the end-of-run sync-order witness).
+        """
+        block = self.meta.get("slim")
+        return dict(block) if block is not None else None
+
     # -- writing -----------------------------------------------------------
 
     def save(self, path: str | Path, *, codec: int = CODEC_GROUP) -> None:
-        """Persist as format v3.1, atomically (tmp file + rename)."""
-        writer = TraceWriter(path, codec=codec, background=False)
+        """Persist as format v3.1 (v3.2 when slim), atomically."""
+        writer = TraceWriter(path, codec=codec, background=False,
+                             slim=bool(self.slim) or "slim" in self.meta)
         try:
             for w in self.switches:
                 writer.switch_sink.append(w)
             for w in self.values:
                 writer.value_sink.append(w)
+            for w in self.slim:
+                writer.slim_sink.append(w)
             writer.seal(self.meta)
         except BaseException:
             writer.abandon()
@@ -747,10 +772,11 @@ class TraceLog:
         hdr = _SEG_HEADER_BYTES if version == 3 else _SEG_HEADER_BYTES_V31
         switches: list[int] = []
         values: list[int] = []
+        slim: list[int] = []
         meta: dict = {}
         footer: dict | None = None
         report = SalvageReport()
-        stream_crcs = {SEG_SWITCH: 0, SEG_VALUE: 0}
+        stream_crcs = {SEG_SWITCH: 0, SEG_VALUE: 0, SEG_SLIM: 0}
         error: TraceFormatError | None = None
         pos = 6
         seg_index = 0
@@ -823,6 +849,10 @@ class TraceLog:
                     values.extend(_decode_segment_payload(payload, codec, "value"))
                     stream_crcs[SEG_VALUE] = zlib.crc32(payload, stream_crcs[SEG_VALUE])
                     report.value_segments += 1
+                elif kind == SEG_SLIM:
+                    slim.extend(_decode_segment_payload(payload, codec, "slim"))
+                    stream_crcs[SEG_SLIM] = zlib.crc32(payload, stream_crcs[SEG_SLIM])
+                    report.slim_segments += 1
                 elif kind == SEG_META:
                     meta.update(_decode_meta(_maybe_decompress(payload, codec, "meta")))
                 else:  # footer
@@ -849,20 +879,26 @@ class TraceLog:
                     stream="footer", offset=len(data),
                 )
         else:
-            cls._check_footer(footer, switches, values, report, stream_crcs)
+            cls._check_footer(footer, switches, values, slim, report, stream_crcs)
             report.sealed = error is None
-        return cls(switches=switches, values=values, meta=meta), report
+        return cls(switches=switches, values=values, slim=slim, meta=meta), report
 
     @staticmethod
-    def _check_footer(footer, switches, values, report, stream_crcs) -> None:
-        checks = (
+    def _check_footer(footer, switches, values, slim, report, stream_crcs) -> None:
+        checks = [
             ("n_switch_words", len(switches)),
             ("n_value_words", len(values)),
             ("n_switch_segments", report.switch_segments),
             ("n_value_segments", report.value_segments),
             ("switch_crc", stream_crcs[SEG_SWITCH]),
             ("value_crc", stream_crcs[SEG_VALUE]),
-        )
+        ]
+        if "n_slim_words" in footer or report.slim_segments:
+            checks += [
+                ("n_slim_words", len(slim)),
+                ("n_slim_segments", report.slim_segments),
+                ("slim_crc", stream_crcs[SEG_SLIM]),
+            ]
         for key, got in checks:
             want = footer.get(key)
             if want != got:
@@ -901,12 +937,12 @@ def trace_stats(path: str | Path) -> dict:
     path = Path(path)
     data = path.read_bytes()
     # validate wholesale first: stats on a damaged file would be fiction
-    TraceLog.load(path)
+    log = TraceLog.load(path)
     version = int.from_bytes(data[4:6], "little")
     streams = {
         name: {"entries": 0, "segments": 0, "encoded_bytes": 0,
                "raw_bytes": 0, "codecs": set()}
-        for name in ("switch", "value")
+        for name in ("switch", "value", "slim")
     }
     if version == 2:
         buf = io.BytesIO(data)
@@ -934,7 +970,7 @@ def trace_stats(path: str | Path) -> dict:
                 codec = data[pos + 1]
                 payload_len = int.from_bytes(data[pos + 2:pos + 6], "little")
             payload = data[pos + hdr:pos + hdr + payload_len]
-            if kind in (SEG_SWITCH, SEG_VALUE):
+            if kind in (SEG_SWITCH, SEG_VALUE, SEG_SLIM):
                 name = _STREAM_OF_KIND[kind]
                 words = _decode_segment_payload(payload, codec, name)
                 st = streams[name]
@@ -944,16 +980,26 @@ def trace_stats(path: str | Path) -> dict:
                 st["raw_bytes"] += len(encode_words(words))
                 st["codecs"].add(codec)
             pos += hdr + payload_len
+    if not streams["slim"]["segments"]:
+        del streams["slim"]  # full traces report the two classic streams
     for st in streams.values():
         st["ratio"] = (
             st["raw_bytes"] / st["encoded_bytes"] if st["encoded_bytes"] else 1.0
         )
         st["codecs"] = sorted(st["codecs"])
-    return {
+    stats = {
         "format_version": version,
         "file_bytes": len(data),
         "streams": streams,
     }
+    slim_block = log.slim_info
+    if slim_block is not None:
+        stats["slim"] = {
+            "kept": slim_block.get("kept"),
+            "dropped": slim_block.get("dropped"),
+            "model": slim_block.get("model"),
+        }
+    return stats
 
 
 # ---------------------------------------------------------------------------
@@ -1006,7 +1052,7 @@ class TraceWriter:
 
     def __init__(self, path: str | Path, *, segment_words: int = SEGMENT_WORDS,
                  codec: int = CODEC_GROUP, compress: bool = False,
-                 background: bool = True):
+                 background: bool = True, slim: bool = False):
         if segment_words <= 0:
             raise VMError(f"segment_words must be positive, got {segment_words}")
         if codec & ~_CODEC_MASK:
@@ -1015,14 +1061,19 @@ class TraceWriter:
         self.tmp_path = self.path.with_name(self.path.name + ".tmp")
         self.segment_words = segment_words
         self.codec = codec | CODEC_ZLIB if compress else codec
+        # the version streams out first, so "slim-capable" is decided here;
+        # whether the switch stream actually got slimmed is in the meta
+        self.slim = slim
+        self.version = FORMAT_VERSION_SLIM if slim else FORMAT_VERSION
         self._f = self.tmp_path.open("wb")
         self._f.write(MAGIC)
-        self._f.write(FORMAT_VERSION.to_bytes(2, "little"))
+        self._f.write(self.version.to_bytes(2, "little"))
         self._f.flush()
         self.switch_sink = _SpillList(self, SEG_SWITCH)
         self.value_sink = _SpillList(self, SEG_VALUE)
-        self._stream_crcs = {SEG_SWITCH: 0, SEG_VALUE: 0}
-        self._seg_counts = {SEG_SWITCH: 0, SEG_VALUE: 0}
+        self.slim_sink = _SpillList(self, SEG_SLIM)
+        self._stream_crcs = {SEG_SWITCH: 0, SEG_VALUE: 0, SEG_SLIM: 0}
+        self._seg_counts = {SEG_SWITCH: 0, SEG_VALUE: 0, SEG_SLIM: 0}
         self._sealed = False
         self._error: BaseException | None = None
         self._queue: "queue.Queue | None" = None
@@ -1083,6 +1134,8 @@ class TraceWriter:
             raise VMError("TraceWriter already sealed")
         self.switch_sink.spill()
         self.value_sink.spill()
+        if self.slim:
+            self.slim_sink.spill()
         self._join_flusher()
         if self._error is not None:
             raise self._error
@@ -1097,6 +1150,10 @@ class TraceWriter:
             "value_crc": self._stream_crcs[SEG_VALUE],
             "config": meta.get("config"),
         }
+        if self.slim:
+            footer["n_slim_words"] = len(self.slim_sink)
+            footer["n_slim_segments"] = self._seg_counts[SEG_SLIM]
+            footer["slim_crc"] = self._stream_crcs[SEG_SLIM]
         self._write_segment(SEG_FOOTER, _encode_meta(footer), CODEC_RAW)
         self._f.flush()
         os.fsync(self._f.fileno())

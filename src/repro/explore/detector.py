@@ -95,6 +95,22 @@ class Race:
         )
 
 
+@dataclass(frozen=True)
+class RegionSummary:
+    """One closed race region: the window between two thread switches.
+
+    ``racy`` is the verdict *at close time*; a race detected later can
+    still pin this region retroactively (its earlier access lives here),
+    which shows up in the detector's final ``racy_regions`` set — the
+    set slim recording consults, since it classifies after the run.
+    """
+
+    index: int
+    racy: bool
+    n_accesses: int
+    races: "tuple[Race, ...]"  # races first reported inside this region
+
+
 class RaceDetector:
     """Attach to a VM before ``run``; read ``races`` after."""
 
@@ -111,10 +127,19 @@ class RaceDetector:
         self._vc: dict[int, dict[int, int]] = {}
         # per-lock published clocks: lock addr -> {tid: clock}
         self._lock_vc: dict[int, dict[int, int]] = {}
-        # FastTrack state per word address
-        self._write: dict[int, tuple[int, int, AccessSite]] = {}
-        self._reads: dict[int, dict[int, tuple[int, AccessSite]]] = {}
+        # FastTrack state per word address (last entry is the region index)
+        self._write: dict[int, tuple[int, int, AccessSite, int]] = {}
+        self._reads: dict[int, dict[int, tuple[int, AccessSite, int]]] = {}
         self._gc_seen = vm.collector.collections
+        # incremental race-region summary: a region is the window between
+        # two thread switches; the caller closes one with end_region()
+        self.region_index = 0
+        self.racy_regions: set[int] = set()
+        self.regions: list[RegionSummary] = []
+        self._region_accesses = 0
+        self._region_new_races: list[Race] = []
+        # words that ever raced: later windows touching one stay pinned
+        self._racy_words: set[int] = set()
         vm.engine.mem_hook = self._on_mem
         vm.monitors.on_acquire = self._on_acquire
         vm.monitors.on_release = self._on_release
@@ -147,6 +172,7 @@ class RaceDetector:
             self._write.clear()
             self._reads.clear()
             self._lock_vc.clear()
+            self._racy_words.clear()
             self.stats["gc_invalidations"] += 1
 
     # ------------------------------------------------------------------
@@ -211,6 +237,11 @@ class RaceDetector:
             word, kind, loc = arr + HEADER_WORDS + idx, WRITE, self._elem_name(arr, idx)
         self._check_gc()
         self.stats["accesses"] += 1
+        self._region_accesses += 1
+        region = self.region_index
+        if word in self._racy_words:
+            # any later touch of a word that ever raced keeps its window
+            self.racy_regions.add(region)
 
         tid = thread.tid
         vc = self._clock(tid)
@@ -222,19 +253,33 @@ class RaceDetector:
         )
         last_write = self._write.get(word)
         if last_write is not None:
-            wt, wc, wsite = last_write
+            wt, wc, wsite, wregion = last_write
             if wt != tid and wc > vc.get(wt, 0):
-                self._report(loc, wsite, site)
+                self._report(word, loc, wsite, site, wregion)
         if kind == READ:
-            self._reads.setdefault(word, {})[tid] = (vc[tid], site)
+            self._reads.setdefault(word, {})[tid] = (vc[tid], site, region)
         else:
-            for rt, (rc, rsite) in self._reads.get(word, {}).items():
+            for rt, (rc, rsite, rregion) in self._reads.get(word, {}).items():
                 if rt != tid and rc > vc.get(rt, 0):
-                    self._report(loc, rsite, site)
-            self._write[word] = (tid, vc[tid], site)
+                    self._report(word, loc, rsite, site, rregion)
+            self._write[word] = (tid, vc[tid], site, region)
             self._reads[word] = {}
 
-    def _report(self, location: str, first: AccessSite, second: AccessSite) -> None:
+    def _report(
+        self,
+        word: int,
+        location: str,
+        first: AccessSite,
+        second: AccessSite,
+        first_region: int,
+    ) -> None:
+        # region pinning happens before (site-pair) dedup: a race seen
+        # again in a later window still marks that window racy, and the
+        # first access pins its own — possibly much earlier — window
+        # retroactively, which seal-time slimming honours
+        self._racy_words.add(word)
+        self.racy_regions.add(self.region_index)
+        self.racy_regions.add(first_region)
         key = (
             location,
             first.method,
@@ -247,7 +292,28 @@ class RaceDetector:
         if key in self._seen:
             return
         self._seen.add(key)
-        self.races.append(Race(location=location, first=first, second=second))
+        race = Race(location=location, first=first, second=second)
+        self.races.append(race)
+        self._region_new_races.append(race)
+
+    def end_region(self) -> RegionSummary:
+        """Close the current race region (called at each thread switch).
+
+        Returns the closed region's summary and starts the next region.
+        Safe to call with zero accesses (an empty window is never racy).
+        """
+        index = self.region_index
+        summary = RegionSummary(
+            index=index,
+            racy=index in self.racy_regions,
+            n_accesses=self._region_accesses,
+            races=tuple(self._region_new_races),
+        )
+        self.regions.append(summary)
+        self.region_index = index + 1
+        self._region_accesses = 0
+        self._region_new_races = []
+        return summary
 
     # ------------------------------------------------------------------
     # naming (for reports only — never guest-visible)

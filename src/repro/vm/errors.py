@@ -131,6 +131,20 @@ class ReplayDivergenceError(VMError):
         super().__init__(message)
 
 
+class SlimReconstructError(ReplayDivergenceError):
+    """A slim (v3.2) trace could not drive schedule reconstruction.
+
+    Slim traces omit sync-inferable switch deltas and re-derive them at
+    replay from the modelled timer device plus the logged synchronization
+    order.  When the sidecar is missing/truncated, the model timer fires
+    outside the recorded schedule, or the sync-order witness disagrees,
+    the reconstruction is *underdetermined* — raising this typed error is
+    the contract, never a silently divergent replay.  Subclasses
+    :class:`ReplayDivergenceError` so existing catch sites keep working;
+    the doctor maps it to its own ``slim-underdetermined`` class.
+    """
+
+
 class TracePrefixEnd(VMError):
     """A replay of a *salvaged* (truncated) trace consumed the whole
     surviving prefix.  Not a divergence: the recording simply stops here,

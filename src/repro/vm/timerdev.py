@@ -48,6 +48,9 @@ class FixedTimer:
     def next_interval(self) -> int:
         return self.interval
 
+    def slim_model(self) -> tuple | None:
+        return ("fixed", self.interval)
+
 
 class SeededJitterTimer:
     """Pseudo-random intervals in [lo, hi] from a private PRNG.
@@ -59,12 +62,22 @@ class SeededJitterTimer:
     def __init__(self, seed: int, lo: int = 200, hi: int = 4000):
         if not (0 < lo <= hi):
             raise ValueError(f"bad interval bounds [{lo}, {hi}]")
+        self.seed = seed
         self._rng = random.Random(seed)
         self.lo = lo
         self.hi = hi
+        self._consumed = False
 
     def next_interval(self) -> int:
+        self._consumed = True
         return self._rng.randint(self.lo, self.hi)
+
+    def slim_model(self) -> tuple | None:
+        # The PRNG stream is only reconstructible from the seed while the
+        # timer is pristine; a pre-used timer has unrecoverable state.
+        if self._consumed:
+            return None
+        return ("jitter", self.seed, self.lo, self.hi)
 
 
 class NeverTimer:
@@ -82,6 +95,41 @@ class NeverTimer:
 
     def next_interval(self) -> int:
         return self.INTERVAL
+
+    def slim_model(self) -> tuple | None:
+        return ("never",)
+
+
+def slim_model_of(timer) -> tuple | None:
+    """The compact reconstruction spec of a timer device, or None.
+
+    A spec is a small tuple from which :func:`timer_from_model` rebuilds a
+    device whose interval stream is *identical* to what the original would
+    have produced from this point on.  Host timers (and any pre-used
+    jitter timer) have no spec — slim recording then falls back to full
+    switch logging.  ``timer=None`` (no preemption source) is modelled as
+    ``("none",)``.
+    """
+    if timer is None:
+        return ("none",)
+    probe = getattr(timer, "slim_model", None)
+    if probe is None:
+        return None
+    return probe()
+
+
+def timer_from_model(spec: tuple):
+    """Rebuild a pristine timer device from a :func:`slim_model_of` spec."""
+    kind = spec[0]
+    if kind == "fixed":
+        return FixedTimer(int(spec[1]))
+    if kind == "jitter":
+        return SeededJitterTimer(int(spec[1]), int(spec[2]), int(spec[3]))
+    if kind == "never":
+        return NeverTimer()
+    if kind == "none":
+        return None
+    raise ValueError(f"unknown slim timer model {spec!r}")
 
 
 class HostTimer:

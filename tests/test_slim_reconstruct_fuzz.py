@@ -1,0 +1,209 @@
+"""Seeded fuzz sweeps for the slim-trace reconstructor (v3.2).
+
+Two properties, both of the "never a wrong answer" kind:
+
+* **Random schedules reconstruct exactly** — across a sweep of timer
+  seeds (each a different preemption schedule), the slim replay equals
+  the full replay bit for bit.
+* **Damage is typed, never silent** — truncating or flipping bytes of a
+  sealed slim trace must land the doctor on a typed classification
+  (``slim-underdetermined`` at exit 2 when the sidecar survives but the
+  schedule is no longer derivable, ``corrupt-segment``/``truncated-tail``
+  at exit 1, the format tiers at 2), and tampering with the in-memory
+  sidecar must make replay raise :class:`ReplayDivergenceError` (the
+  typed :class:`SlimReconstructError` is a subclass) or still produce
+  the reference behaviour — a completed replay with *different*
+  behaviour fails the sweep.
+
+Marked ``fuzz``: tier 1 skips these (see ``addopts``); the slim-smoke
+CI job runs them.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.api import record, replay, trace_from_bytes, trace_to_bytes
+from repro.core.doctor import (
+    CLASS_CORRUPT,
+    CLASS_NOT_A_TRACE,
+    CLASS_SLIM,
+    CLASS_TRUNCATED,
+    CLASS_VERSION_SKEW,
+    diagnose,
+)
+from repro.core.tracelog import TraceFormatError, TraceLog
+from repro.vm.errors import ReplayDivergenceError, SlimReconstructError
+from repro.vm.machine import VMConfig
+from repro.workloads import synced_bank
+
+from .conftest import jitter_knobs
+from .test_slim_differential import mixed_program
+
+pytestmark = pytest.mark.fuzz
+
+CFG = VMConfig(semispace_words=60_000)
+
+#: the damage classes a mangled slim trace may legally land on —
+#: anything else (in particular: a clean verdict) fails the sweep
+DAMAGE_CLASSES = {
+    CLASS_SLIM,
+    CLASS_CORRUPT,
+    CLASS_TRUNCATED,
+    CLASS_NOT_A_TRACE,
+    CLASS_VERSION_SKEW,
+}
+
+
+def _sealed_slim(tmp_path, name="mixed.djv"):
+    """A sealed slim recording of the mixed workload + its reference."""
+    prog = mixed_program()
+    slim = record(prog, config=CFG, slim=True, **jitter_knobs(13))
+    assert slim.trace.slim_info is not None
+    path = tmp_path / name
+    path.write_bytes(trace_to_bytes(slim.trace))
+    reference = replay(prog, slim.trace, config=CFG)
+    return prog, slim.trace, path, reference
+
+
+def test_random_schedules_reconstruct_exactly():
+    """Every timer seed is a different preemption schedule; each one
+    must slim-record unperturbed and slim-replay identically."""
+    dropped_any = False
+    for seed in range(10):
+        for factory in (lambda: synced_bank(3, 24), mixed_program):
+            prog = factory()
+            full = record(prog, config=CFG, **jitter_knobs(seed))
+            slim = record(prog, config=CFG, slim=True, **jitter_knobs(seed))
+            assert slim.result.behavior_key() == full.result.behavior_key(), seed
+            r_full = replay(factory(), full.trace, config=CFG)
+            r_slim = replay(factory(), slim.trace, config=CFG)
+            assert r_slim.behavior_key() == r_full.behavior_key(), seed
+            info = slim.trace.slim_info
+            if info is not None and info["dropped"] > 0:
+                dropped_any = True
+    # the sweep must actually exercise reconstruction, not just fallbacks
+    assert dropped_any
+
+
+def test_truncated_slim_trace_is_typed_never_wrong(tmp_path):
+    """Seeded truncation points across the whole file: the doctor must
+    land on a typed damage class — a torn slim trace that can no longer
+    determine the schedule is ``slim-underdetermined`` (exit 2), never a
+    quietly-different replay."""
+    prog, _, path, _ = _sealed_slim(tmp_path)
+    blob = path.read_bytes()
+    rng = random.Random(0x51)
+    cuts = sorted(rng.sample(range(4, len(blob) - 1), 16))
+    saw_slim_class = False
+    for cut in cuts:
+        mangled = tmp_path / f"cut{cut}.djv"
+        mangled.write_bytes(blob[:cut])
+        report = diagnose(mangled, program=prog, config=CFG)
+        assert report.classification in DAMAGE_CLASSES, (
+            cut,
+            report.classification,
+            report.detail,
+        )
+        if report.classification == CLASS_SLIM:
+            saw_slim_class = True
+            assert report.exit_code == 2, cut
+        else:
+            assert report.exit_code in (1, 2), cut
+        # the salvage path itself must never crash unhandled either
+        try:
+            TraceLog.salvage(mangled)
+        except TraceFormatError:
+            pass
+    assert saw_slim_class, "no cut point exercised slim-underdetermined"
+
+
+def test_flipped_bytes_are_typed_never_wrong(tmp_path):
+    """Seeded single-byte flips past the magic/version header: CRCs (or
+    the slim consistency checks) must catch every one — the doctor never
+    reports clean and never crashes."""
+    prog, _, path, _ = _sealed_slim(tmp_path)
+    blob = path.read_bytes()
+    rng = random.Random(77)
+    for i, offset in enumerate(rng.sample(range(6, len(blob)), 16)):
+        mangled_bytes = bytearray(blob)
+        mangled_bytes[offset] ^= 1 << rng.randrange(8)
+        mangled = tmp_path / f"flip{i}.djv"
+        mangled.write_bytes(bytes(mangled_bytes))
+        report = diagnose(mangled, program=prog, config=CFG)
+        assert report.classification in DAMAGE_CLASSES, (
+            offset,
+            report.classification,
+            report.detail,
+        )
+        assert report.exit_code in (1, 2), offset
+
+
+def test_tampered_sidecar_never_replays_wrong(tmp_path):
+    """Mutate the decoded sidecar and slim meta directly (what a codec
+    bug or targeted corruption would produce): replay must raise the
+    typed divergence error or still land on the reference behaviour."""
+    prog, trace, _, reference = _sealed_slim(tmp_path)
+    blob = trace_to_bytes(trace)
+    rng = random.Random(1234)
+
+    def fresh():
+        return trace_from_bytes(blob)
+
+    mutations = []
+    for _ in range(8):
+        idx = rng.randrange(len(trace.slim))
+        bump = rng.choice((-2, -1, 1, 2, 17))
+        mutations.append(("bump-word", idx, bump))
+    mutations += [
+        ("drop-last-triple", None, None),
+        ("swap-words", 0, len(trace.slim) // 2),
+        ("meta-kept", None, 1),
+        ("meta-sync", None, -1),
+    ]
+
+    raised = 0
+    for kind, a, b in mutations:
+        mutated = fresh()
+        if kind == "bump-word":
+            mutated.slim[a] = max(0, mutated.slim[a] + b)
+        elif kind == "drop-last-triple":
+            del mutated.slim[-3:]
+        elif kind == "swap-words":
+            mutated.slim[a], mutated.slim[b] = mutated.slim[b], mutated.slim[a]
+        else:
+            info = dict(mutated.slim_info)
+            key = "kept" if kind == "meta-kept" else "sync_total"
+            info[key] += b
+            mutated.meta["slim"] = tuple(sorted(info.items()))
+        try:
+            r = replay(mixed_program(), mutated, config=CFG)
+        except ReplayDivergenceError:
+            raised += 1  # typed: SlimReconstructError is a subclass
+            continue
+        assert r.behavior_key() == reference.behavior_key(), (kind, a, b)
+    # the sweep must actually trip the typed path, not only no-ops
+    assert raised > 0
+
+
+def test_doctor_pins_reconstruct_failures_statically(tmp_path):
+    """A sidecar whose arithmetic no longer matches the kept stream must
+    be caught by the doctor's static stage (no replay needed) as
+    ``slim-underdetermined``."""
+    prog, trace, _, _ = _sealed_slim(tmp_path)
+    mutated = trace_from_bytes(trace_to_bytes(trace))
+    info = dict(mutated.slim_info)
+    info["dropped"] += 5  # claims five more drops than the sidecar holds
+    mutated.meta["slim"] = tuple(sorted(info.items()))
+    path = tmp_path / "bad-meta.djv"
+    path.write_bytes(trace_to_bytes(mutated))
+
+    report = diagnose(path)  # no program: static stages only
+    assert report.classification == CLASS_SLIM
+    assert report.exit_code == 2
+
+    # and the replay path agrees, with the typed error
+    with pytest.raises(SlimReconstructError):
+        replay(prog, mutated, config=CFG)
