@@ -1,0 +1,317 @@
+#!/usr/bin/env python
+"""Serve daemon benchmark: warm sessions vs cold starts.
+
+The point of a long-lived `repro serve` daemon is amortization: the
+interpreter boot, the imports, and the workload build are paid once,
+not per job.  This bench pins that claim with three record paths for
+the same (workload, seed):
+
+* **one-shot** — ``python -m repro.cli record`` subprocess per job, the
+  cold-start baseline every daemon job must beat;
+* **cold daemon** — ``repro serve --cold`` (no session pool): the
+  transport without the warm cache;
+* **warm daemon** — ``repro serve``: cached program builds and parsed
+  traces.
+
+Byte-identity is asserted first — all three paths must produce the
+identical trace bytes before any timing is reported.  A concurrency
+sweep then drives 10–100 simultaneous clients at the warm daemon and
+reports jobs/second with p50/p99 latency per level.
+
+Usage:
+
+    PYTHONPATH=src python benchmarks/bench_serve.py            # full
+    PYTHONPATH=src python benchmarks/bench_serve.py --quick    # smaller sweep
+    PYTHONPATH=src python benchmarks/bench_serve.py --check    # CI smoke
+
+The full run writes ``BENCH_serve.json`` at the repo root.
+
+``--check`` enforces the warm floor: warm-daemon p50 latency must be
+<= 0.5x the one-shot cold-start p50 — if a warm session is not at
+least twice as fast as booting a fresh interpreter, the daemon's
+reason to exist is gone.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import statistics
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.framing import BackoffPolicy  # noqa: E402
+from repro.serve import ServeClient, spawn_serve_process  # noqa: E402
+
+RESULT_PATH = REPO_ROOT / "BENCH_serve.json"
+WORKLOAD = "bank"
+SEED = 7
+WORKERS = 4
+QUEUE_LIMIT = 256
+#: warm p50 must be <= this fraction of the one-shot cold-start p50
+WARM_FLOOR = 0.5
+CLIENT_LEVELS_FULL = (10, 50, 100)
+CLIENT_LEVELS_QUICK = (10,)
+JOBS_PER_CLIENT = 3
+SERIAL_JOBS_FULL = 20
+SERIAL_JOBS_QUICK = 8
+ONESHOT_REPS_FULL = 5
+ONESHOT_REPS_QUICK = 3
+
+RETRY = BackoffPolicy(attempts=40, base_delay=0.02, max_delay=0.5, jitter_seed=0)
+
+
+def record_job(seed: int = SEED) -> dict:
+    return {
+        "kind": "record",
+        "workload": WORKLOAD,
+        "seed": seed,
+        "out_name": "bench.djv",
+    }
+
+
+def percentile(samples: "list[float]", q: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, round(q * (len(ordered) - 1)))
+    return ordered[index]
+
+
+# ---------------------------------------------------------------------------
+# the three paths
+
+
+def one_shot(reps: int) -> "tuple[list[float], bytes]":
+    """CLI subprocess per job: interpreter boot + imports + build, every
+    time.  Returns latencies and the recorded trace bytes."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    latencies = []
+    blob = b""
+    with tempfile.TemporaryDirectory() as tmp:
+        out = Path(tmp) / "oneshot.djv"
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            proc = subprocess.run(
+                [
+                    sys.executable, "-m", "repro.cli", "record",
+                    "--workload", WORKLOAD, "--seed", str(SEED),
+                    "-o", str(out),
+                ],
+                env=env,
+                capture_output=True,
+                text=True,
+            )
+            latencies.append(time.perf_counter() - t0)
+            if proc.returncode != 0:
+                raise RuntimeError(f"one-shot record failed: {proc.stderr}")
+            blob = out.read_bytes()
+    return latencies, blob
+
+
+def daemon_serial(address, jobs: int) -> "tuple[list[float], bytes]":
+    """One client, *jobs* sequential submits; first-job trace returned
+    for the identity check."""
+    latencies = []
+    blob = b""
+    with ServeClient(address) as client:
+        for i in range(jobs):
+            t0 = time.perf_counter()
+            result = client.submit(record_job(), timeout=120)
+            latencies.append(time.perf_counter() - t0)
+            if result["exit"] != 0:
+                raise RuntimeError(f"daemon record failed: {result['stderr']}")
+            if i == 0:
+                blob = result["trace"]
+    return latencies, blob
+
+
+def concurrent_level(address, clients: int, jobs_each: int) -> dict:
+    """*clients* simultaneous connections, *jobs_each* submits apiece
+    (distinct seeds, so the daemon really runs every job)."""
+    barrier = threading.Barrier(clients)
+    latencies: "list[float]" = []
+    errors: "list[str]" = []
+    lock = threading.Lock()
+
+    def client_loop(index: int) -> None:
+        try:
+            with ServeClient(address) as client:
+                barrier.wait(timeout=30)
+                mine = []
+                for j in range(jobs_each):
+                    t0 = time.perf_counter()
+                    result = client.submit_with_retry(
+                        record_job(seed=index * 131 + j),
+                        policy=RETRY,
+                        timeout=120,
+                    )
+                    mine.append(time.perf_counter() - t0)
+                    if result["exit"] != 0:
+                        raise RuntimeError(result["stderr"])
+            with lock:
+                latencies.extend(mine)
+        except Exception as exc:  # noqa: BLE001 - surfaced below
+            with lock:
+                errors.append(f"client {index}: {type(exc).__name__}: {exc}")
+
+    t0 = time.perf_counter()
+    threads = [
+        threading.Thread(target=client_loop, args=(i,)) for i in range(clients)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - t0
+    if errors:
+        raise RuntimeError("; ".join(errors[:3]))
+    total = clients * jobs_each
+    return {
+        "clients": clients,
+        "jobs": total,
+        "wall_s": round(wall, 3),
+        "jobs_per_s": round(total / wall, 1),
+        "p50_ms": round(percentile(latencies, 0.50) * 1000, 1),
+        "p99_ms": round(percentile(latencies, 0.99) * 1000, 1),
+    }
+
+
+# ---------------------------------------------------------------------------
+# measurement
+
+def measure(quick: bool) -> dict:
+    serial_jobs = SERIAL_JOBS_QUICK if quick else SERIAL_JOBS_FULL
+    oneshot_reps = ONESHOT_REPS_QUICK if quick else ONESHOT_REPS_FULL
+    levels = CLIENT_LEVELS_QUICK if quick else CLIENT_LEVELS_FULL
+
+    oneshot_lat, oneshot_blob = one_shot(oneshot_reps)
+
+    proc_cold, addr_cold = spawn_serve_process(
+        workers=WORKERS, queue_limit=QUEUE_LIMIT, cold=True
+    )
+    try:
+        cold_lat, cold_blob = daemon_serial(addr_cold, serial_jobs)
+    finally:
+        proc_cold.terminate()
+        proc_cold.wait(timeout=15)
+        proc_cold.stdout.close()
+
+    proc_warm, addr_warm = spawn_serve_process(
+        workers=WORKERS, queue_limit=QUEUE_LIMIT
+    )
+    try:
+        warm_lat, warm_blob = daemon_serial(addr_warm, serial_jobs)
+        # determinism before any timing: all three paths, one artifact
+        assert warm_blob == cold_blob == oneshot_blob, (
+            "warm/cold/one-shot traces diverge: the daemon changed a result"
+        )
+        sweep = [
+            concurrent_level(addr_warm, clients, JOBS_PER_CLIENT)
+            for clients in levels
+        ]
+    finally:
+        proc_warm.terminate()
+        proc_warm.wait(timeout=15)
+        proc_warm.stdout.close()
+
+    return {
+        "oneshot_p50_ms": round(percentile(oneshot_lat, 0.50) * 1000, 1),
+        "cold_p50_ms": round(percentile(cold_lat, 0.50) * 1000, 1),
+        "warm_p50_ms": round(percentile(warm_lat, 0.50) * 1000, 1),
+        "warm_mean_ms": round(statistics.mean(warm_lat) * 1000, 1),
+        "warm_vs_oneshot": round(
+            percentile(warm_lat, 0.50) / percentile(oneshot_lat, 0.50), 3
+        ),
+        "warm_vs_cold_daemon": round(
+            percentile(warm_lat, 0.50) / percentile(cold_lat, 0.50), 3
+        ),
+        "concurrency": sweep,
+    }
+
+
+def _print(row: dict) -> None:
+    print(f"{WORKLOAD} record, seed {SEED} (identical trace on all paths)")
+    print(f"  one-shot CLI : p50 {row['oneshot_p50_ms']:.0f} ms")
+    print(f"  cold daemon  : p50 {row['cold_p50_ms']:.0f} ms")
+    print(
+        f"  warm daemon  : p50 {row['warm_p50_ms']:.0f} ms  "
+        f"({row['warm_vs_oneshot']:.2f}x of one-shot, "
+        f"{row['warm_vs_cold_daemon']:.2f}x of cold daemon)"
+    )
+    for level in row["concurrency"]:
+        print(
+            f"  {level['clients']:>3} clients : "
+            f"{level['jobs_per_s']:>6.1f} jobs/s, "
+            f"p50 {level['p50_ms']:.0f} ms, p99 {level['p99_ms']:.0f} ms "
+            f"({level['jobs']} jobs in {level['wall_s']:.1f}s)"
+        )
+
+
+def cmd_measure(args) -> int:
+    row = measure(args.quick)
+    payload = {
+        "host": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "cpus": os.cpu_count(),
+        },
+        "config": {
+            "workload": WORKLOAD,
+            "seed": SEED,
+            "workers": WORKERS,
+            "queue_limit": QUEUE_LIMIT,
+            "jobs_per_client": JOBS_PER_CLIENT,
+            "quick": args.quick,
+        },
+        "results": row,
+    }
+    _print(row)
+    if not args.no_write:
+        RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {RESULT_PATH}")
+    return 0
+
+
+def cmd_check(args) -> int:
+    """CI smoke: byte-identity always, plus the warm-session floor."""
+    row = measure(args.quick)
+    _print(row)
+    ratio = row["warm_vs_oneshot"]
+    if ratio > WARM_FLOOR:
+        print(
+            f"FAIL: warm p50 is {ratio:.2f}x of the one-shot cold start "
+            f"> {WARM_FLOOR}x floor (the warm session buys too little)"
+        )
+        return 1
+    print(f"ok: warm p50 is {ratio:.2f}x of the one-shot cold start")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="re-measure and fail above the warm-session floor",
+    )
+    parser.add_argument("--quick", action="store_true", help="smaller sweep")
+    parser.add_argument(
+        "--no-write", action="store_true", help="measure but do not write the JSON"
+    )
+    args = parser.parse_args(argv)
+    return cmd_check(args) if args.check else cmd_measure(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

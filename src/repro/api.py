@@ -25,6 +25,7 @@ from repro.core.tracelog import TraceLog, TraceWriter, config_fingerprint
 from repro.core.verify import ReplayReport, compare_runs
 from repro.vm.asm import assemble
 from repro.vm.classfile import ClassDef
+from repro.vm.engineconfig import EngineConfig
 from repro.vm.errors import (
     CheckpointConfigMismatch,
     CheckpointError,
@@ -66,6 +67,43 @@ class GuestProgram:
             natives=list(natives or []),
             name=name,
         )
+
+
+#: named engine configurations for ``--engine`` and serve jobs — the
+#: ablation layers in order.  One shared table is what makes the
+#: daemon's byte-identity guarantee meaningful: a serve job naming a
+#: preset resolves to *exactly* the EngineConfig the CLI one-shot uses.
+ENGINE_PRESETS = {
+    "baseline": EngineConfig.baseline(),
+    "threaded": EngineConfig(threaded_dispatch=True, fusion=False, inline_caches=False),
+    "fused": EngineConfig(threaded_dispatch=True, fusion=True, inline_caches=False),
+    "full": EngineConfig(),
+}
+
+
+def standard_knobs(seed: "int | None") -> dict:
+    """The platform's one seed→determinism-knobs mapping.
+
+    ``seed=None`` is a live host run (host timer + host clock);
+    an integer seed selects the seeded jitter timer/clock and seeded
+    environment the CLI's ``--seed`` flag uses.  The CLI and the serve
+    daemon both build their VMs through this function, so a daemon job
+    with a given seed is byte-identical to ``repro record --seed N``.
+    """
+    from repro.vm.timerdev import (
+        HostClock,
+        HostTimer,
+        SeededJitterClock,
+        SeededJitterTimer,
+    )
+
+    if seed is None:
+        return dict(timer=HostTimer(), clock=HostClock())
+    return dict(
+        timer=SeededJitterTimer(seed, 40, 200),
+        clock=SeededJitterClock(seed),
+        env=Environment(seed=seed),
+    )
 
 
 def build_vm(
@@ -235,6 +273,7 @@ def replay(
     symmetry: SymmetryConfig | None = None,
     checkpoint_every: int | None = None,
     checkpoint_out: "str | Path | None" = None,
+    vm_hook: "Callable[[VirtualMachine], None] | None" = None,
     **dejavu_kwargs,
 ) -> RunResult:
     """Re-execute *program* driven by *trace*; raises
@@ -245,8 +284,14 @@ def replay(
     (sealed atomically at a clean end, salvageable from its tmp after a
     crash — the artifact :func:`resume_replay` and ``repro replay
     --resume`` pick up).
+
+    ``vm_hook`` runs on the freshly built VM before the controller
+    attaches — mirrors :func:`record`'s seam; the serve daemon uses it
+    to install its cooperative-cancellation safe-point hook.
     """
     vm = build_vm(program, config)
+    if vm_hook is not None:
+        vm_hook(vm)
     DejaVu(vm, MODE_REPLAY, trace=trace, symmetry=symmetry, **dejavu_kwargs)
     recorder = _make_recorder(vm, checkpoint_every, None, checkpoint_out)
     try:

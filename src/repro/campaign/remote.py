@@ -53,22 +53,22 @@ import pickle
 import socket
 import threading
 import time
-import zlib
 
 from repro.core.framing import (
+    CRC_BYTES,
     FrameDecoder,
     FrameError,
     TransportError,
-    frame_payload,
+    decode_pickle_payload,
+    encode_pickle_message,
 )
+from repro.core.server import SocketServer
 
 #: remote protocol revision; bumped on any wire-incompatible change
 PROTOCOL_VERSION = 1
 #: shard results can carry sealed trace blobs, so the frame cap is far
 #: above the debugger protocol's "small packets" 1 MiB
 MAX_REMOTE_FRAME_BYTES = 64 << 20
-#: CRC32 prefix size inside each frame payload
-CRC_BYTES = 4
 
 #: the sabotage kinds the daemon understands (the LAYER_REMOTE family)
 SABOTAGE_KINDS = (
@@ -82,12 +82,13 @@ SABOTAGE_KINDS = (
 
 
 def encode_message(message: dict) -> bytes:
-    """One wire frame: length prefix + CRC32 + pickled message."""
-    blob = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
-    crc = zlib.crc32(blob) & 0xFFFFFFFF
-    return frame_payload(
-        crc.to_bytes(CRC_BYTES, "big") + blob, MAX_REMOTE_FRAME_BYTES
-    )
+    """One wire frame: length prefix + CRC32 + pickled message.
+
+    The codec itself lives in :mod:`repro.core.framing`
+    (:func:`~repro.core.framing.encode_pickle_message`) — it is shared
+    with the serve protocol; this wrapper pins the remote frame cap.
+    """
+    return encode_pickle_message(message, MAX_REMOTE_FRAME_BYTES)
 
 
 def decode_payload(payload: bytes) -> dict:
@@ -98,19 +99,7 @@ def decode_payload(payload: bytes) -> dict:
     close (the parent then requeues the shard; results never merge from
     a connection that produced one bad frame).
     """
-    if len(payload) < CRC_BYTES:
-        raise FrameError("remote frame too short to carry a checksum")
-    crc = int.from_bytes(payload[:CRC_BYTES], "big")
-    blob = payload[CRC_BYTES:]
-    if zlib.crc32(blob) & 0xFFFFFFFF != crc:
-        raise FrameError("remote frame failed its CRC32 (corrupted in flight)")
-    try:
-        message = pickle.loads(blob)
-    except Exception as exc:  # noqa: BLE001 - anything here is a bad frame
-        raise FrameError(f"remote frame does not unpickle: {exc}") from exc
-    if not isinstance(message, dict) or "op" not in message:
-        raise FrameError("remote message must be a dict with an 'op'")
-    return message
+    return decode_pickle_payload(payload)
 
 
 def payload_key(payload: dict) -> str:
@@ -144,14 +133,19 @@ def parse_sabotage(text: str) -> dict:
     return sabotage
 
 
-class WorkerServer:
+class WorkerServer(SocketServer):
     """The `repro worker` daemon: framed shard execution over TCP.
 
     Serves one connection at a time (the pool opens a connection per
-    shard).  Hardening mirrors the debugger server: a hostile or
+    shard) on the shared :class:`~repro.core.server.SocketServer`
+    accept loop.  Hardening mirrors the debugger server: a hostile or
     vanished client tears down *its connection*, never the accept loop,
     and every survived failure is observable via ``log`` and the
-    ``frame_errors`` / ``connections_served`` counters.
+    ``frame_errors`` / ``connections_served`` counters.  SIGTERM (wired
+    by the CLI via ``install_term_handler``) lands in
+    :meth:`~repro.core.server.SocketServer.request_stop`, so a TERM'd
+    worker drains its connection, joins its heartbeat pump, closes its
+    warm runners, and exits 0.
     """
 
     def __init__(
@@ -161,58 +155,20 @@ class WorkerServer:
         log=None,
         sabotage: "dict | None" = None,
     ):
-        self.log = log if log is not None else (lambda message: None)
-        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        self._sock.bind((host, port))
-        self._sock.listen(1)
-        self.address = self._sock.getsockname()
+        super().__init__(host, port, log=log, concurrency=1, name="repro-worker")
         self._sabotage = dict(sabotage) if sabotage else None
         self._runners: dict[str, object] = {}
-        self._thread: "threading.Thread | None" = None
-        self._stop = threading.Event()
-        self.connections_served = 0
         self.shards_served = 0
         self.frame_errors = 0
 
     # ------------------------------------------------------------------
     # lifecycle
 
-    def start(self) -> "WorkerServer":
-        """Serve on a background thread (tests / in-process loopback)."""
-        self._thread = threading.Thread(target=self.serve_forever, daemon=True)
-        self._thread.start()
-        return self
-
-    def serve_forever(self) -> None:
-        self._sock.settimeout(0.2)
-        while not self._stop.is_set():
-            try:
-                conn, _ = self._sock.accept()
-            except TimeoutError:
-                continue
-            except OSError:
-                return
-            self.connections_served += 1
-            try:
-                with conn:
-                    self._serve_connection(conn)
-            except Exception as exc:  # noqa: BLE001 - loop must survive
-                self.log(
-                    f"connection #{self.connections_served} dropped: "
-                    f"{type(exc).__name__}: {exc}"
-                )
-                continue
+    def stop(self) -> None:
+        super().stop()
         self._close_runners()
 
-    def stop(self) -> None:
-        self._stop.set()
-        try:
-            self._sock.close()
-        except OSError:  # pragma: no cover
-            pass
-        if self._thread is not None:
-            self._thread.join(timeout=2)
+    def on_stopped(self) -> None:
         self._close_runners()
 
     def _close_runners(self) -> None:
@@ -226,10 +182,10 @@ class WorkerServer:
     # ------------------------------------------------------------------
     # connection handling
 
-    def _serve_connection(self, conn: socket.socket) -> None:
+    def handle_connection(self, conn: socket.socket) -> None:
         decoder = FrameDecoder(MAX_REMOTE_FRAME_BYTES)
         conn.settimeout(0.2)
-        while not self._stop.is_set():
+        while not self.stopping:
             try:
                 chunk = conn.recv(65536)
             except TimeoutError:
@@ -247,10 +203,10 @@ class WorkerServer:
                 self._send(conn, {"op": "error", "detail": str(exc)})
                 return
             for message in messages:
-                if not self._handle(conn, message):
+                if not self._handle_message(conn, message):
                     return
 
-    def _handle(self, conn: socket.socket, message: dict) -> bool:
+    def _handle_message(self, conn: socket.socket, message: dict) -> bool:
         """Dispatch one message; False closes the connection."""
         op = message.get("op")
         if op == "hello":
@@ -283,7 +239,7 @@ class WorkerServer:
             return self._run_shard(conn, message)
         if op == "shutdown":
             self._send(conn, {"op": "bye"})
-            self._stop.set()
+            self.request_stop()
             return False
         return self._send(conn, {"op": "error", "detail": f"unknown op {op!r}"})
 
@@ -329,7 +285,9 @@ class WorkerServer:
                     except OSError:
                         return
 
-        pump_thread = threading.Thread(target=pump, daemon=True)
+        pump_thread = threading.Thread(
+            target=pump, daemon=True, name="repro-worker-heartbeat"
+        )
         pump_thread.start()
         try:
             for position, (index, item) in enumerate(items):
@@ -409,7 +367,7 @@ class WorkerServer:
             # the worker is alive but mute: heartbeats stop, the item
             # never arrives, and only the parent watchdog can tell
             stop_pump.set()
-            while not self._stop.is_set():  # pragma: no branch
+            while not self.stopping:  # pragma: no branch
                 time.sleep(0.1)
             return False
         raise TransportError(f"unhandled sabotage kind {kind!r}")  # pragma: no cover

@@ -7,7 +7,10 @@ Commands:
   (``--slim`` drops sync-inferable switch deltas, format v3.2)
 * ``replay program.jasm t.djv``   — deterministically re-execute a trace
 * ``debug program.jasm t.djv``    — interactive debugger over a replay
-* ``serve program.jasm t.djv``    — TCP debugger server (Figure 4 tier 2)
+* ``debug-serve program.jasm t.djv`` — TCP debugger server (Figure 4 tier 2)
+* ``serve --workers 4``           — long-lived replay service: jobs over
+  the framed transport on a supervised warm-session pool (admission
+  control, per-job deadlines, SIGTERM graceful drain)
 * ``profile program.jasm t.djv``  — exact profile of a recorded execution
 * ``coverage program.jasm t.djv`` — bytecode/line coverage of a trace
 * ``disasm program.jasm``         — verify + disassemble
@@ -53,12 +56,17 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro.api import GuestProgram, build_vm, record as api_record, replay as api_replay
+from repro.api import (
+    ENGINE_PRESETS,
+    GuestProgram,
+    build_vm,
+    record as api_record,
+    replay as api_replay,
+    standard_knobs,
+)
 from repro.core import TraceLog
-from repro.vm.engineconfig import EngineConfig
 from repro.vm.errors import TraceFormatError, UsageError, VMError
-from repro.vm.machine import Environment, VMConfig
-from repro.vm.timerdev import HostClock, HostTimer, SeededJitterClock, SeededJitterTimer
+from repro.vm.machine import VMConfig
 
 
 def load_program(path: str, main: str) -> GuestProgram:
@@ -114,22 +122,7 @@ def _resolve_program(args, trace: "TraceLog | None" = None) -> GuestProgram:
 
 
 def _knobs(args) -> dict:
-    if args.seed is None:
-        return dict(timer=HostTimer(), clock=HostClock())
-    return dict(
-        timer=SeededJitterTimer(args.seed, 40, 200),
-        clock=SeededJitterClock(args.seed),
-        env=Environment(seed=args.seed),
-    )
-
-
-#: named engine configurations for ``--engine`` (ablation layers in order)
-ENGINE_PRESETS = {
-    "baseline": EngineConfig.baseline(),
-    "threaded": EngineConfig(threaded_dispatch=True, fusion=False, inline_caches=False),
-    "fused": EngineConfig(threaded_dispatch=True, fusion=True, inline_caches=False),
-    "full": EngineConfig(),
-}
+    return standard_knobs(args.seed)
 
 
 def _config(args) -> VMConfig:
@@ -385,24 +378,64 @@ def cmd_coverage(args) -> int:
     return 0
 
 
-def cmd_serve(args) -> int:
+def cmd_debug_serve(args) -> int:
+    from repro.core.server import install_term_handler
     from repro.debugger import Debugger, DebuggerServer, ReplaySession
 
     trace = TraceLog.load(args.trace)
     program = _resolve_program(args, trace)
     session = ReplaySession(program, trace, config=_config(args))
     server = DebuggerServer(Debugger(session), port=args.port).start()
+    install_term_handler(server.request_stop)
     print(f"debugger serving on {server.address[0]}:{server.address[1]}")
-    print("press Ctrl-C to stop")
+    print("press Ctrl-C (or SIGTERM) to stop")
     try:
         import time
 
-        while True:
-            time.sleep(0.5)
+        while not server.stopping:
+            time.sleep(0.2)
     except KeyboardInterrupt:
         pass
     finally:
         server.stop()
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """The long-lived replay service: record/replay/explore/doctor/
+    trace-stats jobs over the framed transport, on a supervised warm
+    session pool.
+
+    Prints ``repro serve listening on HOST:PORT`` as its first line
+    (the rendezvous :func:`repro.serve.spawn_serve_process` and scripts
+    parse).  SIGTERM drains gracefully: accepting stops, every accepted
+    job finishes and delivers, then the daemon exits 0.
+    """
+    from repro.core.server import install_term_handler
+    from repro.serve import ServeDaemon
+
+    log = (lambda message: print(f"-- {message}", flush=True)) if args.verbose else None
+    daemon = ServeDaemon(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_limit=args.queue,
+        default_deadline=args.deadline,
+        drain_grace=args.drain_grace,
+        warm=not args.cold,
+        log=log,
+    )
+    install_term_handler(daemon.request_stop)
+    print(
+        f"repro serve listening on {daemon.address[0]}:{daemon.address[1]}",
+        flush=True,
+    )
+    try:
+        daemon.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        daemon.stop()
     return 0
 
 
@@ -670,12 +703,16 @@ def cmd_worker(args) -> int:
     one-shot LAYER_REMOTE fault seam — testing only.
     """
     from repro.campaign.remote import WorkerServer, parse_sabotage
+    from repro.core.server import install_term_handler
 
     sabotage = parse_sabotage(args.sabotage) if args.sabotage else None
     log = (lambda message: print(f"-- {message}", flush=True)) if args.verbose else None
     server = WorkerServer(
         host=args.host, port=args.port, log=log, sabotage=sabotage
     )
+    # SIGTERM → graceful stop: drain the live connection, join the
+    # heartbeat pump, close warm runners, exit 0 (no orphaned threads)
+    install_term_handler(server.request_stop)
     print(
         f"repro worker listening on {server.address[0]}:{server.address[1]}",
         flush=True,
@@ -857,9 +894,53 @@ def make_parser() -> argparse.ArgumentParser:
     common(p, trace_arg=True)
     p.set_defaults(fn=cmd_debug)
 
-    p = sub.add_parser("serve", help="TCP debugger server over a replay")
+    p = sub.add_parser("debug-serve", help="TCP debugger server over a replay")
     common(p, trace_arg=True)
     p.add_argument("--port", type=int, default=0)
+    p.set_defaults(fn=cmd_debug_serve)
+
+    p = sub.add_parser(
+        "serve",
+        help="long-lived replay service (warm sessions, admission "
+        "control, deadlines, graceful drain)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0)
+    p.add_argument(
+        "--workers", type=int, default=2, help="supervised job workers"
+    )
+    p.add_argument(
+        "--queue",
+        type=int,
+        default=8,
+        metavar="N",
+        help="admission limit: queued+running jobs beyond N get a typed "
+        "overloaded rejection carrying retry_after",
+    )
+    p.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECS",
+        help="default per-job deadline (cooperative cancellation at "
+        "engine safe points; jobs may set their own)",
+    )
+    p.add_argument(
+        "--drain-grace",
+        type=float,
+        default=60.0,
+        metavar="SECS",
+        help="max seconds a SIGTERM drain waits for accepted jobs",
+    )
+    p.add_argument(
+        "--cold",
+        action="store_true",
+        help="disable the warm session pool (every job rebuilds its "
+        "state; the bench's cold baseline)",
+    )
+    p.add_argument(
+        "-v", "--verbose", action="store_true", help="log served connections"
+    )
     p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("profile", help="perturbation-free profile of a trace")
@@ -972,9 +1053,9 @@ def make_parser() -> argparse.ArgumentParser:
         "--layers",
         action="append",
         default=None,
-        choices=("trace", "native", "transport", "checkpoint", "remote"),
+        choices=("trace", "native", "transport", "checkpoint", "remote", "serve"),
         help="fault layers to draw from (repeatable; default: trace, "
-        "native, transport — checkpoint and remote are opt-in)",
+        "native, transport — checkpoint, remote and serve are opt-in)",
     )
     p.add_argument(
         "--watchdog",

@@ -762,9 +762,14 @@ class CheckpointRecorder:
         self.keep = keep if keep is not None else writer is None
         self.snapshots: list[Snapshot] = []
         self._next = (vm.engine.cycles // every + 1) * every
+        # chain, don't clobber: a hook already installed (e.g. the serve
+        # daemon's cooperative-cancellation check) keeps firing first
+        self._chained_hook = vm.engine.safepoint_hook
         vm.engine.safepoint_hook = self._at_safepoint
 
     def _at_safepoint(self, engine) -> None:
+        if self._chained_hook is not None:
+            self._chained_hook(engine)
         cycles = engine.cycles
         if cycles < self._next:
             return

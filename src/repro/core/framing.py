@@ -31,11 +31,13 @@ from repro.vm.errors import VMError
 
 #: frames larger than this are rejected without reading the payload —
 #: debugger responses are "small packets", so 1 MiB is generous.  The
-#: remote campaign protocol raises the cap per-decoder (results can
-#: carry sealed trace blobs).
+#: remote campaign and serve protocols raise the cap per-decoder (jobs
+#: and results can carry sealed trace blobs).
 MAX_FRAME_BYTES = 1 << 20
 #: length prefix size (u32 big-endian)
 LEN_BYTES = 4
+#: CRC32 prefix size inside checksummed pickle frames
+CRC_BYTES = 4
 
 
 class TransportError(VMError):
@@ -53,6 +55,49 @@ def frame_payload(payload: bytes, max_frame_bytes: int = MAX_FRAME_BYTES) -> byt
     if len(payload) > max_frame_bytes:  # pragma: no cover - defensive
         raise FrameError(f"outgoing frame of {len(payload)} bytes exceeds cap")
     return len(payload).to_bytes(LEN_BYTES, "big") + payload
+
+
+def encode_pickle_message(message: dict, max_frame_bytes: int = MAX_FRAME_BYTES) -> bytes:
+    """One wire frame carrying a **u32-BE CRC32 + pickled message dict**.
+
+    This is the payload discipline both trusted-host protocols (the
+    remote campaign workers and the serve daemon) ride on the length
+    frames: the checksum makes a corrupted frame *deterministically
+    detectable* — a bit flipped in flight fails the CRC and the receiver
+    tears the connection down with a typed :class:`FrameError` instead of
+    unpickling garbage into a silently-wrong result.
+    """
+    import pickle
+    import zlib
+
+    blob = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    crc = zlib.crc32(blob) & 0xFFFFFFFF
+    return frame_payload(crc.to_bytes(CRC_BYTES, "big") + blob, max_frame_bytes)
+
+
+def decode_pickle_payload(payload: bytes) -> dict:
+    """Check the CRC and unpickle one frame payload.
+
+    Raises :class:`FrameError` on a checksum mismatch, an unpicklable
+    blob, or a message that is not a dict with an ``"op"`` — all mean
+    the stream is untrustworthy and the connection must close.
+    """
+    import pickle
+    import zlib
+
+    if len(payload) < CRC_BYTES:
+        raise FrameError("checksummed frame too short to carry a CRC32")
+    crc = int.from_bytes(payload[:CRC_BYTES], "big")
+    blob = payload[CRC_BYTES:]
+    if zlib.crc32(blob) & 0xFFFFFFFF != crc:
+        raise FrameError("frame failed its CRC32 (corrupted in flight)")
+    try:
+        message = pickle.loads(blob)
+    except Exception as exc:  # noqa: BLE001 - anything here is a bad frame
+        raise FrameError(f"frame does not unpickle: {exc}") from exc
+    if not isinstance(message, dict) or "op" not in message:
+        raise FrameError("message must be a dict with an 'op'")
+    return message
 
 
 class FrameDecoder:

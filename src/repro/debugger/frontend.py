@@ -22,10 +22,10 @@ from __future__ import annotations
 
 import logging
 import socket
-import threading
 import time
 
 from repro.core.framing import BackoffPolicy
+from repro.core.server import SocketServer
 from repro.debugger.core import Debugger
 from repro.debugger.protocol import (
     COMMANDS,
@@ -41,7 +41,18 @@ from repro.debugger.protocol import (
 logger = logging.getLogger(__name__)
 
 
-class DebuggerServer:
+class DebuggerServer(SocketServer):
+    """One-connection-at-a-time framed server on the shared
+    :class:`~repro.core.server.SocketServer` accept loop.
+
+    One bad client must never take down the serve loop (and with it the
+    replay session it is observing): the base loop logs the drop and
+    goes back to accepting.  ``log`` defaults to the module logger
+    (tests pass a capturing callable); ``connections_served`` /
+    ``frame_errors`` let tests assert the loop *survived* a hostile
+    client, not just that it didn't crash.
+    """
+
     def __init__(
         self,
         debugger: Debugger,
@@ -49,55 +60,20 @@ class DebuggerServer:
         port: int = 0,
         log=None,
     ):
+        super().__init__(
+            host,
+            port,
+            log=log if log is not None else logger.info,
+            concurrency=1,
+            name="repro-debugger",
+        )
         self.debugger = debugger
-        #: where survived-but-noteworthy client failures are reported; a
-        #: hostile client must be *observable*, not just non-fatal.
-        #: Defaults to the module logger (tests pass a capturing callable)
-        self.log = log if log is not None else logger.info
-        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        self._sock.bind((host, port))
-        self._sock.listen(1)
-        self.address = self._sock.getsockname()
-        self._thread: threading.Thread | None = None
-        self._stop = threading.Event()
-        #: connections served (including ones that ended badly) — lets
-        #: tests assert the loop survived a hostile client
-        self.connections_served = 0
         self.frame_errors = 0
 
-    def start(self) -> "DebuggerServer":
-        self._thread = threading.Thread(target=self._serve, daemon=True)
-        self._thread.start()
-        return self
-
-    def _serve(self) -> None:
-        self._sock.settimeout(0.2)
-        while not self._stop.is_set():
-            try:
-                conn, _ = self._sock.accept()
-            except TimeoutError:
-                continue
-            except OSError:
-                return
-            self.connections_served += 1
-            try:
-                with conn:
-                    self._serve_connection(conn)
-            except Exception as exc:
-                # one bad client must never take down the serve loop (and
-                # with it the replay session it is observing): log it,
-                # drop the connection, go back to accepting
-                self.log(
-                    f"connection #{self.connections_served} dropped: "
-                    f"{type(exc).__name__}: {exc}"
-                )
-                continue
-
-    def _serve_connection(self, conn: socket.socket) -> None:
+    def handle_connection(self, conn: socket.socket) -> None:
         decoder = FrameDecoder()
         conn.settimeout(0.2)
-        while not self._stop.is_set():
+        while not self.stopping:
             try:
                 chunk = conn.recv(4096)
             except TimeoutError:
@@ -136,15 +112,6 @@ class DebuggerServer:
             return True
         except OSError:
             return False
-
-    def stop(self) -> None:
-        self._stop.set()
-        try:
-            self._sock.close()
-        except OSError:  # pragma: no cover
-            pass
-        if self._thread is not None:
-            self._thread.join(timeout=2)
 
 
 class DebuggerClient:

@@ -153,6 +153,7 @@ class Explorer:
         max_failures: int = 1,
         minimize: bool = True,
         behavior_cap: int = 65536,
+        check: "Callable[[], None] | None" = None,
     ):
         if bound < 1:
             raise VMError("preemption bound must be >= 1")
@@ -165,6 +166,10 @@ class Explorer:
         self.config = config
         self.max_failures = max_failures
         self.minimize = minimize
+        #: cooperative-cancellation seam: called once per schedule in
+        #: :meth:`run`; raising a typed error there aborts the sweep at a
+        #: schedule boundary (the serve daemon's deadline hook)
+        self.check = check
         #: memory bound on the behaviour-digest dedup structure; beyond
         #: it ``unique_behaviors`` degrades to an unbiased estimate
         #: instead of the set growing without limit on long sweeps
@@ -279,6 +284,8 @@ class Explorer:
                 break
             if report.schedules_run >= self.budget:
                 break
+            if self.check is not None:
+                self.check()
             evaluated = self.evaluate(positions)
             report.schedules_run += 1
             behaviors.add(evaluated.digest)

@@ -22,6 +22,7 @@ such findings occurred.
 from __future__ import annotations
 
 import threading
+import time
 from collections import Counter
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -40,6 +41,7 @@ from repro.faults.inject import (
 from repro.faults.plan import (
     LAYER_CHECKPOINT,
     LAYER_REMOTE,
+    LAYER_SERVE,
     LAYER_TRANSPORT,
     FaultPlan,
     FaultSpec,
@@ -171,11 +173,17 @@ class FaultRunContext:
         self._ckpt = None
         self._server = None
         self._remote_ref: "str | None" = None
+        self._serve: "_ServeFixture | None" = None
         if LAYER_REMOTE in self.layers and workload is None:
             raise ValueError(
                 "the remote fault layer needs a registered workload name "
                 "(the sabotaged loopback campaign re-resolves it in the "
                 "worker daemon)"
+            )
+        if LAYER_SERVE in self.layers and workload is None:
+            raise ValueError(
+                "the serve fault layer needs a registered workload name "
+                "(the loopback daemon's reference job re-resolves it)"
             )
 
     def __enter__(self) -> "FaultRunContext":
@@ -227,12 +235,23 @@ class FaultRunContext:
                 config=self.config,
                 jobs=1,
             ).digest()
+
+        # one loopback serve daemon, attacked by every serve fault on a
+        # single accept loop, plus the clean reference result every
+        # follow-up well-formed job must reproduce byte-for-byte
+        if LAYER_SERVE in self.layers:
+            self._serve = _ServeFixture.start(
+                self._workload, self._workload_overrides, self.seed
+            )
         return self
 
     def __exit__(self, *exc) -> None:
         if self._server is not None:
             self._server.stop()
             self._server = None
+        if self._serve is not None:
+            self._serve.stop()
+            self._serve = None
 
     def run_spec(self, fault_spec: FaultSpec) -> FaultOutcome:
         """Inject one planned fault (under the watchdog) and classify it."""
@@ -251,6 +270,7 @@ class FaultRunContext:
             server=self._server,
             ckpt=self._ckpt,
             remote_ref=self._remote_ref,
+            serve=self._serve,
             workload=self._workload,
             workload_overrides=self._workload_overrides,
             timeout=self.fault_timeout,
@@ -327,6 +347,7 @@ def _run_one(
     server,
     ckpt,
     remote_ref=None,
+    serve=None,
     workload=None,
     workload_overrides=None,
 ) -> tuple[str, str]:
@@ -344,6 +365,9 @@ def _run_one(
         return _run_remote_fault(
             spec, remote_ref, workload, workload_overrides, config, seed
         )
+    if spec.layer == LAYER_SERVE:
+        assert serve is not None
+        return _run_serve_fault(spec, serve)
     assert server is not None
     return send_faulted_request(server.address, spec)
 
@@ -551,3 +575,373 @@ def _run_native_fault(
     finally:
         for p in (out, tmp):
             p.unlink(missing_ok=True)
+
+
+# ---------------------------------------------------------------------------
+# the serve fault family
+
+
+@dataclass
+class _ServeFixture:
+    """Shared fixtures for the serve fault family: one loopback
+    :class:`~repro.serve.ServeDaemon` that every armed fault attacks —
+    surviving all of them on a single accept loop IS the robustness
+    claim — plus the well-formed record job and its clean reference
+    result.  After each attack the fixture re-submits the job; anything
+    but a byte-identical answer means the hostile client perturbed
+    other clients' replay results, the one failure a shared daemon must
+    never allow."""
+
+    daemon: object
+    job: dict
+    reference: dict
+    seed: int
+
+    @property
+    def address(self) -> "tuple[str, int]":
+        return self.daemon.address
+
+    @classmethod
+    def start(
+        cls, workload: str, overrides: "dict | None", seed: int
+    ) -> "_ServeFixture":
+        from repro.serve import ServeClient, ServeDaemon
+
+        daemon = ServeDaemon(workers=2, queue_limit=8).start()
+        job = {
+            "kind": "record",
+            "workload": workload,
+            "workload_args": dict(overrides or {}),
+            "seed": seed,
+            "out_name": "serve-ref.djv",
+        }
+        try:
+            with ServeClient(daemon.address) as client:
+                reference = client.submit(job, timeout=60)
+        except BaseException:
+            daemon.stop()
+            raise
+        return cls(daemon=daemon, job=job, reference=reference, seed=seed)
+
+    def stop(self) -> None:
+        self.daemon.stop()
+
+    def check_clean(self) -> str:
+        """Submit the well-formed job again; empty string when the
+        result is byte-identical to the clean reference."""
+        from repro.serve import ServeClient
+
+        with ServeClient(self.address) as client:
+            result = client.submit(self.job, timeout=60)
+        for key in ("stdout", "stderr", "exit", "trace"):
+            if result.get(key) != self.reference.get(key):
+                return (
+                    f"follow-up well-formed job diverged from the clean "
+                    f"reference on {key!r} — the armed fault perturbed an "
+                    f"unrelated job"
+                )
+        return ""
+
+
+#: the infinite guest loop behind ``serve-hung-workload``: it never
+#: finishes, but its backedge yield point keeps producing engine safe
+#: points, so cooperative deadline cancellation gets its shot.  (The
+#: loop needs a body: a bare ``loop: goto loop`` jumps back past its
+#: own backedge yield point and would never reach a safe point.)
+_HUNG_GUEST_SRC = """\
+.class Main
+.method static main ()V
+    iconst 0
+    istore 0
+loop:
+    iload 0
+    iconst 1
+    iadd
+    istore 0
+    goto loop
+.end
+"""
+
+
+def _run_serve_fault(spec: FaultSpec, serve: "_ServeFixture") -> tuple[str, str]:
+    """Attack the loopback serve daemon per *spec*.
+
+    Contract: the hostile act costs at most its own job and connection —
+    it is absorbed outright (``recovered``) or lands in a typed
+    diagnostic the client can read (``diagnosed:<Type>``) — and a
+    follow-up well-formed job still returns a result byte-identical to
+    the clean reference.  Any divergence is ``undetected``: a hostile
+    client perturbed an unrelated client's replay result.
+    """
+    runner = {
+        "serve-client-vanish": _serve_client_vanish,
+        "serve-poison-job": _serve_poison_job,
+        "serve-hung-workload": _serve_hung_workload,
+        "serve-deadline-exceeded": _serve_deadline_exceeded,
+        "serve-queue-storm": _serve_queue_storm,
+        "serve-kill-during-drain": _serve_kill_during_drain,
+    }[spec.kind]
+    return runner(spec, serve)
+
+
+def _serve_client_vanish(
+    spec: FaultSpec, serve: "_ServeFixture"
+) -> tuple[str, str]:
+    import socket
+
+    from repro.serve.protocol import encode_serve_message
+
+    (frac,) = spec.params
+    with socket.create_connection(serve.address, timeout=10) as sock:
+        sock.sendall(encode_serve_message({"op": "submit", "job": serve.job}))
+        time.sleep(0.02 + frac * 0.2)
+        # vanish: the reply is never read; the daemon's send must fail
+        # quietly and cost exactly this connection
+    mismatch = serve.check_clean()
+    if mismatch:
+        return "undetected", mismatch
+    return (
+        "recovered",
+        "daemon absorbed a client that vanished mid-job; follow-up job "
+        "matches the clean reference",
+    )
+
+
+def _serve_poison_job(
+    spec: FaultSpec, serve: "_ServeFixture"
+) -> tuple[str, str]:
+    import socket
+
+    from repro.serve import ServeClient, ServeError
+    from repro.serve.protocol import encode_serve_message
+
+    (variant,) = spec.params
+    if variant == 0:
+        # raw garbage: an impossible frame length followed by noise
+        before = serve.daemon.frame_errors
+        with socket.create_connection(serve.address, timeout=10) as sock:
+            sock.sendall(b"\xff\xff\xff\xff" + b"\xa5" * 64)
+            sock.recv(65536)  # the typed error frame (or a clean close)
+        if serve.daemon.frame_errors == before:
+            return (
+                "undetected",
+                "garbage bytes were accepted as a frame — the codec "
+                "failed to notice",
+            )
+        how = "garbage bytes landed in a typed frame error"
+    elif variant == 1:
+        # a CRC-valid frame whose payload is not a message dict at all
+        with socket.create_connection(serve.address, timeout=10) as sock:
+            sock.sendall(encode_serve_message(["not", "a", "message"]))
+            answer = sock.recv(65536)
+        if not answer:
+            return (
+                "undetected",
+                "a non-dict frame closed the connection with no typed answer",
+            )
+        how = "a CRC-valid non-message frame got a typed in-band error"
+    else:
+        # a malformed job dict: validation must answer, never a worker
+        # traceback
+        with ServeClient(serve.address) as client:
+            try:
+                client.submit({"kind": "record"})  # names no program at all
+                return "undetected", "a malformed job dict was accepted and ran"
+            except ServeError as exc:
+                how = f"malformed job dict rejected ({exc})"
+    mismatch = serve.check_clean()
+    if mismatch:
+        return "undetected", mismatch
+    return "recovered", f"{how}; follow-up job matches the clean reference"
+
+
+def _serve_hung_workload(
+    spec: FaultSpec, serve: "_ServeFixture"
+) -> tuple[str, str]:
+    from repro.serve import JobDeadlineExceeded, ServeClient
+
+    (deadline_s,) = spec.params
+    job = {
+        "kind": "record",
+        "source": _HUNG_GUEST_SRC,
+        "name": "hung",
+        "seed": serve.seed,
+        "deadline": deadline_s,
+        "out_name": "hung.djv",
+    }
+    with ServeClient(serve.address) as client:
+        try:
+            client.submit(job, timeout=deadline_s + 30)
+            return (
+                "undetected",
+                "an infinite guest loop returned a result — the deadline "
+                "never fired",
+            )
+        except JobDeadlineExceeded as exc:
+            detail = str(exc)
+    mismatch = serve.check_clean()
+    if mismatch:
+        return "undetected", mismatch
+    return "diagnosed:JobDeadlineExceeded", detail
+
+
+def _serve_deadline_exceeded(
+    spec: FaultSpec, serve: "_ServeFixture"
+) -> tuple[str, str]:
+    from repro.serve import JobDeadlineExceeded, ServeClient
+
+    (deadline_s,) = spec.params
+    job = dict(serve.job)
+    job["deadline"] = deadline_s
+    with ServeClient(serve.address) as client:
+        try:
+            result = client.submit(job, timeout=30)
+        except JobDeadlineExceeded as exc:
+            detail = str(exc)
+        else:
+            if result.get("trace") != serve.reference.get("trace"):
+                return (
+                    "undetected",
+                    "a job racing its deadline returned a non-reference "
+                    "trace",
+                )
+            return (
+                "not-triggered",
+                f"the job finished inside its {deadline_s:g}s deadline",
+            )
+    mismatch = serve.check_clean()
+    if mismatch:
+        return "undetected", mismatch
+    return "diagnosed:JobDeadlineExceeded", detail
+
+
+def _serve_queue_storm(
+    spec: FaultSpec, serve: "_ServeFixture"
+) -> tuple[str, str]:
+    from repro.core.framing import BackoffPolicy
+    from repro.serve import ServeClient, ServeDaemon
+
+    (burst,) = spec.params
+    # a dedicated tiny daemon: one worker, two admission slots — the
+    # storm must overflow admission, not merely queue up politely
+    daemon = ServeDaemon(workers=1, queue_limit=2).start()
+    try:
+        job = {"kind": "trace-stats", "trace": serve.reference["trace"]}
+        with ServeClient(daemon.address) as client:
+            reference = client.submit(job, timeout=30)
+        results: "list[dict | None]" = [None] * burst
+        failures: list[str] = []
+        barrier = threading.Barrier(burst)
+
+        def _one_client(i: int) -> None:
+            try:
+                with ServeClient(daemon.address) as client:
+                    barrier.wait(timeout=10)
+                    results[i] = client.submit_with_retry(
+                        job,
+                        policy=BackoffPolicy(
+                            attempts=10,
+                            base_delay=0.02,
+                            max_delay=0.3,
+                            jitter_seed=i,
+                        ),
+                    )
+            except Exception as exc:  # noqa: BLE001 - classified below
+                failures.append(f"client {i}: {type(exc).__name__}: {exc}")
+
+        threads = [
+            threading.Thread(target=_one_client, args=(i,), daemon=True)
+            for i in range(burst)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=20)
+        rejected = daemon.supervisor.jobs_rejected
+    finally:
+        daemon.stop()
+    if failures:
+        return (
+            "starved",
+            f"{len(failures)}/{burst} storm clients never landed a job: "
+            + "; ".join(failures[:3]),
+        )
+    if any(thread.is_alive() for thread in threads):
+        return "hang", "storm clients still waiting after 20s"
+    divergent = [i for i, r in enumerate(results) if r != reference]
+    if divergent:
+        return (
+            "undetected",
+            f"storm client(s) {divergent} got results diverging from the "
+            f"serial reference — overload perturbed job results",
+        )
+    if rejected == 0:
+        return (
+            "not-triggered",
+            f"a burst of {burst} never overflowed the 2-slot queue",
+        )
+    return (
+        "recovered",
+        f"{rejected} typed overloaded rejection(s); all {burst} storm "
+        f"jobs landed on retry with the serial reference result",
+    )
+
+
+def _serve_kill_during_drain(
+    spec: FaultSpec, serve: "_ServeFixture"
+) -> tuple[str, str]:
+    import signal
+
+    from repro.core.framing import BackoffPolicy, TransportError
+    from repro.serve import ServeClient, ServeError, spawn_serve_process
+
+    (delay_s,) = spec.params
+    # a subprocess daemon: the kill must take a whole process, and the
+    # shared loopback fixture has to survive the rest of the campaign
+    proc, address = spawn_serve_process(workers=1, queue_limit=4)
+    box: dict = {}
+    client = None
+    try:
+        client = ServeClient.connect(
+            address,
+            policy=BackoffPolicy(attempts=6, base_delay=0.05, max_delay=0.4),
+        )
+
+        def _inflight() -> None:
+            try:
+                box["result"] = client.submit(serve.job, timeout=30)
+            except Exception as exc:  # noqa: BLE001 - classified below
+                box["error"] = exc
+
+        thread = threading.Thread(target=_inflight, daemon=True)
+        thread.start()
+        time.sleep(0.1)  # let the job reach admission
+        proc.send_signal(signal.SIGTERM)  # the graceful drain begins
+        time.sleep(delay_s)
+        proc.kill()  # ... and the crash lands mid-drain
+        thread.join(timeout=20)
+    finally:
+        proc.kill()
+        proc.wait(timeout=10)
+        if proc.stdout is not None:
+            proc.stdout.close()
+        if client is not None:
+            client.close()
+    if "result" in box:
+        if box["result"].get("trace") != serve.reference.get("trace"):
+            return (
+                "undetected",
+                "the draining daemon delivered a non-reference trace "
+                "before the kill landed",
+            )
+        return (
+            "recovered",
+            f"the drain delivered the in-flight job before the kill "
+            f"landed {delay_s:g}s later",
+        )
+    exc = box.get("error")
+    if exc is None:
+        return "hang", "in-flight client got neither a result nor an error"
+    if isinstance(exc, (TransportError, ServeError)):
+        return f"diagnosed:{type(exc).__name__}", str(exc)
+    return f"unclassified:{type(exc).__name__}", str(exc)

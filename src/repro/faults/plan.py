@@ -19,7 +19,12 @@ entries across the platform's three fault surfaces:
   campaign (dropped / truncated / corrupted result frames, a mid-shard
   worker kill, a stalled heartbeat, a slow-loris connect).  Also
   opt-in: each remote fault runs a small sabotaged loopback campaign
-  and checks the merged report against a clean reference digest.
+  and checks the merged report against a clean reference digest;
+* ``serve``      — a `repro serve` daemon under attack (a client that
+  vanishes mid-job, a poison job payload, a hung workload against a
+  deadline, a queue-full storm, a kill mid-drain).  Opt-in like remote:
+  each serve fault drives a loopback daemon and requires a concurrent
+  well-formed job to return results identical to the clean reference.
 
 Specs are *symbolic*: byte positions are stored as fractions in [0, 1)
 and resolved against the actual artifact at injection time, so the same
@@ -37,6 +42,7 @@ LAYER_NATIVE = "native"
 LAYER_TRANSPORT = "transport"
 LAYER_CHECKPOINT = "checkpoint"
 LAYER_REMOTE = "remote"
+LAYER_SERVE = "serve"
 
 #: every fault kind, with its layer (new kinds go at the END: generation
 #: draws from the filtered kind list, so appending keeps every seeded
@@ -59,6 +65,12 @@ KINDS: dict[str, str] = {
     "remote-kill-worker": LAYER_REMOTE,
     "remote-stall-heartbeat": LAYER_REMOTE,
     "remote-slow-connect": LAYER_REMOTE,
+    "serve-client-vanish": LAYER_SERVE,
+    "serve-poison-job": LAYER_SERVE,
+    "serve-hung-workload": LAYER_SERVE,
+    "serve-deadline-exceeded": LAYER_SERVE,
+    "serve-queue-storm": LAYER_SERVE,
+    "serve-kill-during-drain": LAYER_SERVE,
 }
 
 
@@ -100,6 +112,22 @@ class FaultSpec:
                               no items, no heartbeats, process alive
     ``remote-slow-connect``   ``(delay_s,)`` — the handshake answer is
                               held past the client's hello timeout
+    ``serve-client-vanish``   ``(frac,)`` — a serve client disconnects
+                              mid-job, at that fraction of its wait
+    ``serve-poison-job``      ``(variant,)`` — a hostile submit: garbage
+                              bytes (0), a CRC-valid non-job frame (1),
+                              or a malformed job dict (2)
+    ``serve-hung-workload``   ``(deadline_s,)`` — an infinite guest loop
+                              submitted with that deadline: cooperative
+                              cancellation must fire at a safe point
+    ``serve-deadline-exceeded``  ``(deadline_s,)`` — a normal job with a
+                              deadline too small to finish
+    ``serve-queue-storm``     ``(burst,)`` — *burst* concurrent jobs
+                              against a tiny admission queue: typed
+                              overloaded rejections + retry must land
+                              every job eventually
+    ``serve-kill-during-drain``  ``(delay_s,)`` — SIGKILL that many
+                              seconds after a SIGTERM drain began
     ========================  =============================================
     """
 
@@ -161,6 +189,18 @@ class FaultPlan:
                 params = (round(rng.uniform(0.01, 0.08), 3),)
             elif kind == "remote-slow-connect":
                 params = (round(rng.uniform(0.6, 1.2), 2),)
+            elif kind == "serve-client-vanish":
+                params = (rng.random(),)
+            elif kind == "serve-poison-job":
+                params = (rng.randrange(3),)
+            elif kind == "serve-hung-workload":
+                params = (round(rng.uniform(0.3, 0.8), 2),)
+            elif kind == "serve-deadline-exceeded":
+                params = (round(rng.uniform(0.005, 0.05), 3),)
+            elif kind == "serve-queue-storm":
+                params = (rng.randrange(6, 14),)
+            elif kind == "serve-kill-during-drain":
+                params = (round(rng.uniform(0.05, 0.3), 2),)
             else:  # drop-frame, ckpt-missing
                 params = ()
             specs.append(FaultSpec(index=i, kind=kind, params=params))

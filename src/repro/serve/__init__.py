@@ -1,0 +1,41 @@
+"""`repro serve`: the supervised, long-lived replay service.
+
+A daemon (:class:`ServeDaemon`) that keeps replay state warm across
+requests (:class:`SessionPool`), wraps every job in a robustness
+envelope (:class:`Supervisor`: bounded admission, per-job deadlines
+with cooperative cancellation at engine safe points, warm→cold
+degradation, graceful drain), and speaks the platform's length-framed
+transport to a retry-aware client (:class:`ServeClient`).
+"""
+
+from repro.serve.client import ServeClient
+from repro.serve.daemon import ServeDaemon, spawn_serve_process
+from repro.serve.jobs import run_job
+from repro.serve.protocol import (
+    JOB_KINDS,
+    SERVE_PROTOCOL_VERSION,
+    JobCancelled,
+    JobDeadlineExceeded,
+    JobRejected,
+    ServeError,
+    validate_job,
+)
+from repro.serve.sessions import SessionPool
+from repro.serve.supervisor import CancelToken, Supervisor
+
+__all__ = [
+    "ServeDaemon",
+    "ServeClient",
+    "SessionPool",
+    "Supervisor",
+    "CancelToken",
+    "ServeError",
+    "JobRejected",
+    "JobDeadlineExceeded",
+    "JobCancelled",
+    "JOB_KINDS",
+    "SERVE_PROTOCOL_VERSION",
+    "validate_job",
+    "run_job",
+    "spawn_serve_process",
+]
